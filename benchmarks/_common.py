@@ -1,0 +1,86 @@
+"""Shared helpers for the experiment harness.
+
+Every experiment module exposes ``run_experiment(fast=False) -> str`` (the
+rendered table(s) + verdicts) and at least one pytest-benchmark test;
+``run_experiments.py`` calls the former to regenerate EXPERIMENTS.md data.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.tables import render_table
+
+__all__ = ["PerUpdate", "drive_core_measured", "drive_parallel_measured",
+           "summary_row", "render_table", "banner"]
+
+
+@dataclass
+class PerUpdate:
+    """Per-update cost samples of one run."""
+
+    samples: list[float]
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples) if self.samples else 0.0
+
+    @property
+    def p99(self) -> float:
+        if not self.samples:
+            return 0.0
+        s = sorted(self.samples)
+        return s[min(len(s) - 1, int(0.99 * len(s)))]
+
+    @property
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+
+def drive_core_measured(engine, ops, *, eid_base: int = 10_000,
+                        want: Optional[Callable] = None) -> PerUpdate:
+    """Replay an op stream on a core engine, sampling ops-per-update.
+
+    ``want`` filters which updates are sampled, e.g. only deletions
+    (``lambda op: op[0] == "del"``).
+    """
+    handles = {}
+    samples: list[float] = []
+    idx = 0
+    counter = engine.ops
+    for op in ops:
+        counter.mark()
+        if op[0] == "ins":
+            _t, u, v, w = op
+            handles[idx] = engine.insert_edge(u, v, w, eid=eid_base + idx)
+        else:
+            engine.delete_edge(handles.pop(op[1]))
+        if want is None or want(op):
+            samples.append(counter.since_mark())
+        idx += 1
+    return PerUpdate(samples)
+
+
+def drive_parallel_measured(engine, ops, *, eid_base: int = 10_000):
+    """Replay on the parallel engine; returns its KernelStats list."""
+    handles = {}
+    idx = 0
+    for op in ops:
+        if op[0] == "ins":
+            _t, u, v, w = op
+            handles[idx] = engine.insert_edge(u, v, w, eid=eid_base + idx)
+        else:
+            engine.delete_edge(handles.pop(op[1]))
+        idx += 1
+    return engine.update_stats
+
+
+def summary_row(label, per: PerUpdate) -> list:
+    return [label, len(per.samples), round(per.mean, 1), per.p99, per.max]
+
+
+def banner(title: str, body: str) -> str:
+    bar = "#" * max(len(title) + 4, 40)
+    return f"{bar}\n# {title}\n{bar}\n{body}\n"

@@ -1,0 +1,71 @@
+"""E1 -- Theorem 1.2: sequential worst-case updates cost Theta(sqrt(n log n)).
+
+Sweep n, replay the adversarial mid-tree-cut workload (the worst case the
+theorem bounds: every deletion splits one large Euler tour and runs a full
+MWR search), and fit the measured per-update elementary-op counts against
+candidate growth laws.  The winning law should be ``sqrt(n log n)`` /
+``sqrt(n)``-family, and emphatically not ``n``-family.
+"""
+
+from __future__ import annotations
+
+from _common import banner, drive_core_measured, render_table, summary_row
+
+from repro.analysis.fits import classify_growth, loglog_slope
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.workloads import adversarial_cuts
+
+NS_FULL = [256, 512, 1024, 2048, 4096, 8192]
+NS_FAST = [256, 512, 1024]
+
+
+def collect(ns, rounds: int = 40):
+    out = []
+    for n in ns:
+        eng = SparseDynamicMSF(n)
+        per = drive_core_measured(eng, adversarial_cuts(n, rounds),
+                                  want=lambda op: op[0] == "del")
+        out.append((n, per))
+    return out
+
+
+def run_experiment(fast: bool = False) -> str:
+    data = collect(NS_FAST if fast else NS_FULL, rounds=15 if fast else 40)
+    rows = [summary_row(n, per) for n, per in data]
+    table = render_table(["n", "deletions", "ops mean", "ops p99", "ops max"],
+                         rows, title="E1: sequential per-deletion cost "
+                                     "(adversarial mid-tree cuts)")
+    ns = [n for n, _ in data]
+    maxima = [per.max for _, per in data]
+    slope = loglog_slope(ns, maxima)
+    law, res = classify_growth(ns, maxima,
+                               ["log^2 n", "sqrt(n)", "sqrt(n log n)",
+                                "sqrt(n) log n", "n", "n log n"])
+    verdict = (f"log-log slope of worst-case cost: {slope:.3f} "
+               f"(paper: 0.5 + o(1))\n"
+               f"best-fit law: {law} (rms residual {res:.3f}); "
+               f"claim Theta(sqrt(n log n)) -> "
+               f"{'CONSISTENT' if 'sqrt' in law else 'INCONSISTENT'}")
+    return banner("E1 sequential scaling", table + "\n" + verdict)
+
+
+def test_e1_benchmark(benchmark):
+    def once():
+        data = collect([512], rounds=10)
+        return data[0][1].max
+
+    worst = benchmark(once)
+    assert worst > 0
+    benchmark.extra_info["worst_ops_n512"] = worst
+
+
+def test_e1_shape():
+    data = collect(NS_FAST, rounds=12)
+    ns = [n for n, _ in data]
+    maxima = [p.max for _, p in data]
+    slope = loglog_slope(ns, maxima)
+    assert 0.3 < slope < 0.85, slope  # sqrt-family, not linear
+
+
+if __name__ == "__main__":
+    print(run_experiment())

@@ -1,0 +1,70 @@
+"""E2 -- Theorem 3.1: parallel worst-case update depth is O(log n).
+
+Sweep n, run the adversarial mid-tree-cut workload on the EREW engine, and
+measure per-update machine depth.  The profile depth/log2(n) must stay
+flat (within a small band) while n grows 16x -- i.e. the measured constant
+is large (hundreds of machine steps per log-factor: 4-phase tournaments,
+getEdge descents and column sweeps all pay their own constants) but the
+*scaling* is logarithmic, not sqrt.
+"""
+
+from __future__ import annotations
+
+from _common import banner, drive_parallel_measured, render_table
+
+from repro.analysis.fits import classify_growth, log_ratio_profile
+from repro.core.par import ParallelDynamicMSF
+from repro.workloads import adversarial_cuts
+
+NS_FULL = [256, 512, 1024, 2048]
+NS_FAST = [128, 256]
+
+
+def collect(ns, rounds: int = 12):
+    out = []
+    for n in ns:
+        eng = ParallelDynamicMSF(n)
+        stats = drive_parallel_measured(eng, adversarial_cuts(n, rounds))
+        dels = [s for s in stats if s.label == "delete"]
+        out.append((n, max(s.depth for s in dels),
+                    sum(s.depth for s in dels) / len(dels),
+                    eng.machine.total.violations))
+    return out
+
+
+def run_experiment(fast: bool = False) -> str:
+    data = collect(NS_FAST if fast else NS_FULL, rounds=6 if fast else 12)
+    ns = [d[0] for d in data]
+    maxima = [d[1] for d in data]
+    profile = log_ratio_profile(ns, maxima)
+    rows = [[n, dmax, round(dmean, 1), round(prof, 1), viol]
+            for (n, dmax, dmean, viol), prof in zip(data, profile)]
+    table = render_table(
+        ["n", "depth max", "depth mean", "depth/log2(n)", "EREW violations"],
+        rows, title="E2: parallel per-deletion depth (adversarial cuts)")
+    law, res = classify_growth(ns, maxima, ["log n", "log^2 n", "sqrt(n)", "n"])
+    spread = max(profile) / min(profile)
+    verdict = (f"depth/log2(n) spread across the sweep: {spread:.2f}x "
+               f"(flat <=> O(log n))\nbest-fit law: {law} "
+               f"(rms residual {res:.3f}); claim O(log n) -> "
+               f"{'CONSISTENT' if law.startswith('log') else 'INCONSISTENT'}")
+    return banner("E2 parallel depth", table + "\n" + verdict)
+
+
+def test_e2_benchmark(benchmark):
+    def once():
+        return collect([128], rounds=4)[0][1]
+
+    dmax = benchmark(once)
+    benchmark.extra_info["depth_max_n128"] = dmax
+
+
+def test_e2_depth_is_logarithmic():
+    data = collect([128, 512], rounds=5)
+    (n1, d1, *_), (n2, d2, *_) = data
+    assert d2 / d1 < 2.0, (d1, d2)  # 4x n, far less than 2x depth
+    assert all(d[3] == 0 for d in data)  # EREW-clean
+
+
+if __name__ == "__main__":
+    print(run_experiment())

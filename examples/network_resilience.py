@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Network-backbone resilience under link churn.
+
+Scenario: an ISP maintains a minimum-cost backbone (MSF) of its fiber
+topology.  Links fail and recover continuously; after every event the
+operator needs the new backbone *immediately* -- and with a *worst-case*
+latency guarantee, because a slow update during a failure storm is exactly
+when it hurts.  That is the paper's setting: deterministic worst-case
+dynamic MSF.
+
+The demo builds a 16x16 grid city-mesh plus random express links, then
+replays a failure/recovery storm, tracking backbone cost and connectivity
+and the per-update worst case.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import DynamicMSF
+from repro.workloads import grid_edges
+
+
+def main():
+    side = 16
+    n = side * side
+    rng = random.Random(2024)
+    msf = DynamicMSF(n, max_edges=4 * n)
+
+    # city mesh: grid links (cost ~ street distance)
+    links: dict[tuple, tuple[int, float]] = {}  # key -> (eid, cost)
+    for u, v, w in grid_edges(side, seed=1):
+        links[(u, v)] = (msf.insert_edge(u, v, w), w)
+    # express links: long random fibers, cheaper per hop
+    for k in range(n // 4):
+        u, v = rng.sample(range(n), 2)
+        w = rng.uniform(0, 40)
+        links[(u, v, "x", k)] = (msf.insert_edge(u, v, w), w)
+
+    print(f"topology: {msf.edge_count()} links, {n} sites")
+    print(f"initial backbone cost: {msf.msf_weight():,.1f}")
+
+    # failure storm: links die and recover; backbone is maintained online
+    ops = msf.ops
+    worst = 0
+    down: list[tuple] = []
+    events = 400
+    disconnections = 0
+    for step in range(events):
+        ops.mark()
+        if down and rng.random() < 0.5:  # recovery at original cost
+            key, w = down.pop(rng.randrange(len(down)))
+            links[key] = (msf.insert_edge(key[0], key[1], w), w)
+        else:  # failure
+            key = rng.choice(list(links))
+            eid, w = links.pop(key)
+            msf.delete_edge(eid)
+            down.append((key, w))
+        worst = max(worst, ops.since_mark())
+        if not msf.connected(0, n - 1):
+            disconnections += 1
+    print(f"replayed {events} failure/recovery events")
+    print(f"final backbone cost: {msf.msf_weight():,.1f} "
+          f"({msf.edge_count()} links up, {len(down)} down)")
+    print(f"corner-to-corner connectivity lost during "
+          f"{disconnections}/{events} events")
+    print(f"worst single-event update cost: {worst:,} elementary ops "
+          f"(bounded by O(sqrt(n log n)) -- no recomputation spikes)")
+
+
+if __name__ == "__main__":
+    main()

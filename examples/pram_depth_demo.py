@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Theorem 3.1 live: watch the EREW PRAM engine's depth stay logarithmic.
+
+Runs the parallel engine on the lockstep simulator for growing n, printing
+per-update depth (parallel time), work, and processor counts -- and proving
+EREW legality, since the machine *raises* on any same-step shared cell.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import ParallelDynamicMSF
+from repro.workloads import adversarial_cuts
+
+
+def main():
+    print("EREW PRAM dynamic MSF -- measured depth/work per update")
+    print("(strict mode: any exclusive-access violation would raise)\n")
+    header = (f"{'n':>6} {'depth max':>10} {'depth/log2 n':>13} "
+              f"{'work max':>10} {'work/(sqrt n log n)':>20} {'procs':>6}")
+    print(header)
+    print("-" * len(header))
+    for n in (128, 256, 512, 1024):
+        eng = ParallelDynamicMSF(n)
+        handles = {}
+        idx = 0
+        for op in adversarial_cuts(n, rounds=8):
+            if op[0] == "ins":
+                _t, u, v, w = op
+                handles[idx] = eng.insert_edge(u, v, w, eid=10_000 + idx)
+            else:
+                eng.delete_edge(handles.pop(op[1]))
+            idx += 1
+        dels = [s for s in eng.update_stats if s.label == "delete"]
+        dmax = max(s.depth for s in dels)
+        wmax = max(s.work for s in dels)
+        procs = max(s.processors for s in dels)
+        print(f"{n:>6} {dmax:>10} {dmax / math.log2(n):>13.0f} "
+              f"{wmax:>10} {wmax / (math.sqrt(n) * math.log2(n)):>20.0f} "
+              f"{procs:>6}")
+        assert eng.machine.total.violations == 0
+    print("\ndepth/log2(n) stays flat while n grows 8x -> O(log n) parallel")
+    print("time; work tracks sqrt(n) log n; processors track sqrt(n).")
+    print("zero EREW violations across every kernel launch.")
+
+
+if __name__ == "__main__":
+    main()

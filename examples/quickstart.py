@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: the DynamicMSF facade in two minutes.
+
+Maintains the minimum spanning forest of a small weighted graph under edge
+insertions and deletions; every update costs O(sqrt(n log n)) worst case
+(Theorem 1.2) instead of recomputing from scratch.
+"""
+
+from repro import DynamicMSF
+
+
+def show(msf, note):
+    edges = sorted(msf.msf_edges(), key=lambda e: e[3])
+    total = msf.msf_weight()
+    print(f"{note}\n  MSF weight {total:g}: "
+          + ", ".join(f"{u}-{v} (w={w:g})" for u, v, w, _eid in edges))
+
+
+def main():
+    msf = DynamicMSF(6)
+
+    # build a weighted graph
+    #      1        4
+    #  0 ----- 1 ------- 2
+    #  |       |         |
+    #  | 7     | 2       | 3
+    #  3 ----- 4 ------- 5
+    #      5        6
+    eids = {}
+    for u, v, w in [(0, 1, 1.0), (1, 2, 4.0), (0, 3, 7.0), (1, 4, 2.0),
+                    (2, 5, 3.0), (3, 4, 5.0), (4, 5, 6.0)]:
+        eids[(u, v)] = msf.insert_edge(u, v, w)
+    show(msf, "initial graph (7 edges):")
+    assert msf.connected(0, 5)
+
+    # deleting a tree edge finds the minimum-weight replacement
+    print("\ndeleting tree edge 1-4 (w=2) ...")
+    msf.delete_edge(eids[(1, 4)])
+    show(msf, "after deletion (4-5 or 3-4 steps in as replacement):")
+
+    # inserting a lighter parallel edge displaces the heaviest cycle edge
+    print("\ninserting 0-3 with weight 0.5 (parallel to w=7) ...")
+    msf.insert_edge(0, 3, 0.5)
+    show(msf, "after insertion:")
+
+    # arbitrary degrees, parallel edges and self-loops are all fine:
+    msf.insert_edge(4, 4, 0.1)       # self-loop: never in an MSF
+    for i in range(5):
+        msf.insert_edge(0, 5, 50.0 + i)  # parallel heavy edges: non-tree
+    show(msf, "\nafter noise edges (MSF unchanged):")
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

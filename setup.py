@@ -1,0 +1,11 @@
+"""Setup shim for legacy editable installs (offline environment, no wheel pkg)."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

@@ -1,0 +1,39 @@
+"""repro -- Improved Worst-Case Deterministic Parallel Dynamic MSF.
+
+A full reimplementation of Kopelowitz, Porat & Rosenmutter (SPAA 2018):
+
+* :class:`repro.DynamicMSF` -- the top-level fully dynamic minimum spanning
+  forest for general graphs (sequential or EREW-PRAM engine, optional
+  sparsification);
+* :class:`repro.SparseDynamicMSF` -- the sequential degree-3 core engine
+  (Theorem 1.2);
+* :class:`repro.ParallelDynamicMSF` -- the EREW PRAM engine (Theorem 3.1)
+  running on :class:`repro.pram.machine.Machine`, a lockstep simulator that
+  verifies exclusive access and measures depth/work;
+* :class:`repro.SparsifiedMSF` -- Eppstein et al. sparsification (Sec. 5);
+* :class:`repro.DegreeReducer` -- dynamic Frederickson degree-3 reduction.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-claim vs. measured results.
+"""
+
+from .core.degree import DegreeReducer
+from .core.msf import DynamicMSF
+from .core.par import ParallelDynamicMSF
+from .core.seq_msf import SparseDynamicMSF
+from .core.sparsify import SparsifiedMSF
+from .pram.machine import ErewViolation, KernelStats, Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DynamicMSF",
+    "SparseDynamicMSF",
+    "ParallelDynamicMSF",
+    "SparsifiedMSF",
+    "DegreeReducer",
+    "Machine",
+    "KernelStats",
+    "ErewViolation",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Elementary-operation counters for the sequential cost experiments.
+
+The paper's sequential bounds (Theorem 1.2, Lemmas 2.2-2.4) are stated in
+elementary structure operations: pointer moves, array-entry reads/writes and
+comparisons.  The engines charge those to an :class:`OpCounter`; vectorized
+numpy operations are charged their *length* (the model cost), so measured
+counts track the paper's accounting rather than CPython constant factors.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+__all__ = ["OpCounter"]
+
+
+class OpCounter:
+    """Named operation counters with checkpointing for per-update costs."""
+
+    def __init__(self) -> None:
+        self.counts: dict[str, int] = defaultdict(int)
+        self._mark: int = 0
+
+    def charge(self, name: str, amount: int = 1) -> None:
+        self.counts[name] += int(amount)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def mark(self) -> None:
+        """Start a per-operation measurement window."""
+        self._mark = self.total
+
+    def since_mark(self) -> int:
+        return self.total - self._mark
+
+    def breakdown(self) -> dict[str, int]:
+        return dict(sorted(self.counts.items(), key=lambda kv: -kv[1]))
+
+    def reset(self) -> None:
+        self.counts.clear()
+        self._mark = 0

@@ -1,0 +1,70 @@
+"""Empirical complexity-shape verification.
+
+Experiments verify the paper's bounds by fitting measured costs against a
+hypothesized growth law and reporting the exponent / ratio profile:
+
+* :func:`loglog_slope` -- least-squares slope of log(cost) vs log(n);
+  a cost of Theta(n^a poly log n) fits a slope slightly above ``a``.
+* :func:`log_ratio_profile` -- cost / log2(n); flat profile => Theta(log n).
+* :func:`classify_growth` -- best-matching law among candidates by relative
+  residual (used in EXPERIMENTS.md verdict columns).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+__all__ = ["loglog_slope", "log_ratio_profile", "classify_growth", "LAWS"]
+
+
+def loglog_slope(ns: Sequence[float], costs: Sequence[float]) -> float:
+    """Least-squares slope of log(cost) against log(n)."""
+    assert len(ns) == len(costs) >= 2
+    xs = [math.log(n) for n in ns]
+    ys = [math.log(max(c, 1e-12)) for c in costs]
+    mx = sum(xs) / len(xs)
+    my = sum(ys) / len(ys)
+    num = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    den = sum((x - mx) ** 2 for x in xs)
+    return num / den
+
+
+def log_ratio_profile(ns: Sequence[float], costs: Sequence[float]) -> list[float]:
+    """cost / log2(n) per point; near-constant <=> Theta(log n)."""
+    return [c / math.log2(max(n, 2)) for n, c in zip(ns, costs)]
+
+
+LAWS: dict[str, Callable[[float], float]] = {
+    "log n": lambda n: math.log2(max(n, 2)),
+    "log^2 n": lambda n: math.log2(max(n, 2)) ** 2,
+    "sqrt(n)": lambda n: math.sqrt(n),
+    "sqrt(n log n)": lambda n: math.sqrt(n * math.log2(max(n, 2))),
+    "sqrt(n) log n": lambda n: math.sqrt(n) * math.log2(max(n, 2)),
+    "n": lambda n: float(n),
+    "n/log n": lambda n: n / math.log2(max(n, 2)),
+    "n^(2/3)": lambda n: n ** (2 / 3),
+    "n log n": lambda n: n * math.log2(max(n, 2)),
+}
+
+
+def classify_growth(ns: Sequence[float], costs: Sequence[float],
+                    candidates: Sequence[str] = tuple(LAWS)) -> tuple[str, float]:
+    """Best-fitting law name and its residual.
+
+    Each candidate law is scaled optimally (one free constant); the
+    residual is the root-mean-square of relative errors.
+    """
+    best_name = ""
+    best_res = math.inf
+    for name in candidates:
+        law = LAWS[name]
+        preds = [law(n) for n in ns]
+        scale = (sum(c * p for c, p in zip(costs, preds))
+                 / max(sum(p * p for p in preds), 1e-12))
+        res = math.sqrt(sum(((c - scale * p) / max(c, 1e-12)) ** 2
+                            for c, p in zip(costs, preds)) / len(ns))
+        if res < best_res:
+            best_res = res
+            best_name = name
+    return best_name, best_res

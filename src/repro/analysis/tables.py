@@ -1,0 +1,41 @@
+"""Plain-text table rendering for the benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "fmt"]
+
+
+def fmt(x: Any) -> str:
+    if x is None:
+        return "-"
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1e5 or abs(x) < 1e-3:
+            return f"{x:.3g}"
+        return f"{x:,.2f}".rstrip("0").rstrip(".")
+    return str(x)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    cells = [[fmt(x) for x in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+
+    def line(row):
+        return " | ".join(c.ljust(w) for c, w in zip(row, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(sep))
+    out.append(line(headers))
+    out.append(sep)
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)

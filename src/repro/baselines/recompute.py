@@ -1,0 +1,80 @@
+"""Recompute-from-scratch baseline: Kruskal after every update.
+
+The naive comparator for experiment E5: per-update cost Theta(m alpha(n) +
+m log m) (we re-sort lazily -- the sorted order is cached and patched
+incrementally, so the measured cost is dominated by the union-find sweep,
+Theta(m alpha(n)) per update, which is still linear in m and loses to every
+dynamic structure once m is large).
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from typing import Iterator, Optional
+
+from ..analysis.counters import OpCounter
+from ..reference.oracle import UnionFind
+
+__all__ = ["RecomputeMSF"]
+
+
+class RecomputeMSF:
+    """Static Kruskal recomputation per update, with op accounting."""
+
+    _eid = itertools.count(1)
+
+    def __init__(self, n: int, ops: Optional[OpCounter] = None) -> None:
+        self.n = n
+        self.ops = ops if ops is not None else OpCounter()
+        self._sorted: list[tuple[float, int, int, int]] = []  # (w, eid, u, v)
+        self._data: dict[int, tuple[int, int, float]] = {}
+        self._msf: set[int] = set()
+
+    # ------------------------------------------------------------- updates
+
+    def insert_edge(self, u: int, v: int, w: float,
+                    eid: Optional[int] = None) -> int:
+        eid = next(self._eid) if eid is None else eid
+        self._data[eid] = (u, v, w)
+        bisect.insort(self._sorted, (w, eid, u, v))
+        self.ops.charge("sorted_insert", max(1, len(self._sorted).bit_length()))
+        self._recompute()
+        return eid
+
+    def delete_edge(self, eid: int) -> None:
+        u, v, w = self._data.pop(eid)
+        self._sorted.remove((w, eid, u, v))
+        self.ops.charge("sorted_delete", len(self._sorted) + 1)
+        self._recompute()
+
+    def _recompute(self) -> None:
+        uf = UnionFind()
+        msf: set[int] = set()
+        for w, eid, u, v in self._sorted:
+            self.ops.charge("kruskal_scan")
+            if u != v and uf.union(u, v):
+                msf.add(eid)
+        self._msf = msf
+
+    # ------------------------------------------------------------- queries
+
+    def msf_ids(self) -> set[int]:
+        return set(self._msf)
+
+    def msf_edges(self) -> Iterator[tuple[int, int, float, int]]:
+        for eid in self._msf:
+            u, v, w = self._data[eid]
+            yield (u, v, w, eid)
+
+    def msf_weight(self) -> float:
+        return sum(self._data[eid][2] for eid in self._msf)
+
+    def connected(self, a: int, b: int) -> bool:
+        uf = UnionFind()
+        for u, v, _w in self._data.values():
+            uf.union(u, v)
+        return uf.find(a) == uf.find(b)
+
+    def edge_count(self) -> int:
+        return len(self._data)

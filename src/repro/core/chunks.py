@@ -1,0 +1,283 @@
+"""Chunks and the global chunk-adjacency matrix (Section 2.2 / Section 3).
+
+Each Euler-tour list is partitioned into consecutive **chunks** of
+occurrences.  Chunk ``c`` is *adjacent to* edge ``e`` when ``e`` touches a
+vertex whose principal copy lies in ``c``.  Invariant 1 bounds
+
+    ``n_c = (#occurrences in c) + (#edge endpoints charged to c)``
+
+by ``K <= n_c <= 3K`` (the lower bound only when ``c`` is not the sole chunk
+of its list).
+
+Connectivity information lives in one global ``J x J`` matrix ``C`` of edge
+*keys* -- the paper's parallel-ready representation (Section 3, second
+change): row ``id_c`` of ``C`` is the vector ``CAdj_c``, where
+``C[id_c, id_c']`` is the minimum key of an edge between principal copies in
+``c`` and ``c'``.  An edge is recorded iff *both* endpoint chunks carry ids
+(chunks of *short* single-chunk lists carry none -- Section 6).
+
+Chunks of the parallel engine additionally maintain ``BT_c``: a 2-3 tree
+over the chunk's occurrences whose vertices store ``(units, edges)``
+aggregates -- ``edges`` are the paper's edge counters ``ec_v`` driving
+``getEdge``, ``units`` drive balanced Invariant-1 splits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..analysis.counters import OpCounter
+from ..structures import two_three_tree as tt
+from .model import INF_KEY, Edge, Key, Occurrence, Vertex
+
+__all__ = ["Chunk", "ChunkSpace", "default_K"]
+
+
+def default_K(n_max: int, flavor: str = "sequential") -> int:
+    """The paper's chunk-size parameter.
+
+    ``sqrt(n log n)`` balances J+K for the sequential engine (Theorem 1.2);
+    ``sqrt(n)`` balances log J + log K processors/depth for the parallel
+    engine (Theorem 3.1).  Clamped so splits always produce legal halves.
+    """
+    n = max(n_max, 2)
+    if flavor == "sequential":
+        k = math.isqrt(int(n * max(1.0, math.log2(n))))
+    elif flavor == "parallel":
+        k = math.isqrt(n)
+    else:
+        raise ValueError(f"unknown K flavor {flavor!r}")
+    return max(k, 8)
+
+
+class Chunk:
+    """A consecutive run of occurrences in one Euler-tour list."""
+
+    __slots__ = ("head", "tail", "count", "n_edges", "id", "leaf",
+                 "memb_row", "bt_root", "dead")
+
+    def __init__(self) -> None:
+        self.head: Optional[Occurrence] = None
+        self.tail: Optional[Occurrence] = None
+        self.count = 0          # occurrences
+        self.n_edges = 0        # edge endpoints charged to this chunk
+        self.id: Optional[int] = None
+        self.leaf = tt.leaf(self)       # this chunk's LSDS leaf
+        self.memb_row: Optional[np.ndarray] = None  # one-hot bools when id'd
+        self.bt_root: Optional[tt.Node] = None      # BT_c (parallel engine)
+        self.dead = False       # merged away / dropped; guards stale refs
+
+    @property
+    def n_c(self) -> int:
+        return self.count + self.n_edges
+
+    def occurrences(self) -> Iterator[Occurrence]:
+        occ = self.head
+        while occ is not None:
+            yield occ
+            if occ is self.tail:
+                break
+            occ = occ.next
+
+    def edge_endpoints(self) -> Iterator[tuple[Vertex, Edge]]:
+        """All (vertex, edge) pairs charged to this chunk, in chunk order.
+
+        An edge with both principal copies in the chunk appears twice (once
+        per endpoint), matching the paper's ``n_c`` accounting and the
+        ``getEdge`` ordering (occurrence order, then adjacency order).
+        """
+        for occ in self.occurrences():
+            if occ.is_principal:
+                for e in occ.vertex.edges:
+                    yield occ.vertex, e
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Chunk id={self.id} count={self.count} n_edges={self.n_edges}>"
+
+
+def _bt_pull(node: tt.Node) -> None:
+    units = 0
+    edges = 0
+    for k in node.kids:
+        u, e = k.agg
+        units += u
+        edges += e
+    node.agg = (units, edges)
+
+
+class ChunkSpace:
+    """Global chunk bookkeeping: ids, the matrix ``C``, and counters."""
+
+    def __init__(self, n_max: int, K: Optional[int] = None, *,
+                 flavor: str = "sequential", with_bt: bool = False,
+                 ops: Optional[OpCounter] = None) -> None:
+        self.n_max = n_max
+        self.K = K if K is not None else default_K(n_max, flavor)
+        # sum of n_c over id'd chunks <= 2n occurrences + 2m <= 3n endpoints
+        self.Jcap = max(4, math.ceil(5 * n_max / self.K) + 8)
+        self.C = np.empty((self.Jcap, self.Jcap), dtype=object)
+        self.C.fill(INF_KEY)
+        self.inf_row = np.empty(self.Jcap, dtype=object)
+        self.inf_row.fill(INF_KEY)
+        # Stable row views: PRAM kernels address matrix cells as
+        # (row_view, column); views must keep a stable identity.
+        self.row_views = [self.C[i] for i in range(self.Jcap)]
+        self.chunk_of_id: list[Optional[Chunk]] = [None] * self.Jcap
+        self._free_ids = list(range(self.Jcap - 1, -1, -1))
+        self.with_bt = with_bt
+        self.ops = ops if ops is not None else OpCounter()
+
+    # -- id management ---------------------------------------------------------
+
+    @property
+    def live_ids(self) -> int:
+        return self.Jcap - len(self._free_ids)
+
+    def assign_id(self, c: Chunk) -> int:
+        assert c.id is None
+        if not self._free_ids:
+            raise RuntimeError("chunk-id space exhausted; Jcap undersized")
+        c.id = self._free_ids.pop()
+        self.chunk_of_id[c.id] = c
+        c.memb_row = np.zeros(self.Jcap, dtype=bool)
+        c.memb_row[c.id] = True
+        for occ in c.occurrences():  # keep per-occurrence id replicas fresh
+            occ.chunk_id = c.id
+        self.ops.charge("id_assign", self.Jcap + c.count)
+        return c.id
+
+    def release_id(self, c: Chunk) -> int:
+        assert c.id is not None
+        cid = c.id
+        self.C[cid, :].fill(INF_KEY)
+        self.C[:, cid].fill(INF_KEY)
+        self.ops.charge("id_release", 2 * self.Jcap)
+        self.chunk_of_id[cid] = None
+        self._free_ids.append(cid)
+        c.id = None
+        c.memb_row = None
+        for occ in c.occurrences():
+            occ.chunk_id = None
+        return cid
+
+    # -- CAdj row maintenance ----------------------------------------------------
+
+    def row(self, c: Chunk) -> np.ndarray:
+        assert c.id is not None
+        return self.C[c.id]
+
+    def rebuild_row(self, c: Chunk) -> None:
+        """Recompute ``CAdj_c`` by scanning the <=3K edges touching ``c``
+        (Lemma 2.2), then mirror it into column ``id_c``."""
+        assert c.id is not None
+        row = self.C[c.id]
+        row.fill(INF_KEY)
+        self.ops.charge("row_clear", self.Jcap)
+        for vertex, e in c.edge_endpoints():
+            other = e.other(vertex)
+            oc: Chunk = other.pc.chunk  # type: ignore[union-attr]
+            if oc.id is not None and e.key < row[oc.id]:
+                row[oc.id] = e.key
+            self.ops.charge("edge_scan")
+        self.mirror_column(c)
+
+    def mirror_column(self, c: Chunk) -> None:
+        """Set ``CAdj_{c'}[id_c] = CAdj_c[id_{c'}]`` for every chunk ``c'``."""
+        assert c.id is not None
+        self.C[:, c.id] = self.C[c.id]
+        self.ops.charge("col_mirror", self.Jcap)
+
+    def entry_update_insert(self, c1: Chunk, c2: Chunk, key: Key) -> None:
+        """Min-merge a freshly inserted edge's key into both directions."""
+        assert c1.id is not None and c2.id is not None
+        if key < self.C[c1.id, c2.id]:
+            self.C[c1.id, c2.id] = key
+            self.C[c2.id, c1.id] = key
+        self.ops.charge("entry_update", 2)
+
+    def entry_recompute_pair(self, c1: Chunk, c2: Chunk) -> None:
+        """Recompute the (c1, c2) entries by scanning c1's edges (deletion)."""
+        assert c1.id is not None and c2.id is not None
+        best: Key = INF_KEY
+        for vertex, e in c1.edge_endpoints():
+            other = e.other(vertex)
+            oc: Chunk = other.pc.chunk  # type: ignore[union-attr]
+            if oc is c2 and e.key < best:
+                best = e.key
+            self.ops.charge("edge_scan")
+        self.C[c1.id, c2.id] = best
+        self.C[c2.id, c1.id] = best
+        self.ops.charge("entry_update", 2)
+
+    # -- occurrence plumbing (raw; Invariant-1 restoration is in maintenance) --
+
+    def occ_iter_between(self, head: Occurrence, tail: Occurrence) -> Iterator[Occurrence]:
+        occ: Optional[Occurrence] = head
+        while occ is not None:
+            yield occ
+            if occ is tail:
+                break
+            occ = occ.next
+
+    def adopt_occurrences(self, c: Chunk) -> None:
+        """Stamp ``occ.chunk`` for every occurrence between head and tail,
+        recompute ``count``/``n_edges`` (the O(K) scan of Lemma 2.2), and
+        rebuild ``BT_c`` when the parallel engine maintains it."""
+        assert c.head is not None and c.tail is not None
+        count = 0
+        n_edges = 0
+        bt_root: Optional[tt.Node] = None
+        prev_leaf: Optional[tt.Node] = None
+        for occ in self.occ_iter_between(c.head, c.tail):
+            occ.chunk = c
+            occ.chunk_id = c.id
+            count += 1
+            deg = occ.vertex.degree() if occ.is_principal else 0
+            n_edges += deg
+            if self.with_bt:
+                lf = tt.leaf(occ, agg=(1 + deg, deg))
+                occ.bt_leaf = lf
+                if bt_root is None:
+                    bt_root = lf
+                else:
+                    bt_root = tt.insert_after(prev_leaf, lf, _bt_pull)
+                prev_leaf = lf
+            self.ops.charge("occ_scan")
+        c.count = count
+        c.n_edges = n_edges
+        c.bt_root = bt_root
+
+    def bt_refresh_occ(self, occ: Occurrence) -> None:
+        """Recompute one BT_c leaf aggregate after a degree/principal change."""
+        if not self.with_bt or occ.bt_leaf is None:
+            return
+        deg = occ.vertex.degree() if occ.is_principal else 0
+        occ.bt_leaf.agg = (1 + deg, deg)
+        tt.refresh_upward(occ.bt_leaf, _bt_pull)
+        occ.chunk.bt_root = tt.root_of(occ.bt_leaf)
+        self.ops.charge("bt_refresh", 1)
+
+    def bt_insert_occ(self, occ: Occurrence, after: Optional[Occurrence]) -> None:
+        """Mirror a DLL insertion into BT_c (leaf after ``after`` or first)."""
+        if not self.with_bt:
+            return
+        c: Chunk = occ.chunk
+        deg = occ.vertex.degree() if occ.is_principal else 0
+        lf = tt.leaf(occ, agg=(1 + deg, deg))
+        occ.bt_leaf = lf
+        if c.bt_root is None:
+            c.bt_root = lf
+        elif after is not None:
+            c.bt_root = tt.root_of(tt.insert_after(after.bt_leaf, lf, _bt_pull))
+        else:
+            c.bt_root = tt.insert_first(c.bt_root, lf, _bt_pull)
+
+    def bt_delete_occ(self, occ: Occurrence) -> None:
+        if not self.with_bt or occ.bt_leaf is None:
+            return
+        c: Chunk = occ.chunk
+        c.bt_root = tt.delete_leaf(occ.bt_leaf, _bt_pull)
+        occ.bt_leaf = None

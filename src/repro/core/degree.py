@@ -1,0 +1,247 @@
+"""Dynamic Frederickson degree-3 reduction (Section 1.1's assumption).
+
+The core engines require max degree 3.  Frederickson's classical
+transformation replaces each vertex ``v`` by a chain of *gadget* nodes
+joined by ``-inf``-weight edges; every real edge endpoint is hosted by one
+gadget node, so gadget degrees stay <= 3 (two chain edges + one real edge).
+Chain edges always belong to the MSF (their keys are below every real key,
+and they are inserted connecting a fresh isolated node, so they are never
+candidates for replacement and never leave the forest unless deleted).
+
+This layer makes the transformation *dynamic*, costing O(1) extra core
+updates per operation:
+
+* inserting a real edge may extend each endpoint's chain by one node
+  (one ``-inf`` core insertion each);
+* deleting a real edge frees its two host slots; free slots are kept in a
+  per-vertex pool and reused by later insertions, and trailing unused chain
+  nodes are trimmed (one core deletion each).
+
+Self-loops never enter an MSF; they are tracked locally and ignored.
+Parallel edges are supported (each gets fresh host slots).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, Optional
+
+from ..analysis.counters import OpCounter
+from .model import Edge
+from .seq_msf import SparseDynamicMSF
+
+__all__ = ["DegreeReducer"]
+
+_NEG_INF = float("-inf")
+
+
+class _Chain:
+    """The gadget chain of one real vertex."""
+
+    __slots__ = ("nodes", "free", "hosted")
+
+    def __init__(self, g0: int) -> None:
+        self.nodes: list[int] = [g0]
+        self.free: list[int] = [g0]   # gadget nodes with an open host slot
+        self.hosted: dict[int, int] = {}  # gadget node -> hosted real eid
+
+    @property
+    def anchor(self) -> int:
+        return self.nodes[0]
+
+
+class DegreeReducer:
+    """Arbitrary-degree dynamic MSF on top of a degree-3 core engine.
+
+    Parameters
+    ----------
+    n:
+        number of real vertices (ids ``0..n-1``).
+    max_edges:
+        maximum number of concurrently live real edges (sizes the core's
+        vertex pool: ``n + max_edges`` gadget nodes suffice, one fresh node
+        per live endpoint beyond the anchors... we allocate ``n + 2 *
+        max_edges`` for slack under churn).
+    engine_factory:
+        ``(n_core) -> engine``; defaults to the sequential sparse engine.
+    """
+
+    _eid = itertools.count(1)
+
+    def __init__(self, n: int, max_edges: Optional[int] = None, *,
+                 engine_factory=None, K: Optional[int] = None,
+                 ops: Optional[OpCounter] = None) -> None:
+        self.n = n
+        self.max_edges = max_edges if max_edges is not None else max(2 * n, 16)
+        n_core = n + 2 * self.max_edges
+        if engine_factory is None:
+            self.core = SparseDynamicMSF(n_core, K=K, ops=ops)
+        else:
+            self.core = engine_factory(n_core)
+        self._pool = list(range(n_core - 1, n - 1, -1))  # free gadget ids
+        self.chains = [_Chain(v) for v in range(n)]
+        # real-edge registry: eid -> (u, v, w, core Edge, host_u, host_v)
+        self.real: dict[int, tuple[int, int, float, Edge, int, int]] = {}
+        self.self_loops: dict[int, tuple[int, float]] = {}
+        # chain core-edges: gadget id -> core Edge to its chain predecessor
+        self._chain_edge: dict[int, Edge] = {}
+
+    # ------------------------------------------------------------- queries
+
+    def connected(self, u: int, v: int) -> bool:
+        return self.core.connected(self.chains[u].anchor, self.chains[v].anchor)
+
+    def msf_edges(self) -> Iterator[tuple[int, int, float, int]]:
+        """Real MSF edges as ``(u, v, w, eid)``."""
+        for eid, (u, v, w, edge, _hu, _hv) in self.real.items():
+            if edge.is_tree:
+                yield (u, v, w, eid)
+
+    def msf_ids(self) -> set[int]:
+        return {eid for eid, rec in self.real.items() if rec[3].is_tree}
+
+    def msf_weight(self) -> float:
+        return sum(w for (_u, _v, w, _e) in self.msf_edges())
+
+    def degree(self, u: int) -> int:
+        return len(self.chains[u].hosted)
+
+    def edge_count(self) -> int:
+        return len(self.real) + len(self.self_loops)
+
+    # ------------------------------------------------------------- updates
+
+    def insert_edge(self, u: int, v: int, w: float,
+                    eid: Optional[int] = None) -> int:
+        """Insert a real edge; returns its id.  O(1) core updates."""
+        eid = next(self._eid) if eid is None else eid
+        assert eid > 0, "non-positive ids are reserved for gadget chain edges"
+        assert eid not in self.real and eid not in self.self_loops, \
+            f"duplicate real edge id {eid}"
+        assert not math.isinf(w), "infinite weights are reserved for gadgets"
+        if u == v:
+            self.self_loops[eid] = (u, w)
+            return eid
+        hu = self._claim_slot(u, eid)
+        hv = self._claim_slot(v, eid)
+        core_edge = self.core.insert_edge(hu, hv, w, eid=eid)
+        self.real[eid] = (u, v, w, core_edge, hu, hv)
+        return eid
+
+    def delete_edge(self, eid: int) -> None:
+        if eid in self.self_loops:
+            del self.self_loops[eid]
+            return
+        u, v, _w, core_edge, hu, hv = self.real.pop(eid)
+        self.core.delete_edge(core_edge)
+        self._release_slot(u, hu, eid)
+        self._release_slot(v, hv, eid)
+
+    # ----------------------------------------------- MSF-delta reporting
+
+    def insert_reported(self, u: int, v: int, w: float,
+                        eid: int) -> tuple[set[int], set[int]]:
+        """Insert and return the net real-MSF delta ``(added, removed)``.
+
+        The sparsification tree (Section 5) needs, per local-graph update,
+        which edges entered/left the local MSF so it can forward O(1)
+        updates to the parent node.  Net deltas are computed from the core's
+        change log, so gadget relocations and transient swaps cancel out.
+        """
+        mark = len(self.core.change_log)
+        self.insert_edge(u, v, w, eid=eid)
+        return self._net_delta(mark)
+
+    def delete_reported(self, eid: int) -> tuple[set[int], set[int]]:
+        """Delete and return the net real-MSF delta ``(added, removed)``.
+
+        A deleted tree edge logs its own flip, so it lands in ``removed``
+        via the same net-delta computation as every other status change.
+        """
+        mark = len(self.core.change_log)
+        self.delete_edge(eid)
+        return self._net_delta(mark)
+
+    def _net_delta(self, mark: int) -> tuple[set[int], set[int]]:
+        touched = {eid for eid, _ in self.core.change_log[mark:] if eid > 0}
+        added: set[int] = set()
+        removed: set[int] = set()
+        for t in touched:
+            now = t in self.real and self.real[t][3].is_tree
+            first_flip = next(flag for e, flag in self.core.change_log[mark:]
+                              if e == t)
+            was = not first_flip  # status before the first flip
+            if now and not was:
+                added.add(t)
+            elif was and not now:
+                removed.add(t)
+        return added, removed
+
+    # ------------------------------------------------------------- chains
+
+    def _claim_slot(self, v: int, eid: int) -> int:
+        """A host slot on v's chain.  Invariant: ``free`` is empty unless the
+        chain is just its anchor, so chain length stays 1 + hosted count."""
+        chain = self.chains[v]
+        if chain.free:
+            slot = chain.free.pop()
+        else:
+            tail = chain.nodes[-1]
+            if not self._pool:
+                raise RuntimeError("gadget pool exhausted; raise max_edges")
+            slot = self._pool.pop()
+            # chain edges get fresh negative-infinity keys; *negative* edge
+            # ids keep them in a namespace disjoint from real edges, so the
+            # (weight, eid) total order stays strict inside the core
+            chain_edge = self.core.insert_edge(tail, slot, _NEG_INF,
+                                               eid=-next(self._eid))
+            assert chain_edge.is_tree
+            self._chain_edge[slot] = chain_edge
+            chain.nodes.append(slot)
+        chain.hosted[slot] = eid
+        return slot
+
+    def _release_slot(self, v: int, slot: int, eid: int) -> None:
+        """Free a host slot, compacting so no mid-chain holes survive.
+
+        If the freed slot is not the tail, the tail's hosted edge (if any)
+        is *relocated* into the hole -- one core delete + insert with the
+        same key, which cannot change the (unique) MSF -- and the tail is
+        trimmed.  This keeps every chain at length 1 + hosted count, so the
+        gadget pool of ``2 * max_edges`` extra nodes never exhausts.
+        """
+        chain = self.chains[v]
+        assert chain.hosted.pop(slot) == eid
+        tail = chain.nodes[-1]
+        if len(chain.nodes) == 1:
+            chain.free = [chain.anchor]
+            return
+        if slot != tail and tail in chain.hosted:
+            self._relocate(chain, tail, slot)
+        elif slot != tail:  # pragma: no cover - tail is always hosted
+            chain.free.append(slot)
+        self._trim(chain)
+
+    def _relocate(self, chain: _Chain, from_slot: int, to_slot: int) -> None:
+        eid2 = chain.hosted.pop(from_slot)
+        u2, v2, w2, core_e, hu, hv = self.real.pop(eid2)
+        self.core.delete_edge(core_e)
+        if hu == from_slot:
+            hu = to_slot
+        else:
+            assert hv == from_slot
+            hv = to_slot
+        new_e = self.core.insert_edge(hu, hv, w2, eid=eid2)
+        self.real[eid2] = (u2, v2, w2, new_e, hu, hv)
+        chain.hosted[to_slot] = eid2
+
+    def _trim(self, chain: _Chain) -> None:
+        while len(chain.nodes) > 1 and chain.nodes[-1] not in chain.hosted:
+            tail = chain.nodes.pop()
+            self.core.delete_edge(self._chain_edge.pop(tail))
+            self._pool.append(tail)
+        if len(chain.nodes) == 1 and chain.anchor not in chain.hosted:
+            chain.free = [chain.anchor]
+        else:
+            chain.free = []

@@ -1,0 +1,151 @@
+"""Euler-tour surgery (Lemma 2.1): tree link/cut as O(1) list operations.
+
+Every MSF tree ``T`` is stored as a *linear* list of occurrences whose
+cyclic adjacencies (consecutive pairs plus the wrap from tail to head) are
+the arcs of an Euler tour of ``T``.  A vertex ``x`` occurs ``max(1,
+deg_T(x))`` times.  Each tree edge ``e = (u, v)`` remembers its two arcs:
+
+* ``arc_uv = (a_u, b_v)`` -- the arc entering the ``v`` side, and
+* ``arc_vu = (c_v, d_u)`` -- the arc returning to the ``u`` side,
+
+as ordered occurrence pairs.  List rotations (split + join) preserve cyclic
+adjacency, so arcs stay valid across all surgery; only :func:`cut_tour` and
+:func:`link_tour` create/destroy adjacencies, and they patch the affected
+arcs explicitly.
+
+``cut_tour(e)``: rotate the list to ``[b_v ... a_u]`` (so ``arc_uv`` is the
+wrap), split after ``c_v`` into the tours of ``T_v = [b_v..c_v]`` and
+``T_u = [d_u..a_u]``, then merge each seam (the two boundary occurrences of
+one vertex collapse into one, keeping the principal copy when present).
+
+``link_tour(e)``: rotate ``T_v``'s list to start at ``pc_v``, embed it as an
+excursion after ``pc_u``, adding one new occurrence of ``v`` (if ``T_v`` is
+not a singleton) and one of ``u`` (if ``T_u`` is not).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .fabric import Fabric
+from .lsds import EulerList
+from .model import Edge, Occurrence
+
+__all__ = ["cut_tour", "link_tour", "tour_occurrences"]
+
+
+def tour_occurrences(lst: EulerList):
+    """Iterate the occurrences of a list in tour order (test/debug helper)."""
+    occ: Optional[Occurrence] = lst.first_chunk().head
+    while occ is not None:
+        yield occ
+        occ = occ.next
+
+
+def _tree_edge_between(x: Occurrence, y: Occurrence) -> Edge:
+    """The unique tree edge whose arc is the adjacency (x, y)."""
+    vx, vy = x.vertex, y.vertex
+    for e in vx.edges:
+        if e.is_tree and e.other(vx) is vy:
+            return e
+    raise AssertionError(f"no tree edge for arc {x!r}->{y!r}")
+
+
+def _retarget_arc(old: tuple[Occurrence, Occurrence],
+                  new: tuple[Occurrence, Occurrence]) -> None:
+    """Repoint the tree-edge arc equal (by identity) to ``old``."""
+    g = _tree_edge_between(*old)
+    if g.arc_uv is not None and g.arc_uv[0] is old[0] and g.arc_uv[1] is old[1]:
+        g.arc_uv = new
+    elif g.arc_vu is not None and g.arc_vu[0] is old[0] and g.arc_vu[1] is old[1]:
+        g.arc_vu = new
+    else:  # pragma: no cover - would indicate arc bookkeeping corruption
+        raise AssertionError(f"edge {g!r} does not own arc {old!r}")
+
+
+def _drop_seam_occurrence(fabric: Fabric, keep: Occurrence, drop: Occurrence,
+                          drop_is_tail: bool) -> None:
+    """Collapse the two boundary occurrences of a seam into one."""
+    assert keep.vertex is drop.vertex
+    if drop_is_tail:
+        prev = drop.prev
+        assert prev is not None
+        _retarget_arc((prev, drop), (prev, keep))
+    else:
+        nxt = drop.next
+        assert nxt is not None
+        _retarget_arc((drop, nxt), (keep, nxt))
+    fabric.delete_occ(drop)
+
+
+def cut_tour(fabric: Fabric, e: Edge) -> tuple[EulerList, EulerList]:
+    """Remove tree edge ``e``; returns ``(list_of_u_side, list_of_v_side)``."""
+    assert e.arc_uv is not None and e.arc_vu is not None
+    a_u, b_v = e.arc_uv
+    c_v, d_u = e.arc_vu
+    # 1. rotate so the list is [b_v ... a_u] (arc_uv becomes the wrap)
+    if a_u.next is not None:
+        p1, p2 = fabric.split_list(a_u)
+        assert p2 is not None
+        fabric.join_lists(p2, p1)
+    # 2. split after c_v: [b_v..c_v] is Euler(T_v), [d_u..a_u] is Euler(T_u)
+    lv, lu = fabric.split_list(c_v)
+    assert lu is not None
+    # 3. seam merges (skip degenerate single-occurrence sides)
+    if a_u is not d_u:
+        if a_u.is_principal:
+            _drop_seam_occurrence(fabric, a_u, d_u, drop_is_tail=False)
+        else:
+            _drop_seam_occurrence(fabric, d_u, a_u, drop_is_tail=True)
+    if b_v is not c_v:
+        if b_v.is_principal:
+            _drop_seam_occurrence(fabric, b_v, c_v, drop_is_tail=True)
+        else:
+            _drop_seam_occurrence(fabric, c_v, b_v, drop_is_tail=False)
+    e.arc_uv = None
+    e.arc_vu = None
+    return lu, lv
+
+
+def link_tour(fabric: Fabric, e: Edge) -> EulerList:
+    """Insert ``e`` as a tree edge joining the tours of its endpoints."""
+    u, v = e.u, e.v
+    u_star, v_star = u.pc, v.pc
+    assert u_star is not None and v_star is not None
+    lu = fabric.list_of(u_star.chunk)
+    lv = fabric.list_of(v_star.chunk)
+    assert lu is not lv, "endpoints already in one tree"
+    # 1. rotate Euler(T_v) to start at pc_v
+    if v_star.prev is not None:
+        head_part, tail_part = fabric.split_list(v_star.prev)
+        assert tail_part is not None
+        lv = fabric.join_lists(tail_part, head_part)
+    v_singleton = v_star.prev is None and v_star.next is None
+    u_singleton = u_star.prev is None and u_star.next is None
+    # 2. new occurrence of v closing the excursion (unless T_v is singleton)
+    if not v_singleton:
+        old_tail_v = lv.last_chunk().tail
+        assert old_tail_v is not None
+        v_new = fabric.insert_occ_after(old_tail_v, v)
+        _retarget_arc((old_tail_v, v_star), (old_tail_v, v_new))
+        end_v = v_new
+    else:
+        end_v = v_star
+    # 3. new occurrence of u resuming the host tour (unless T_u is singleton)
+    u_new: Optional[Occurrence] = None
+    if not u_singleton:
+        succ = u_star.next if u_star.next is not None else lu.first_chunk().head
+        assert succ is not None
+        u_new = fabric.insert_occ_after(u_star, u)
+        _retarget_arc((u_star, succ), (u_new, succ))
+    # 4. splice: [.. u*] ++ [v* .. end_v] ++ [u_new ..]
+    if u_singleton:
+        merged = fabric.join_lists(lu, lv)
+    else:
+        left, right = fabric.split_list(u_star)
+        assert right is not None
+        merged = fabric.join_lists(left, lv)
+        merged = fabric.join_lists(merged, right)
+    e.arc_uv = (u_star, v_star)
+    e.arc_vu = (end_v, u_new if u_new is not None else u_star)
+    return merged

@@ -1,0 +1,194 @@
+"""The List Sum Data Structure (LSDS) and Euler-list registry (Lemma 2.3).
+
+Each Euler-tour list ``L`` owns an LSDS: a 2-3 tree whose leaves are, in
+order, the chunks of ``L``.  Every internal vertex ``z`` stores two
+``J``-length vectors:
+
+* ``CAdj_z`` -- entrywise **minimum** of the ``CAdj`` rows of the chunks in
+  ``z``'s subtree, and
+* ``Memb_z`` -- entrywise **OR** of the one-hot membership rows.
+
+``UpdateAdj(c)`` (called whenever row ``id_c`` / column ``id_c`` of the
+global matrix changed) refreshes (a) the full vectors along the leaf-to-root
+path of ``c``'s own LSDS, and (b) the single entry ``id_c`` of **every**
+LSDS vertex of every (long) list.  The parallel version of the paper makes
+reading (b) unambiguous: processor ``p_j`` handles the leaf of the *global*
+``chunks[j]``, so the column sweep spans all LSDSes.  Since long lists hold
+at most ``J`` chunks in total, (b) costs ``O(J)`` and (a) costs
+``O(J log J)``, matching Lemma 2.3.
+
+Short lists (single chunk with ``n_c < K``, Section 6) have no id, no
+CAdj/Memb, and are excluded from the column sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from ..structures import two_three_tree as tt
+from .chunks import Chunk, ChunkSpace
+from .model import INF_KEY
+
+__all__ = ["EulerList", "ListRegistry", "make_pull", "node_cadj", "node_memb"]
+
+
+def node_cadj(space: ChunkSpace, node: tt.Node) -> np.ndarray:
+    """The CAdj vector of an LSDS vertex (row view for chunk leaves)."""
+    if node.is_leaf:
+        chunk: Chunk = node.item
+        assert chunk.id is not None, "short chunks have no CAdj"
+        return space.C[chunk.id]
+    return node.agg[0]
+
+
+def node_memb(space: ChunkSpace, node: tt.Node) -> np.ndarray:
+    if node.is_leaf:
+        chunk: Chunk = node.item
+        assert chunk.memb_row is not None, "short chunks have no Memb"
+        return chunk.memb_row
+    return node.agg[1]
+
+
+def make_pull(space: ChunkSpace) -> Callable[[tt.Node], None]:
+    """Aggregation hook recomputing (CAdj_z, Memb_z) from children."""
+
+    def pull(node: tt.Node) -> None:
+        if node.is_leaf or not node.kids:
+            return
+        if node.agg is None:
+            cadj = np.empty(space.Jcap, dtype=object)
+            memb = np.zeros(space.Jcap, dtype=bool)
+            node.agg = (cadj, memb)
+        cadj, memb = node.agg
+        first = node.kids[0]
+        cadj[:] = node_cadj(space, first)
+        memb[:] = node_memb(space, first)
+        for kid in node.kids[1:]:
+            np.minimum(cadj, node_cadj(space, kid), out=cadj)
+            np.logical_or(memb, node_memb(space, kid), out=memb)
+        space.ops.charge("lsds_pull", space.Jcap * len(node.kids))
+
+    return pull
+
+
+class EulerList:
+    """One Euler-tour list: a handle on an LSDS root."""
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: tt.Node) -> None:
+        self.root = root
+
+    @property
+    def single_chunk(self) -> bool:
+        return self.root.is_leaf
+
+    @property
+    def only_chunk(self) -> Chunk:
+        assert self.root.is_leaf
+        return self.root.item
+
+    @property
+    def is_short(self) -> bool:
+        """Short lists (Section 6): one chunk, no id."""
+        return self.root.is_leaf and self.root.item.id is None
+
+    def first_chunk(self) -> Chunk:
+        lf = tt.first_leaf(self.root)
+        assert lf is not None
+        return lf.item
+
+    def last_chunk(self) -> Chunk:
+        lf = tt.last_leaf(self.root)
+        assert lf is not None
+        return lf.item
+
+    def chunks(self) -> Iterator[Chunk]:
+        for lf in tt.iter_leaves(self.root):
+            yield lf.item
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EulerList chunks={[c.id for c in self.chunks()]}>"
+
+
+class ListRegistry:
+    """Tracks live lists, maps LSDS roots back to their lists."""
+
+    def __init__(self, space: ChunkSpace) -> None:
+        self.space = space
+        self.by_root: dict[tt.Node, EulerList] = {}
+        self.long_lists: set[EulerList] = set()
+        self.pull = make_pull(space)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def register(self, lst: EulerList) -> EulerList:
+        self.by_root[lst.root] = lst
+        if not lst.is_short:
+            self.long_lists.add(lst)
+        return lst
+
+    def retire(self, lst: EulerList) -> None:
+        self.by_root.pop(lst.root, None)
+        self.long_lists.discard(lst)
+
+    def set_root(self, lst: EulerList, root: tt.Node) -> None:
+        if lst.root is not root:
+            self.by_root.pop(lst.root, None)
+            lst.root = root
+            self.by_root[root] = lst
+
+    def mark_long(self, lst: EulerList) -> None:
+        self.long_lists.add(lst)
+
+    def mark_short(self, lst: EulerList) -> None:
+        self.long_lists.discard(lst)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def list_of_chunk(self, chunk: Chunk) -> EulerList:
+        root = tt.root_of(chunk.leaf)
+        self.space.ops.charge("root_walk", max(root.height, 1))
+        return self.by_root[root]
+
+    def lists(self) -> Iterator[EulerList]:
+        yield from self.by_root.values()
+
+    # -- UpdateAdj (Lemma 2.3) ----------------------------------------------------
+
+    def update_adj(self, chunk: Chunk) -> None:
+        """Refresh aggregates after row/column ``id_c`` of ``C`` changed."""
+        if chunk.id is None:
+            return
+        tt.refresh_upward(chunk.leaf, self.pull)
+        self.refresh_column(chunk.id)
+
+    def refresh_column(self, j: int) -> None:
+        """Recompute entry ``j`` of every LSDS vertex of every long list.
+
+        The O(J)-total column sweep of ``UpdateAdj``; bottom-up per tree.
+        """
+        for lst in self.long_lists:
+            self._col_sweep(lst.root, j)
+
+    def _col_sweep(self, node: tt.Node, j: int) -> tuple:
+        space = self.space
+        if node.is_leaf:
+            chunk: Chunk = node.item
+            assert chunk.id is not None
+            space.ops.charge("col_sweep")
+            return space.C[chunk.id, j], chunk.id == j
+        best = INF_KEY
+        memb = False
+        for kid in node.kids:
+            k_cadj, k_memb = self._col_sweep(kid, j)
+            if k_cadj < best:
+                best = k_cadj
+            memb = memb or k_memb
+        cadj, mb = node.agg
+        cadj[j] = best
+        mb[j] = memb
+        space.ops.charge("col_sweep")
+        return best, memb

@@ -1,0 +1,126 @@
+"""`DynamicMSF` -- the library's top-level facade.
+
+Composes the three layers of the paper into one general-purpose structure:
+
+* the sparse degree-3 engines (sequential Theorem 1.2 / EREW-PRAM
+  Theorem 3.1),
+* the dynamic Frederickson degree reduction (arbitrary degrees, parallel
+  edges, self-loops), and
+* optionally the Eppstein et al. sparsification tree (Section 5), which
+  makes per-update cost a function of ``n`` rather than ``m``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .degree import DegreeReducer
+from .sparsify import SparsifiedMSF
+
+__all__ = ["DynamicMSF"]
+
+
+class DynamicMSF:
+    """Fully dynamic minimum spanning forest of a general graph.
+
+    Parameters
+    ----------
+    n:
+        number of vertices (``0..n-1``).
+    engine:
+        ``"sequential"`` -- Theorem 1.2's ``O(sqrt(n log n))`` worst-case
+        engine (default); ``"parallel"`` -- Theorem 3.1's EREW PRAM engine
+        run on the lockstep simulator (depth/work measured per update via
+        ``.machine`` / ``.update_stats``).
+    sparsify:
+        route updates through the sparsification tree (Section 5); required
+        when ``m`` may greatly exceed ``n`` and per-update cost should stay
+        ``f(n)``.  Composes with both engines; with ``engine="parallel"``
+        every tree node runs a strict EREW machine and
+        ``_impl.parallel_cost_of_last_update()`` reports the Section 5.3
+        measured composition (the full Theorem 1.1).
+    max_edges:
+        maximum number of concurrently live edges (sizes the degree
+        reducer's gadget pool); ignored when ``sparsify=True``.
+    K:
+        chunk-size override (experiments E7/E8); default per engine flavor.
+
+    Examples
+    --------
+    >>> msf = DynamicMSF(4)
+    >>> e1 = msf.insert_edge(0, 1, 1.0)
+    >>> e2 = msf.insert_edge(1, 2, 2.0)
+    >>> msf.connected(0, 2)
+    True
+    >>> msf.msf_weight()
+    3.0
+    >>> msf.delete_edge(e1)
+    >>> msf.connected(0, 2)
+    False
+    """
+
+    def __init__(self, n: int, *, engine: str = "sequential",
+                 sparsify: bool = False, max_edges: Optional[int] = None,
+                 K: Optional[int] = None) -> None:
+        assert engine in ("sequential", "parallel")
+        self.n = n
+        self.engine_kind = engine
+        self.sparsified = sparsify
+        if sparsify:
+            self._impl = SparsifiedMSF(n, K=K,
+                                       parallel=(engine == "parallel"))
+        elif engine == "parallel":
+            from .par import ParallelDynamicMSF
+            self._impl = DegreeReducer(
+                n, max_edges,
+                engine_factory=lambda nc: ParallelDynamicMSF(nc, K=K))
+        else:
+            self._impl = DegreeReducer(n, max_edges, K=K)
+
+    # ------------------------------------------------------------- updates
+
+    def insert_edge(self, u: int, v: int, weight: float) -> int:
+        """Insert an edge; returns its id (self-loops accepted, ignored)."""
+        return self._impl.insert_edge(u, v, weight)
+
+    def delete_edge(self, eid: int) -> None:
+        self._impl.delete_edge(eid)
+
+    # ------------------------------------------------------------- queries
+
+    def connected(self, u: int, v: int) -> bool:
+        return self._impl.connected(u, v)
+
+    def msf_edges(self) -> Iterator[tuple[int, int, float, int]]:
+        """Current MSF as ``(u, v, weight, eid)`` tuples."""
+        yield from self._impl.msf_edges()
+
+    def msf_ids(self) -> set[int]:
+        return self._impl.msf_ids()
+
+    def msf_weight(self) -> float:
+        return self._impl.msf_weight()
+
+    def edge_count(self) -> int:
+        return self._impl.edge_count()
+
+    # ------------------------------------------------------------- costs
+
+    @property
+    def machine(self):
+        """The PRAM machine (non-sparsified parallel engine only; the
+        sparsified-parallel combination has one machine per tree node --
+        use ``_impl.erew_violations()`` / ``parallel_cost_of_last_update``)."""
+        assert self.engine_kind == "parallel" and not self.sparsified
+        return self._impl.core.machine
+
+    @property
+    def update_stats(self):
+        """Per-core-update KernelStats (non-sparsified parallel engine)."""
+        assert self.engine_kind == "parallel" and not self.sparsified
+        return self._impl.core.update_stats
+
+    @property
+    def ops(self):
+        """The sequential elementary-operation counter (non-sparsified)."""
+        return self._impl.core.ops

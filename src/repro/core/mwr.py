@@ -1,0 +1,67 @@
+"""Minimum-weight-replacement search (Lemma 2.4 / Section 6).
+
+Invoked immediately after an Euler tour split into lists ``L1`` and ``L2``:
+find the lightest graph edge with one principal copy in each list.
+
+Long/long case: build ``gamma`` = the root CAdj vector of ``L1`` masked by
+the root Memb vector of ``L2``; its argmin names the candidate chunk
+``c-hat`` (necessarily in ``L2``); scan the <=3K edges touching ``c-hat``
+and keep the lightest whose other endpoint verifies as a member of ``L1``.
+
+Short cases (Section 6): scan the short list's single chunk directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .fabric import Fabric
+from .lsds import EulerList, node_cadj, node_memb
+from .model import INF_KEY, Edge
+
+__all__ = ["find_mwr"]
+
+
+def _scan_short(fabric: Fabric, short: EulerList, other: EulerList) -> Optional[Edge]:
+    best: Optional[Edge] = None
+    chunk = short.only_chunk
+    for vertex, e in chunk.edge_endpoints():
+        fabric.space.ops.charge("mwr_scan")
+        w = e.other(vertex)
+        if fabric.list_of(w.pc.chunk) is other:  # type: ignore[union-attr]
+            if best is None or e.key < best.key:
+                best = e
+    return best
+
+
+def find_mwr(fabric: Fabric, l1: EulerList, l2: EulerList) -> Optional[Edge]:
+    """Lightest edge between ``l1`` and ``l2``; ``None`` if disconnected."""
+    if l1.is_short:
+        return _scan_short(fabric, l1, l2)
+    if l2.is_short:
+        return _scan_short(fabric, l2, l1)
+    space = fabric.space
+    cadj1 = node_cadj(space, l1.root)
+    memb2 = node_memb(space, l2.root)
+    gamma = np.where(memb2, cadj1, space.inf_row)
+    space.ops.charge("mwr_gamma", space.Jcap)
+    j = int(np.argmin(gamma))
+    space.ops.charge("mwr_argmin", space.Jcap)
+    if gamma[j] == INF_KEY:
+        return None
+    chat = space.chunk_of_id[j]
+    assert chat is not None
+    memb1 = node_memb(space, l1.root)
+    best: Optional[Edge] = None
+    for vertex, e in chat.edge_endpoints():
+        space.ops.charge("mwr_scan")
+        w = e.other(vertex)
+        wc = w.pc.chunk  # type: ignore[union-attr]
+        if wc.id is not None and memb1[wc.id]:
+            if best is None or e.key < best.key:
+                best = e
+    assert best is not None and best.key[0] == gamma[j][0], \
+        "candidate chunk scan must realize the gamma minimum"
+    return best

@@ -1,0 +1,5 @@
+"""EREW PRAM dynamic MSF (Section 3): kernels and the parallel engine."""
+
+from .engine import ParallelDynamicMSF
+
+__all__ = ["ParallelDynamicMSF"]

@@ -1,0 +1,167 @@
+"""Sequential dynamic MSF for sparse degree-<=3 graphs (Theorem 1.2).
+
+Update algorithms follow Section 2.6 verbatim:
+
+* **insert(u, v, w)**: account the edge in the chunk fabric; if the
+  endpoints are in different trees the edge becomes a tree edge and the
+  tours are linked; otherwise query the link-cut forest for the heaviest
+  edge ``e'`` on the tree path and, if the new edge is lighter, swap it in.
+* **delete(e)**: un-account the edge; if it was a tree edge, cut the tour,
+  search for a minimum-weight replacement (Lemma 2.4) and reconnect.
+
+With ``K = Theta(sqrt(n log n))`` every update costs
+``O(J log J + K + log n) = O(sqrt(n log n))`` elementary operations in the
+worst case.  General graphs are handled by wrapping this engine in
+sparsification (``repro.core.sparsify``) and the degree reducer
+(``repro.core.degree``); the :class:`repro.DynamicMSF` facade does both.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+from ..analysis.counters import OpCounter
+from ..structures.link_cut import LCTNode, LinkCutForest
+from . import euler, mwr
+from .fabric import Fabric
+from .lsds import EulerList
+from .model import MAX_DEGREE, Edge, Vertex, adj_add, adj_remove
+
+__all__ = ["SparseDynamicMSF"]
+
+
+class SparseDynamicMSF:
+    """Dynamic MSF over a fixed vertex set ``0..n_max-1`` with degree <= 3.
+
+    Parameters
+    ----------
+    n_max:
+        number of vertices (the structure is sized for this; the
+        sparsification layer instantiates one engine per partition node).
+    K:
+        chunk-size parameter; default ``sqrt(n log n)`` (``flavor``-driven).
+    with_bt:
+        maintain per-chunk ``BT_c`` trees (required by the parallel engine).
+    """
+
+    _eid = itertools.count(1)
+
+    def __init__(self, n_max: int, K: Optional[int] = None, *,
+                 flavor: str = "sequential", with_bt: bool = False,
+                 ops: Optional[OpCounter] = None) -> None:
+        self.n_max = n_max
+        self.ops = ops if ops is not None else OpCounter()
+        self.fabric = self._build_fabric(n_max, K, flavor, with_bt, self.ops)
+        self.lct = LinkCutForest()
+        self.vertices: list[Vertex] = []
+        self.edges: dict[int, Edge] = {}
+        self.tree_edges: set[Edge] = set()
+        #: append-only log of tree-status flips ``(eid, is_tree_now)`` --
+        #: consumed by the degree reducer / sparsification tree to compute
+        #: net MSF deltas per update
+        self.change_log: list[tuple[int, bool]] = []
+        for vid in range(n_max):
+            vx = Vertex(vid)
+            vx.lct = LCTNode(label=("v", vid))
+            self.fabric.new_singleton_list(vx)
+            self.vertices.append(vx)
+
+    def _build_fabric(self, n_max, K, flavor, with_bt, ops) -> Fabric:
+        """Hook: the parallel engine substitutes kernel-backed components."""
+        return Fabric(n_max, K, flavor=flavor, with_bt=with_bt, ops=ops)
+
+    # ------------------------------------------------------------- queries
+
+    def connected(self, u: int, v: int) -> bool:
+        """Same-tree test via Euler-list identity, O(log n)."""
+        a = self.vertices[u].pc.chunk  # type: ignore[union-attr]
+        b = self.vertices[v].pc.chunk  # type: ignore[union-attr]
+        return self.fabric.list_of(a) is self.fabric.list_of(b)
+
+    def msf_edges(self) -> Iterator[Edge]:
+        yield from self.tree_edges
+
+    def msf_weight(self) -> float:
+        return sum(e.weight for e in self.tree_edges)
+
+    def degree(self, u: int) -> int:
+        return self.vertices[u].degree()
+
+    # ------------------------------------------------------------- updates
+
+    def insert_edge(self, u: int, v: int, weight: float,
+                    eid: Optional[int] = None) -> Edge:
+        """Insert edge ``{u, v}``; returns its handle.  O(sqrt(n log n))."""
+        assert u != v, "self-loops never join an MSF; filter them above"
+        vu, vv = self.vertices[u], self.vertices[v]
+        assert vu.degree() < MAX_DEGREE and vv.degree() < MAX_DEGREE, \
+            "degree bound exceeded; route through core.degree.DegreeReducer"
+        e = Edge(vu, vv, weight, next(self._eid) if eid is None else eid)
+        assert e.eid not in self.edges, \
+            f"duplicate edge id {e.eid}; (weight, eid) keys must be unique"
+        adj_add(vu, e)
+        adj_add(vv, e)
+        self.edges[e.eid] = e
+        self.fabric.register_edge(e)
+        if not self.connected(u, v):
+            self._make_tree_edge(e)
+        else:
+            heaviest = self.lct.path_max(vu.lct, vv.lct)
+            self.ops.charge("lct", 1)
+            f: Edge = heaviest.label
+            if e.key < f.key:
+                self._unmake_tree_edge(f)
+                self._make_tree_edge(e)
+        return e
+
+    def delete_edge(self, e: Edge) -> Optional[Edge]:
+        """Delete edge ``e``; returns the replacement tree edge, if any."""
+        assert self.edges.pop(e.eid, None) is e, "unknown edge handle"
+        adj_remove(e.u, e)
+        adj_remove(e.v, e)
+        self.fabric.unregister_edge(e)
+        if not e.is_tree:
+            return None
+        self.tree_edges.discard(e)
+        e.is_tree = False
+        self.change_log.append((e.eid, False))
+        self.lct.cut_edge(e.lct, e.u.lct, e.v.lct)
+        self.ops.charge("lct", 1)
+        lu, lv = euler.cut_tour(self.fabric, e)
+        replacement = self._find_mwr(lu, lv)
+        if replacement is not None:
+            self._make_tree_edge(replacement)
+        return replacement
+
+    def delete_between(self, u: int, v: int) -> Optional[Edge]:
+        """Delete one (the lightest) edge between ``u`` and ``v``."""
+        vu = self.vertices[u]
+        cands = [e for e in vu.edges if e.other(vu) is self.vertices[v]]
+        assert cands, f"no edge {u}-{v}"
+        return self.delete_edge(min(cands, key=lambda e: e.key))
+
+    # ------------------------------------------------------------- internal
+
+    def _find_mwr(self, lu: EulerList, lv: EulerList) -> Optional[Edge]:
+        """MWR search hook; the parallel engine overrides this with kernels."""
+        return mwr.find_mwr(self.fabric, lu, lv)
+
+    def _make_tree_edge(self, e: Edge) -> None:
+        e.is_tree = True
+        self.tree_edges.add(e)
+        self.change_log.append((e.eid, True))
+        e.lct = LCTNode(key=e.key, label=e)
+        self.lct.link_edge(e.lct, e.u.lct, e.v.lct)
+        self.ops.charge("lct", 1)
+        euler.link_tour(self.fabric, e)
+
+    def _unmake_tree_edge(self, f: Edge) -> None:
+        """Demote tree edge ``f`` to a non-tree edge (it stays in G)."""
+        f.is_tree = False
+        self.tree_edges.discard(f)
+        self.change_log.append((f.eid, False))
+        self.lct.cut_edge(f.lct, f.u.lct, f.v.lct)
+        f.lct = None
+        self.ops.charge("lct", 1)
+        euler.cut_tour(self.fabric, f)

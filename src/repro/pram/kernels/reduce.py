@@ -1,0 +1,126 @@
+"""EREW tournament reduction -- the paper's 4-phase iterative process.
+
+Section 3.1 describes a tournament over balanced binary trees where each
+iteration has four *synchronous* phases so that no two processors ever
+touch one cell in a step (the *exclusive-assignment property*):
+
+  Phase 1: a processor at a **left** child writes its value to the parent.
+  Phase 2: a processor at a **right** child reads the parent; if its own
+           value is smaller it overwrites the parent, else it goes inactive.
+  Phase 3: the left-child processor re-reads the parent; if the stored value
+           beats its own it goes inactive (ties favour the left child).
+  Phase 4: the surviving processor reassigns itself to the parent.
+
+We implement the tournament over an implicit heap of scratch registers.
+Per the paper's footnote, temporary-structure initialization is free (the
+timestamp / rollback trick); we realise that by drawing fresh register
+names per launch, so empty cells read as "no value yet".
+
+Keys must be *strictly* totally ordered (use ``(weight, unique_id)``
+tuples); each participant carries an opaque payload alongside its key.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, Sequence
+
+from ..machine import KernelStats, Machine, Nop, Read, Write
+
+__all__ = ["tournament_min", "broadcast"]
+
+_launch_counter = itertools.count()
+
+
+def tournament_min(
+    machine: Machine,
+    entries: Sequence[Optional[tuple[Any, Any]]],
+    label: str = "tournament_min",
+) -> tuple[Optional[tuple[Any, Any]], KernelStats]:
+    """EREW minimum of ``entries`` (``(key, payload)`` or None) in O(log n) depth.
+
+    Returns ``(winner, stats)`` where winner is the ``(key, payload)`` pair
+    with the smallest key (``None`` if no participant), using one processor
+    per non-None entry.
+    """
+    run = next(_launch_counter)
+    n = len(entries)
+    if n == 0:
+        return None, KernelStats(label=label, launches=1)
+    leaves = 1
+    while leaves < n:
+        leaves *= 2
+
+    def cell(node: int) -> tuple:
+        return machine.mem.reg(("tmin", run, node))
+
+    result_reg = machine.mem.reg(("tmin", run, "result"))
+
+    def program(k: int, pair: tuple[Any, Any]):
+        node = leaves + k
+        while node > 1:
+            parent = node // 2
+            if node % 2 == 0:  # left child
+                yield Write(cell(parent), pair)     # phase 1
+                yield Nop()                          # phase 2a (right reads)
+                yield Nop()                          # phase 2b (right writes)
+                cur = yield Read(cell(parent))       # phase 3
+                if cur is not pair and cur[0] < pair[0]:
+                    return
+            else:  # right child
+                yield Nop()                          # phase 1
+                cur = yield Read(cell(parent))       # phase 2a
+                if cur is None or pair[0] < cur[0]:
+                    yield Write(cell(parent), pair)  # phase 2b
+                else:
+                    return
+                yield Nop()                          # phase 3
+            node = parent                            # phase 4 (free)
+        yield Write(result_reg, pair)
+
+    programs = [program(k, e) for k, e in enumerate(entries) if e is not None]
+    if not programs:
+        return None, KernelStats(label=label, launches=1)
+    stats = machine.run(programs, label=label)
+    winner = machine.mem.read(result_reg)
+    return winner, stats
+
+
+def broadcast(
+    machine: Machine,
+    value: Any,
+    count: int,
+    label: str = "broadcast",
+) -> tuple[list, KernelStats]:
+    """EREW broadcast: replicate ``value`` into ``count`` cells, O(log count) depth.
+
+    Doubling scheme: in round ``t`` the processor owning copy ``j < 2^t``
+    copies it into cell ``j + 2^t``.  Returns the list backing the copies
+    (cell ``i`` readable exclusively by processor ``i`` afterwards).
+    """
+    out: list[Any] = [None] * max(count, 1)
+    out[0] = value
+    sid = machine.mem.register(out)
+
+    def program(j: int):
+        # processor j becomes live in the round after cell j is filled
+        t = 0
+        while (1 << t) <= j:
+            t += 1
+        # rounds are two steps each (read, write); idle until our round
+        for _ in range(2 * t):
+            yield Nop()
+        rounds = t
+        while True:
+            target = j + (1 << rounds)
+            if target >= count:
+                break
+            v = yield Read(("idx", sid, j))
+            yield Write(("idx", sid, target), v)
+            rounds += 1
+        return
+
+    if count <= 1:
+        return out, KernelStats(label=label, launches=1)
+    stats = machine.run([program(j) for j in range(count)], label=label)
+    return out, stats

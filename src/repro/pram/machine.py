@@ -1,0 +1,235 @@
+"""A deterministic lockstep EREW PRAM simulator.
+
+Why a simulator
+---------------
+Theorem 1.1's claims are *model* claims -- parallel worst-case time
+(**depth**), processor count, total **work**, and legality in the EREW
+(exclusive-read exclusive-write) PRAM.  CPython cannot demonstrate wall-clock
+speedup (GIL), and even a GIL-free run could not *verify* EREW legality.
+This machine runs the paper's parallel kernels synchronously and measures
+exactly the quantities the theorems bound, while *rejecting* any same-step
+concurrent access to a memory cell.
+
+Execution model
+---------------
+A **kernel** is a list of processor *programs*: Python generators that yield
+one memory operation per machine step (:class:`Read`, :class:`Write`, or
+:class:`Nop` to idle a step while staying synchronized).  Local computation
+between yields is free, as in the unit-cost PRAM.  Each machine step:
+
+1. every live processor has one pending op;
+2. conflicts are checked: in EREW mode *any* two ops touching the same cell
+   in the same step are illegal (read/read, write/write, read/write); in
+   CREW mode concurrent reads are allowed;
+3. all reads observe memory as it was *before* the step's writes
+   (synchronous PRAM semantics), writes apply at the end of the step;
+4. each generator is resumed with its read value to produce its next op.
+
+Depth = number of steps; work = number of non-:class:`Nop` ops; the machine
+also tracks the maximum number of simultaneously live processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .memory import Mem
+
+__all__ = [
+    "Read",
+    "Write",
+    "Nop",
+    "Machine",
+    "KernelStats",
+    "ErewViolation",
+]
+
+
+@dataclass(frozen=True)
+class Read:
+    addr: tuple
+
+
+@dataclass(frozen=True)
+class Write:
+    addr: tuple
+    value: Any
+
+
+@dataclass(frozen=True)
+class Nop:
+    """Stay synchronized without touching memory (costs depth, not work)."""
+
+
+Program = Generator[Any, Any, Any]
+
+
+class ErewViolation(RuntimeError):
+    """Two processors touched one cell in the same step (in EREW mode)."""
+
+    def __init__(self, step: int, addr: tuple, procs: list[int], kinds: list[str]):
+        self.step = step
+        self.addr = addr
+        self.procs = procs
+        self.kinds = kinds
+        super().__init__(
+            f"step {step}: processors {procs} performed {kinds} on one cell {_short_addr(addr)}"
+        )
+
+
+def _short_addr(addr: tuple) -> str:
+    kind = addr[0]
+    if kind == "attr":
+        return f"attr({type(addr[1]).__name__}.{addr[2]})"
+    if kind == "idx":
+        return f"idx(seq{addr[1] % 9973},{addr[2]})"
+    return repr(addr)
+
+
+@dataclass
+class KernelStats:
+    """Cost of one kernel launch (or an aggregate of several)."""
+
+    depth: int = 0
+    work: int = 0
+    processors: int = 0  # max processors live in any single step
+    launches: int = 0
+    violations: int = 0
+    label: str = ""
+
+    def add(self, other: "KernelStats") -> None:
+        """Sequential composition: depths add, processor maxima combine."""
+        self.depth += other.depth
+        self.work += other.work
+        self.processors = max(self.processors, other.processors)
+        self.launches += other.launches
+        self.violations += other.violations
+
+
+class Machine:
+    """Lockstep PRAM with EREW/CREW conflict policies.
+
+    Parameters
+    ----------
+    mode:
+        ``"erew"`` (default) raises/records on any same-step shared cell;
+        ``"crew"`` permits concurrent reads (used by experiment E4 to show
+        which kernels *need* the paper's EREW-specific machinery).
+    strict:
+        if True (default) violations raise :class:`ErewViolation`;
+        otherwise they are only counted (benchmark mode).
+    """
+
+    def __init__(self, mode: str = "erew", strict: bool = True) -> None:
+        assert mode in ("erew", "crew")
+        self.mem = Mem()
+        self.mode = mode
+        self.strict = strict
+        self.total = KernelStats(label="total")
+        self.history: list[KernelStats] = []  # one entry per run/charge
+        self._trace: Optional[Callable[[int, int, Any], None]] = None
+
+    # -- kernel execution -----------------------------------------------------
+
+    def run(self, programs: Iterable[Program], label: str = "",
+            mode: Optional[str] = None) -> KernelStats:
+        """Execute programs in lockstep until all complete.
+
+        ``mode`` overrides the machine's conflict policy for this kernel
+        only; the parallel MWR verification runs its membership reads under
+        ``"crew"`` and the engine charges the standard CREW->EREW simulation
+        factor (JaJa [12]) on top, exactly as the paper does in Lemma 3.3.
+        """
+        policy = self.mode if mode is None else mode
+        assert policy in ("erew", "crew")
+        stats = KernelStats(label=label, launches=1)
+        live: dict[int, Program] = {}
+        pending: dict[int, Any] = {}
+        for pid, prog in enumerate(programs):
+            try:
+                pending[pid] = next(prog)
+                live[pid] = prog
+            except StopIteration:
+                pass
+        step = 0
+        while live:
+            stats.processors = max(stats.processors, len(live))
+            step += 1
+            # 1-2. conflict detection over this step's ops
+            touched: dict[tuple, list[tuple[int, str]]] = {}
+            for pid, op in pending.items():
+                if isinstance(op, Read):
+                    touched.setdefault(op.addr, []).append((pid, "read"))
+                elif isinstance(op, Write):
+                    touched.setdefault(op.addr, []).append((pid, "write"))
+                elif not isinstance(op, Nop):
+                    raise TypeError(f"processor {pid} yielded {op!r}")
+            for addr, users in touched.items():
+                if len(users) < 2:
+                    continue
+                kinds = [k for _, k in users]
+                if policy == "crew" and all(k == "read" for k in kinds):
+                    continue
+                stats.violations += 1
+                if self.strict:
+                    raise ErewViolation(step, addr, [p for p, _ in users], kinds)
+            # 3. reads before writes
+            results: dict[int, Any] = {}
+            for pid, op in pending.items():
+                if isinstance(op, Read):
+                    results[pid] = self.mem.read(op.addr)
+                    stats.work += 1
+                elif isinstance(op, Write):
+                    stats.work += 1
+            for pid, op in pending.items():
+                if isinstance(op, Write):
+                    self.mem.write(op.addr, op.value)
+            # 4. resume
+            done: list[int] = []
+            for pid, prog in live.items():
+                if self._trace is not None:
+                    self._trace(step, pid, pending[pid])
+                try:
+                    pending[pid] = prog.send(results.get(pid))
+                except StopIteration:
+                    done.append(pid)
+            for pid in done:
+                del live[pid]
+                del pending[pid]
+        stats.depth = step
+        self.total.add(stats)
+        self.history.append(stats)
+        return stats
+
+    # -- sequential glue -------------------------------------------------------
+
+    def sequential_charge(self, steps: int, label: str = "seq") -> KernelStats:
+        """Charge `steps` depth/work for O(1)/O(log n) work done by p_1.
+
+        The paper's update algorithms interleave parallel kernels with short
+        sequential sections executed by one processor (e.g. the O(log n)
+        link-cut query, Lemma 2.1's O(1) surgery decisions).  Those run as
+        ordinary host code; callers account for them explicitly here so the
+        reported depth/work include them.
+        """
+        stats = KernelStats(depth=steps, work=steps, processors=1,
+                            launches=0, label=label)
+        self.total.add(stats)
+        self.history.append(stats)
+        return stats
+
+    def charge(self, depth: int, work: int, processors: int = 1,
+               label: str = "charge") -> KernelStats:
+        """Analytic cost for a phase modelled rather than simulated.
+
+        Used for structural plumbing whose PRAM implementation is standard
+        and cited by the paper (2-3 tree splits/joins by ``p_1``, the
+        restamp of chunk ids with K processors, the CREW->EREW conversion
+        factor); DESIGN.md lists every analytic charge site.
+        """
+        stats = KernelStats(depth=depth, work=work, processors=processors,
+                            launches=0, label=label)
+        self.total.add(stats)
+        self.history.append(stats)
+        return stats

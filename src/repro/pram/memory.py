@@ -1,0 +1,78 @@
+"""Cell-addressed shared memory for the EREW PRAM simulator.
+
+The simulator checks *exclusive* access at the granularity of memory cells.
+A cell address is a hashable tuple naming either
+
+* an attribute of a host Python object: ``("attr", obj, name)``, or
+* an element of a registered sequence (list / numpy array):
+  ``("idx", seq_id, index)``, or
+* a machine register (scratch cell owned by the memory): ``("reg", name)``.
+
+Reads and writes dispatch onto the *real* host objects, so PRAM kernels
+mutate the very same chunk/LSDS/tournament structures the sequential code
+uses -- the simulator is an instrumentation and legality layer, not a copy
+of the state.  (Sequences must be registered because numpy arrays are not
+hashable; objects are addressed by identity.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+__all__ = ["Mem", "attr", "idx"]
+
+
+def attr(obj: Any, name: str) -> tuple:
+    """Address of ``obj.name``."""
+    return ("attr", obj, name)
+
+
+def idx(seq_id: int, index: int) -> tuple:
+    """Address of ``seq[index]`` for a sequence registered under ``seq_id``."""
+    return ("idx", seq_id, index)
+
+
+class Mem:
+    """Shared memory: host-object dispatch plus scratch registers."""
+
+    def __init__(self) -> None:
+        self._seqs: dict[int, Any] = {}
+        self._regs: dict[Hashable, Any] = {}
+
+    # -- address constructors ------------------------------------------------
+
+    def register(self, seq: Any) -> int:
+        """Register a list/array; returns the id used in ``idx`` addresses."""
+        sid = id(seq)
+        self._seqs[sid] = seq
+        return sid
+
+    def cell(self, seq: Any, index: int) -> tuple:
+        """Address of ``seq[index]``, registering ``seq`` if needed."""
+        return idx(self.register(seq), index)
+
+    def reg(self, name: Hashable) -> tuple:
+        return ("reg", name)
+
+    # -- access --------------------------------------------------------------
+
+    def read(self, address: tuple) -> Any:
+        kind = address[0]
+        if kind == "attr":
+            return getattr(address[1], address[2])
+        if kind == "idx":
+            return self._seqs[address[1]][address[2]]
+        if kind == "reg":
+            return self._regs.get(address[1])
+        raise ValueError(f"bad address {address!r}")
+
+    def write(self, address: tuple, value: Any) -> None:
+        kind = address[0]
+        if kind == "attr":
+            setattr(address[1], address[2], value)
+        elif kind == "idx":
+            self._seqs[address[1]][address[2]] = value
+        elif kind == "reg":
+            self._regs[address[1]] = value
+        else:
+            raise ValueError(f"bad address {address!r}")

@@ -1,0 +1,87 @@
+"""Ground-truth oracles used by tests and the benchmark harness.
+
+``KruskalOracle`` recomputes the exact minimum spanning forest from scratch
+with the same ``(weight, edge_id)`` tie-breaking the engines use, so the
+MSF is *unique* and engine forests can be compared edge-for-edge.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional
+
+__all__ = ["UnionFind", "KruskalOracle", "kruskal"]
+
+
+class UnionFind:
+    """Path-halving union-find."""
+
+    def __init__(self) -> None:
+        self.parent: dict[Hashable, Hashable] = {}
+        self.rank: dict[Hashable, int] = {}
+
+    def find(self, x: Hashable) -> Hashable:
+        p = self.parent
+        if x not in p:
+            p[x] = x
+            self.rank[x] = 0
+            return x
+        while p[x] != x:
+            p[x] = p[p[x]]
+            x = p[x]
+        return x
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        return True
+
+
+def kruskal(edges: Iterable[tuple[int, int, float, int]]) -> set[int]:
+    """MSF edge-ids for ``(u, v, weight, eid)`` tuples, ``(w, eid)`` order."""
+    uf = UnionFind()
+    chosen: set[int] = set()
+    for u, v, w, eid in sorted(edges, key=lambda t: (t[2], t[3])):
+        if u != v and uf.union(u, v):
+            chosen.add(eid)
+    return chosen
+
+
+class KruskalOracle:
+    """Maintains the current edge multiset; recomputes the MSF on demand."""
+
+    def __init__(self) -> None:
+        self.edges: dict[int, tuple[int, int, float]] = {}
+
+    def insert(self, u: int, v: int, w: float, eid: int) -> None:
+        assert eid not in self.edges
+        self.edges[eid] = (u, v, w)
+
+    def delete(self, eid: int) -> None:
+        del self.edges[eid]
+
+    def msf_ids(self) -> set[int]:
+        return kruskal((u, v, w, eid) for eid, (u, v, w) in self.edges.items())
+
+    def msf_weight(self) -> float:
+        ids = self.msf_ids()
+        return sum(self.edges[i][2] for i in ids)
+
+    def connected(self, a: int, b: int) -> bool:
+        uf = UnionFind()
+        for u, v, _ in self.edges.values():
+            uf.union(u, v)
+        return uf.find(a) == uf.find(b)
+
+    def components(self) -> int:
+        uf = UnionFind()
+        verts: set[int] = set()
+        for u, v, _ in self.edges.values():
+            verts.update((u, v))
+            uf.union(u, v)
+        return len({uf.find(v) for v in verts})

@@ -1,0 +1,212 @@
+"""Link-cut trees with path-maximum aggregation (Sleator & Tarjan [19]).
+
+The dynamic-MSF algorithm needs exactly one query from dynamic trees
+(Section 2.6): *given u, v in the same MSF tree, find the heaviest edge on
+the u..v path* (to decide whether an inserted non-tree edge displaces a tree
+edge), plus links/cuts mirroring the forest updates.
+
+We represent **edges as nodes**: inserting tree edge ``e = (u, v)`` creates
+an LCT node for ``e`` linked between the nodes of ``u`` and ``v``.  Vertex
+nodes carry a ``-inf`` sentinel key so a path-max query always returns an
+edge node.  Keys are ``(weight, edge_id)`` tuples, giving a strict total
+order (ties broken by id), so the maintained MSF is unique and testable
+against an oracle.
+
+Substitution note (documented in DESIGN.md): the paper cites the *worst
+case* ``O(log n)`` variant of ST-trees; we implement the standard
+splay-tree-based variant whose bounds are amortized ``O(log n)``.  This only
+affects the lower-order ``log n`` term of update costs; experiment E1
+reports structure-op counts with and without the LCT contribution.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = ["LCTNode", "LinkCutForest"]
+
+# Sentinel smaller than any (weight, id) key, including -inf gadget weights:
+# tuple comparison makes ("-inf",) < ("-inf", id).
+_MIN_KEY: tuple = (float("-inf"),)
+
+
+class LCTNode:
+    """One vertex of the represented forest (a graph vertex or an edge)."""
+
+    __slots__ = ("parent", "left", "right", "flip", "key", "mx", "label")
+
+    def __init__(self, key: tuple = _MIN_KEY, label: Any = None) -> None:
+        self.parent: Optional[LCTNode] = None
+        self.left: Optional[LCTNode] = None
+        self.right: Optional[LCTNode] = None
+        self.flip = False
+        self.key = key
+        self.mx: LCTNode = self  # node attaining max key in this splay subtree
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LCTNode {self.label!r} key={self.key!r}>"
+
+
+def _is_splay_root(x: LCTNode) -> bool:
+    p = x.parent
+    return p is None or (p.left is not x and p.right is not x)
+
+
+def _push(x: LCTNode) -> None:
+    if x.flip:
+        x.left, x.right = x.right, x.left
+        if x.left is not None:
+            x.left.flip = not x.left.flip
+        if x.right is not None:
+            x.right.flip = not x.right.flip
+        x.flip = False
+
+
+def _pull(x: LCTNode) -> None:
+    best = x
+    if x.left is not None and x.left.mx.key > best.key:
+        best = x.left.mx
+    if x.right is not None and x.right.mx.key > best.key:
+        best = x.right.mx
+    x.mx = best
+
+
+def _rotate(x: LCTNode) -> None:
+    p = x.parent
+    assert p is not None
+    g = p.parent
+    left_child = p.left is x
+    b = x.right if left_child else x.left
+    # attach b where x was
+    if left_child:
+        p.left = b
+        x.right = p
+    else:
+        p.right = b
+        x.left = p
+    if b is not None:
+        b.parent = p
+    p.parent = x
+    x.parent = g
+    if g is not None:
+        if g.left is p:
+            g.left = x
+        elif g.right is p:
+            g.right = x
+        # else: p was a splay root (path-parent pointer); leave g's kids alone
+    _pull(p)
+    _pull(x)
+
+
+def _splay(x: LCTNode) -> None:
+    # push flips top-down along the root path first
+    path = [x]
+    cur = x
+    while not _is_splay_root(cur):
+        cur = cur.parent  # type: ignore[assignment]
+        path.append(cur)
+    for node in reversed(path):
+        _push(node)
+    while not _is_splay_root(x):
+        p = x.parent
+        assert p is not None
+        if not _is_splay_root(p):
+            g = p.parent
+            assert g is not None
+            if (g.left is p) == (p.left is x):
+                _rotate(p)  # zig-zig
+            else:
+                _rotate(x)  # zig-zag
+        _rotate(x)
+
+
+class LinkCutForest:
+    """A forest of LCT nodes with evert, link, cut, and path-max.
+
+    The class is a thin namespace over node operations plus an operation
+    counter (`ops`) used by the cost-accounting experiments.
+    """
+
+    def __init__(self) -> None:
+        self.ops = 0  # number of splay steps, a proxy for LCT work
+
+    # -- internals ---------------------------------------------------------
+
+    def _access(self, x: LCTNode) -> LCTNode:
+        """Make the root..x path preferred; x becomes its splay root."""
+        _splay(x)
+        # drop x's preferred right subtree (deeper part of old path)
+        if x.right is not None:
+            x.right.parent = x  # stays as path-parent pointer
+            x.right = None
+            _pull(x)
+        last = x
+        while x.parent is not None:
+            y = x.parent
+            _splay(y)
+            if y.right is not None:
+                y.right.parent = y
+            y.right = x
+            _pull(y)
+            _splay(x)
+            last = y
+            self.ops += 1
+        self.ops += 1
+        return last
+
+    # -- public API ---------------------------------------------------------
+
+    def make_root(self, x: LCTNode) -> None:
+        """Evert: make ``x`` the root of its represented tree."""
+        self._access(x)
+        x.flip = not x.flip
+        _push(x)
+
+    def find_root(self, x: LCTNode) -> LCTNode:
+        self._access(x)
+        while True:
+            _push(x)
+            if x.left is None:
+                break
+            x = x.left
+        _splay(x)
+        return x
+
+    def connected(self, x: LCTNode, y: LCTNode) -> bool:
+        if x is y:
+            return True
+        return self.find_root(x) is self.find_root(y)
+
+    def link(self, x: LCTNode, y: LCTNode) -> None:
+        """Attach the tree of ``x`` to ``y`` (x and y must be disconnected)."""
+        self.make_root(x)
+        x.parent = y  # path-parent pointer
+
+    def cut(self, x: LCTNode, y: LCTNode) -> None:
+        """Remove the represented edge between adjacent nodes x and y."""
+        self.make_root(x)
+        self._access(y)
+        # x is now exactly y's left child in the preferred path
+        assert y.left is x and x.right is None, "cut() on non-adjacent nodes"
+        y.left.parent = None
+        y.left = None
+        _pull(y)
+
+    def path_max(self, x: LCTNode, y: LCTNode) -> LCTNode:
+        """Node with the maximum key on the x..y path (must be connected)."""
+        self.make_root(x)
+        self._access(y)
+        return y.mx
+
+    # -- edge-as-node convenience -------------------------------------------
+
+    def link_edge(self, enode: LCTNode, u: LCTNode, v: LCTNode) -> None:
+        """Insert isolated edge node ``enode`` between ``u`` and ``v``."""
+        self.link(enode, u)
+        self.link(v, enode)
+
+    def cut_edge(self, enode: LCTNode, u: LCTNode, v: LCTNode) -> None:
+        """Remove edge node ``enode`` lying between ``u`` and ``v``."""
+        self.cut(enode, u)
+        self.cut(enode, v)

@@ -1,0 +1,152 @@
+"""Deterministic workload generators for tests, benchmarks and examples.
+
+All generators yield operation tuples:
+
+* ``("ins", u, v, w)`` -- insert an edge (the consumer records the returned
+  edge id under the running operation index), or
+* ``("del", ref)`` -- delete the edge created by operation index ``ref``.
+
+Generators are pure functions of their seed, so every engine/baseline in a
+comparison replays the *identical* stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+__all__ = [
+    "churn",
+    "grid_edges",
+    "path_edges",
+    "dense_stream",
+    "adversarial_cuts",
+    "OpStream",
+    "drive",
+]
+
+Op = tuple
+
+
+def churn(n: int, steps: int, *, seed: int = 0, p_delete: float = 0.45,
+          max_degree: Optional[int] = None, max_live: Optional[int] = None,
+          weights: str = "uniform") -> Iterator[Op]:
+    """Random insert/delete churn on ``n`` vertices.
+
+    ``max_degree`` restricts endpoints (use 3 to target the sparse core
+    directly); ``weights`` is ``"uniform"`` or ``"ties"`` (small integer
+    weights forcing heavy tie-breaking).
+    """
+    rng = random.Random(seed)
+    max_live = max_live if max_live is not None else int(1.4 * n)
+    degree = [0] * n
+    live: dict[int, tuple[int, int]] = {}  # op index -> (u, v)
+    for op_index in range(steps):
+        do_delete = live and (rng.random() < p_delete or len(live) >= max_live)
+        if do_delete:
+            ref = rng.choice(list(live))
+            u, v = live.pop(ref)
+            degree[u] -= 1
+            degree[v] -= 1
+            yield ("del", ref)
+        else:
+            for _ in range(60):
+                u, v = rng.sample(range(n), 2)
+                if max_degree is None or (degree[u] < max_degree
+                                          and degree[v] < max_degree):
+                    break
+            else:
+                continue
+            if weights == "ties":
+                w = float(rng.randint(0, 7))
+            else:
+                w = round(rng.uniform(0.0, 1000.0), 9)
+            degree[u] += 1
+            degree[v] += 1
+            live[op_index] = (u, v)
+            yield ("ins", u, v, w)
+
+
+def grid_edges(side: int, *, seed: int = 0) -> list[tuple[int, int, float]]:
+    """Random-weight edges of a ``side x side`` grid (max degree 4)."""
+    rng = random.Random(seed)
+    edges = []
+    for r in range(side):
+        for c in range(side):
+            u = r * side + c
+            if c + 1 < side:
+                edges.append((u, u + 1, round(rng.uniform(0, 100), 9)))
+            if r + 1 < side:
+                edges.append((u, u + side, round(rng.uniform(0, 100), 9)))
+    return edges
+
+
+def path_edges(n: int, *, seed: int = 0) -> list[tuple[int, int, float]]:
+    rng = random.Random(seed)
+    return [(i, i + 1, round(rng.uniform(0, 100), 9)) for i in range(n - 1)]
+
+
+def dense_stream(n: int, m: int, *, seed: int = 0) -> list[tuple[int, int, float]]:
+    """``m`` random edges on ``n`` vertices (multi-edges allowed):
+    the sparsification workload where ``m >> n``."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(m):
+        u, v = rng.sample(range(n), 2)
+        out.append((u, v, round(rng.uniform(0, 1000), 9)))
+    return out
+
+
+def adversarial_cuts(n: int, rounds: int, *, seed: int = 0) -> Iterator[Op]:
+    """Worst-case probe: build one path (single large tree), then repeatedly
+    delete a middle tree edge and re-insert it.
+
+    Every deletion splits the large Euler tour near its middle and forces a
+    full-width MWR search -- the cost profile Theorem 1.2/3.1 bound in the
+    worst case.
+    """
+    rng = random.Random(seed)
+    index = 0
+    ref_of: dict[int, int] = {}  # path position -> op index of current edge
+    for i, (u, v, w) in enumerate(path_edges(n, seed=seed)):
+        yield ("ins", u, v, w)
+        ref_of[i] = index
+        index += 1
+    # chords to give the MWR search real candidates (respect degree 3)
+    for i in range(0, n - 4, 4):
+        yield ("ins", i, i + 3, 1000.0 + i)
+        index += 1
+    for _r in range(rounds):
+        mid = (n // 2 - 2) + rng.randrange(5)
+        yield ("del", ref_of[mid])
+        index += 1
+        yield ("ins", mid, mid + 1, float(mid))  # restore the path edge
+        ref_of[mid] = index
+        index += 1
+
+
+class OpStream:
+    """Replays an op stream onto any engine exposing the facade API."""
+
+    def __init__(self, target) -> None:
+        self.target = target
+        self.eids: dict[int, int] = {}  # op index -> engine eid
+        self.index = 0
+
+    def apply(self, op: Op) -> None:
+        if op[0] == "ins":
+            _tag, u, v, w = op
+            eid = self.target.insert_edge(u, v, w)
+            self.eids[self.index] = eid
+        else:
+            ref = op[1]
+            self.target.delete_edge(self.eids.pop(ref))
+        self.index += 1
+
+
+def drive(target, ops) -> OpStream:
+    """Feed every op to ``target``; returns the stream handle."""
+    stream = OpStream(target)
+    for op in ops:
+        stream.apply(op)
+    return stream

@@ -1,0 +1,76 @@
+"""Analysis helpers: counters, growth fits, table rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.counters import OpCounter
+from repro.analysis.fits import (LAWS, classify_growth, log_ratio_profile,
+                                 loglog_slope)
+from repro.analysis.tables import fmt, render_table
+
+
+def test_counter_charge_and_marks():
+    c = OpCounter()
+    c.charge("a")
+    c.charge("b", 10)
+    assert c.total == 11
+    c.mark()
+    c.charge("a", 5)
+    assert c.since_mark() == 5
+    assert c.breakdown() == {"b": 10, "a": 6}
+    c.reset()
+    assert c.total == 0 and c.since_mark() == 0
+
+
+def test_loglog_slope_exact_powers():
+    ns = [2 ** k for k in range(4, 12)]
+    assert loglog_slope(ns, [n ** 0.5 for n in ns]) == pytest.approx(0.5)
+    assert loglog_slope(ns, [float(n) for n in ns]) == pytest.approx(1.0)
+    assert loglog_slope(ns, [7.0] * len(ns)) == pytest.approx(0.0)
+
+
+def test_log_ratio_profile_flat_for_logarithm():
+    ns = [2 ** k for k in range(4, 14)]
+    prof = log_ratio_profile(ns, [3 * math.log2(n) for n in ns])
+    assert max(prof) / min(prof) < 1.0001
+
+
+@pytest.mark.parametrize("law", list(LAWS))
+def test_classify_growth_recovers_each_law(law):
+    ns = [2 ** k for k in range(5, 14)]
+    costs = [17.3 * LAWS[law](n) for n in ns]
+    got, res = classify_growth(ns, costs)
+    assert res < 1e-6
+    # the law itself must be among the (possibly equivalent) best fits
+    assert LAWS[got](2 ** 20) / LAWS[law](2 ** 20) == pytest.approx(
+        LAWS[got](2 ** 5) / LAWS[law](2 ** 5), rel=0.35), (got, law)
+
+
+def test_classify_growth_separates_sqrt_from_linear():
+    ns = [2 ** k for k in range(6, 13)]
+    got, _ = classify_growth(ns, [5 * n for n in ns], ["sqrt(n)", "n"])
+    assert got == "n"
+    got, _ = classify_growth(ns, [5 * math.sqrt(n) for n in ns],
+                             ["sqrt(n)", "n"])
+    assert got == "sqrt(n)"
+
+
+def test_fmt_shapes():
+    assert fmt(None) == "-"
+    assert fmt(0.0) == "0"
+    assert fmt(1234567.0) == "1.23e+06"
+    assert fmt(12.5) == "12.5"
+    assert fmt("x") == "x"
+    assert fmt(3) == "3"
+
+
+def test_render_table_alignment_and_title():
+    out = render_table(["a", "long header"], [[1, 2], [333, 4]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "long header" in lines[2]
+    widths = {len(l) for l in lines[2:]}
+    assert len(widths) == 1  # all rows equal width

@@ -1,0 +1,133 @@
+"""Baselines: recompute, scan ablation, analytic models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.models import RELATED_WORK, evaluate_table
+from repro.baselines.recompute import RecomputeMSF
+from repro.baselines.scan import ScanDynamicMSF
+from repro.core.audit import audit
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.reference.oracle import KruskalOracle
+from repro.workloads import churn, drive
+
+
+def test_recompute_matches_oracle():
+    rng = random.Random(1)
+    rec = RecomputeMSF(10)
+    orc = KruskalOracle()
+    live = {}
+    for _ in range(80):
+        if live and rng.random() < 0.4:
+            eid = rng.choice(list(live))
+            del live[eid]
+            rec.delete_edge(eid)
+            orc.delete(eid)
+        else:
+            u, v = rng.sample(range(10), 2)
+            w = round(rng.uniform(0, 50), 6)
+            eid = rec.insert_edge(u, v, w)
+            orc.insert(u, v, w, eid)
+            live[eid] = 1
+        assert rec.msf_ids() == orc.msf_ids()
+    assert rec.connected(0, 1) == orc.connected(0, 1)
+    assert rec.ops.total > 0
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_scan_engine_matches_oracle_and_seq(seed):
+    n = 20
+    scan = ScanDynamicMSF(n, K=8)
+    seq = SparseDynamicMSF(n, K=8)
+    orc = KruskalOracle()
+    handles_scan = {}
+    handles_seq = {}
+    idx = 0
+    for op in churn(n, 120, seed=seed, max_degree=3):
+        if op[0] == "ins":
+            _t, u, v, w = op
+            es = scan.insert_edge(u, v, w, eid=10_000 + idx)
+            eq = seq.insert_edge(u, v, w, eid=10_000 + idx)
+            orc.insert(u, v, w, 10_000 + idx)
+            handles_scan[idx] = es
+            handles_seq[idx] = eq
+        else:
+            ref = op[1]
+            orc.delete(handles_scan[ref].eid)
+            scan.delete_edge(handles_scan.pop(ref))
+            seq.delete_edge(handles_seq.pop(ref))
+        idx += 1
+        audit(scan, lsds=False)
+        assert {e.eid for e in scan.msf_edges()} == orc.msf_ids()
+        assert ({e.eid for e in scan.msf_edges()}
+                == {e.eid for e in seq.msf_edges()})
+
+
+def test_scan_costs_exceed_lsds_costs_on_mwr():
+    """The ablation pays O(J^2) per long/long MWR vs the LSDS's O(J + K):
+    on adversarial mid-tree cuts of one large tree, its query ops dominate."""
+    from repro.workloads import adversarial_cuts
+
+    n = 512
+    K = 16
+    scan = ScanDynamicMSF(n, K=K)
+    seq = SparseDynamicMSF(n, K=K)
+    ops = list(adversarial_cuts(n, rounds=30, seed=7))
+    hs, hq = {}, {}
+    idx = 0
+    for op in ops:
+        if op[0] == "ins":
+            _t, u, v, w = op
+            hs[idx] = scan.insert_edge(u, v, w, eid=50_000 + idx)
+            hq[idx] = seq.insert_edge(u, v, w, eid=50_000 + idx)
+        else:
+            scan.delete_edge(hs.pop(op[1]))
+            seq.delete_edge(hq.pop(op[1]))
+        idx += 1
+        assert ({e.eid for e in scan.msf_edges()}
+                == {e.eid for e in seq.msf_edges()})
+    scan_mwr = sum(v for k, v in scan.ops.counts.items()
+                   if k.startswith("scan_"))
+    seq_mwr = sum(v for k, v in seq.ops.counts.items() if k.startswith("mwr_"))
+    assert scan_mwr > 2 * seq_mwr, (scan_mwr, seq_mwr)
+
+
+def test_related_work_table_evaluates():
+    rows = evaluate_table(4096)
+    names = {r["name"] for r in rows}
+    assert "This paper (KPR 2018)" in names
+    assert len(rows) == len(RELATED_WORK)
+    # headline claim: strictly less work than Ferragina asymptotically
+    # (sqrt(n) log n < n^(2/3) log(m/n) needs log n < n^(1/6): the unit-
+    # constant crossover sits around n ~ 2^36 -- reported in EXPERIMENTS.md)
+    big = evaluate_table(2 ** 40)
+    ours = next(r for r in big if r["name"] == "This paper (KPR 2018)")
+    ferr = next(r for r in big if r["name"] == "Ferragina 1995")
+    assert ours["work"] < ferr["work"]
+    assert ours["time"] == ferr["time"]  # both O(log n)
+
+
+def test_related_work_crossover_position():
+    """Find the unit-constant n where this paper's work undercuts
+    Ferragina's -- a shape datum recorded in EXPERIMENTS.md (T1)."""
+    lo = None
+    for p in range(8, 60, 2):
+        rows = evaluate_table(2 ** p)
+        ours = next(r for r in rows if "KPR" in r["name"])["work"]
+        ferr = next(r for r in rows if "Ferragina" in r["name"])["work"]
+        if ours < ferr:
+            lo = p
+            break
+    assert lo is not None and 20 <= lo <= 36, lo  # measured: n ~= 2^26
+
+
+def test_models_shapes_at_scale():
+    small = evaluate_table(2 ** 10)
+    big = evaluate_table(2 ** 20)
+    ours_s = next(r for r in small if "KPR" in r["name"])["work"]
+    ours_b = next(r for r in big if "KPR" in r["name"])["work"]
+    # sqrt-law: work grows ~ 2^5 across 2^10 growth of n (log factor aside)
+    assert 25 < ours_b / ours_s < 70

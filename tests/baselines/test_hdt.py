@@ -1,0 +1,162 @@
+"""HDT amortized MSF vs. the Kruskal oracle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.hdt import HDTMsf
+from repro.reference.oracle import KruskalOracle
+
+
+def check(eng: HDTMsf, orc: KruskalOracle) -> None:
+    assert eng.msf_ids() == orc.msf_ids()
+    assert eng.msf_weight() == pytest.approx(orc.msf_weight())
+
+
+def test_basic_tree_building():
+    eng = HDTMsf(5)
+    orc = KruskalOracle()
+    ids = []
+    for u, v, w in [(0, 1, 3.0), (1, 2, 1.0), (2, 3, 2.0), (3, 4, 5.0)]:
+        eid = eng.insert_edge(u, v, w)
+        orc.insert(u, v, w, eid)
+        ids.append(eid)
+        check(eng, orc)
+    assert eng.connected(0, 4)
+    eng.delete_edge(ids[1])
+    orc.delete(ids[1])
+    check(eng, orc)
+    assert not eng.connected(0, 4)
+
+
+def test_cycle_and_replacement():
+    eng = HDTMsf(4)
+    orc = KruskalOracle()
+    ids = {}
+    for u, v, w in [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0),
+                    (0, 2, 9.0)]:
+        eid = eng.insert_edge(u, v, w)
+        ids[(u, v)] = eid
+        orc.insert(u, v, w, eid)
+    check(eng, orc)
+    # deleting 1-2 must pull in 3-0 (w=4), not 0-2 (w=9)
+    eng.delete_edge(ids[(1, 2)])
+    orc.delete(ids[(1, 2)])
+    check(eng, orc)
+    assert ids[(3, 0)] in eng.msf_ids()
+
+
+def test_lighter_insert_displaces():
+    eng = HDTMsf(3)
+    orc = KruskalOracle()
+    a = eng.insert_edge(0, 1, 5.0)
+    b = eng.insert_edge(1, 2, 6.0)
+    orc.insert(0, 1, 5.0, a)
+    orc.insert(1, 2, 6.0, b)
+    c = eng.insert_edge(0, 2, 1.0)
+    orc.insert(0, 2, 1.0, c)
+    check(eng, orc)
+    assert b not in eng.msf_ids()
+
+
+def test_self_loops_and_parallel():
+    eng = HDTMsf(3)
+    orc = KruskalOracle()
+    loop = eng.insert_edge(1, 1, 0.1)
+    a = eng.insert_edge(0, 1, 2.0)
+    b = eng.insert_edge(0, 1, 1.0)
+    orc.insert(0, 1, 2.0, a)
+    orc.insert(0, 1, 1.0, b)
+    check(eng, orc)
+    eng.delete_edge(b)
+    orc.delete(b)
+    check(eng, orc)
+    eng.delete_edge(loop)
+    check(eng, orc)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_churn_vs_oracle(seed):
+    rng = random.Random(seed)
+    n = 20
+    eng = HDTMsf(n)
+    orc = KruskalOracle()
+    live = []
+    for step in range(200):
+        if live and rng.random() < 0.45:
+            eid = live.pop(rng.randrange(len(live)))
+            eng.delete_edge(eid)
+            orc.delete(eid)
+        else:
+            u, v = rng.sample(range(n), 2)
+            w = round(rng.uniform(0, 100), 6)
+            eid = eng.insert_edge(u, v, w)
+            orc.insert(u, v, w, eid)
+            live.append(eid)
+        if step % 4 == 0:
+            check(eng, orc)
+    check(eng, orc)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**9))
+def test_hypothesis_churn_with_ties(seed):
+    rng = random.Random(seed)
+    n = 12
+    eng = HDTMsf(n)
+    orc = KruskalOracle()
+    live = []
+    for _ in range(90):
+        if live and rng.random() < 0.45:
+            eid = live.pop(rng.randrange(len(live)))
+            eng.delete_edge(eid)
+            orc.delete(eid)
+        else:
+            u, v = rng.sample(range(n), 2)
+            w = float(rng.randint(0, 5))
+            eid = eng.insert_edge(u, v, w)
+            orc.insert(u, v, w, eid)
+            live.append(eid)
+    check(eng, orc)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_nontree_level_invariant(seed):
+    """Every non-tree edge's endpoints stay connected in F_{level} -- the
+    invariant the replacement search's correctness rests on."""
+    rng = random.Random(1000 + seed)
+    n = 16
+    eng = HDTMsf(n)
+    live = []
+    for _ in range(150):
+        if live and rng.random() < 0.45:
+            eng.delete_edge(live.pop(rng.randrange(len(live))))
+        else:
+            u, v = rng.sample(range(n), 2)
+            live.append(eng.insert_edge(u, v, float(rng.randint(0, 6))))
+        for e in eng.edges.values():
+            if not e.is_tree and e.u != e.v:
+                assert eng.forests[e.level].connected(e.u, e.v)
+
+
+def test_level_invariant_respected():
+    """Edge levels stay within 0..L and F_i component sizes <= n/2^i."""
+    rng = random.Random(11)
+    n = 32
+    eng = HDTMsf(n)
+    live = []
+    for _ in range(400):
+        if live and rng.random() < 0.5:
+            eng.delete_edge(live.pop(rng.randrange(len(live))))
+        else:
+            u, v = rng.sample(range(n), 2)
+            live.append(eng.insert_edge(u, v, rng.uniform(0, 1)))
+    for e in eng.edges.values():
+        assert 0 <= e.level <= eng.L + 1
+    for i, forest in enumerate(eng.forests[:eng.L + 1]):
+        for v in range(n):
+            assert forest.size(v) <= max(1, n >> i) + 1

@@ -1,0 +1,48 @@
+"""The structure-dump debugging helpers."""
+
+from __future__ import annotations
+
+from repro.core.debug import cadj_entries, describe_list, dump_state
+from repro.core.model import INF_KEY
+from repro.core.seq_msf import SparseDynamicMSF
+
+
+def _engine():
+    eng = SparseDynamicMSF(24, K=8)
+    for i in range(20):
+        eng.insert_edge(i, i + 1, float(i), eid=100 + i)
+    eng.insert_edge(0, 5, 99.0, eid=300)
+    return eng
+
+
+def test_dump_state_mentions_structure():
+    eng = _engine()
+    text = dump_state(eng)
+    assert "K=8" in text
+    assert "chunk id=" in text
+    assert "LSDS shape" in text
+    assert "C matrix" in text
+
+
+def test_describe_list_marks_principals():
+    eng = _engine()
+    lst = eng.fabric.list_of(eng.vertices[0].pc.chunk)
+    text = describe_list(eng, lst)
+    assert "v0*" in text  # principal copies are starred
+    assert "long" in text
+
+
+def test_cadj_entries_match_matrix():
+    eng = _engine()
+    space = eng.fabric.space
+    entries = cadj_entries(eng)
+    assert entries, "a 21-edge long list must have finite entries"
+    for i, j, key in entries:
+        assert space.C[i, j] == key != INF_KEY
+        assert space.C[j, i] == key  # symmetry
+
+
+def test_dump_on_empty_engine():
+    eng = SparseDynamicMSF(4, K=8)
+    text = dump_state(eng)
+    assert "edges=0" in text

@@ -1,0 +1,158 @@
+"""Degree reducer: arbitrary-degree graphs on the degree-3 core."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.audit import audit
+from repro.core.degree import DegreeReducer
+from repro.reference.oracle import KruskalOracle
+
+
+def check(red: DegreeReducer, orc: KruskalOracle) -> None:
+    audit(red.core)
+    assert red.msf_ids() == orc.msf_ids()
+    assert red.msf_weight() == pytest.approx(orc.msf_weight())
+
+
+def test_star_graph_high_degree():
+    n = 12
+    red = DegreeReducer(n, max_edges=32)
+    orc = KruskalOracle()
+    eids = []
+    for i in range(1, n):  # center degree 11 >> 3
+        eid = red.insert_edge(0, i, float(i))
+        orc.insert(0, i, float(i), eid)
+        eids.append(eid)
+        check(red, orc)
+    assert red.degree(0) == n - 1
+    for eid in eids[::2]:
+        red.delete_edge(eid)
+        orc.delete(eid)
+        check(red, orc)
+
+
+def test_self_loops_ignored():
+    red = DegreeReducer(4, max_edges=8)
+    orc = KruskalOracle()
+    loop = red.insert_edge(2, 2, 1.0)
+    assert red.msf_ids() == set()
+    e = red.insert_edge(0, 1, 2.0)
+    orc.insert(0, 1, 2.0, e)
+    check(red, orc)
+    red.delete_edge(loop)
+    check(red, orc)
+
+
+def test_parallel_edges_high_multiplicity():
+    red = DegreeReducer(2, max_edges=16)
+    orc = KruskalOracle()
+    eids = []
+    for i in range(10):
+        eid = red.insert_edge(0, 1, 10.0 - i)
+        orc.insert(0, 1, 10.0 - i, eid)
+        eids.append(eid)
+        check(red, orc)
+    # the lightest (last inserted) is the tree edge
+    assert red.msf_ids() == {eids[-1]}
+    red.delete_edge(eids[-1])
+    orc.delete(eids[-1])
+    check(red, orc)
+    assert red.msf_ids() == {eids[-2]}
+
+
+def test_gadget_pool_does_not_leak_under_moving_hotspot():
+    """Churn that moves a high-degree hotspot across vertices must reuse
+    gadget nodes (the compaction invariant)."""
+    n = 10
+    red = DegreeReducer(n, max_edges=6)
+    orc = KruskalOracle()
+    for center in range(n):
+        eids = []
+        for j in range(1, 6):
+            other = (center + j) % n
+            eid = red.insert_edge(center, other, float(j) + center * 0.01)
+            orc.insert(center, other, float(j) + center * 0.01, eid)
+            eids.append(eid)
+        check(red, orc)
+        for eid in eids:
+            red.delete_edge(eid)
+            orc.delete(eid)
+        check(red, orc)
+    # all chains compact again
+    for chain in red.chains:
+        assert len(chain.nodes) == 1
+
+
+def test_connected_queries():
+    red = DegreeReducer(6, max_edges=12)
+    a = red.insert_edge(0, 1, 1.0)
+    red.insert_edge(1, 2, 2.0)
+    assert red.connected(0, 2)
+    assert not red.connected(0, 3)
+    red.delete_edge(a)
+    assert not red.connected(0, 2)
+    assert red.connected(1, 2)
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_churn_unbounded_degree(seed):
+    rng = random.Random(seed)
+    n = 14
+    red = DegreeReducer(n, max_edges=40, K=8)
+    orc = KruskalOracle()
+    live = {}  # eid -> is_self_loop
+    for step in range(150):
+        if live and rng.random() < 0.45:
+            eid = rng.choice(list(live))
+            red.delete_edge(eid)
+            if not live.pop(eid):
+                orc.delete(eid)
+        elif len(live) < 40:
+            u = rng.randrange(n)
+            v = rng.randrange(n)  # self-loops included on purpose
+            w = round(rng.uniform(0, 50), 6)
+            eid = red.insert_edge(u, v, w)
+            if u != v:
+                orc.insert(u, v, w, eid)
+            live[eid] = u == v
+        if step % 5 == 0:
+            check(red, orc)
+    check(red, orc)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 10**9))
+def test_hypothesis_churn_degree(seed):
+    rng = random.Random(seed)
+    n = 8
+    red = DegreeReducer(n, max_edges=20, K=8)
+    orc = KruskalOracle()
+    live = {}
+    for _ in range(60):
+        if live and rng.random() < 0.5:
+            eid = rng.choice(list(live))
+            red.delete_edge(eid)
+            if not live.pop(eid):
+                orc.delete(eid)
+        elif len(live) < 20:
+            u, v = rng.randrange(n), rng.randrange(n)
+            w = round(rng.uniform(0, 9), 6)
+            eid = red.insert_edge(u, v, w)
+            if u != v:
+                orc.insert(u, v, w, eid)
+            live[eid] = u == v
+    check(red, orc)
+
+
+def test_pool_exhaustion_raises():
+    red = DegreeReducer(2, max_edges=2)
+    red.insert_edge(0, 1, 1.0)
+    red.insert_edge(0, 1, 2.0)
+    with pytest.raises(RuntimeError, match="max_edges"):
+        for i in range(10):
+            red.insert_edge(0, 1, 3.0 + i)

@@ -1,0 +1,95 @@
+"""DynamicMSF facade: all engine/sparsify combinations against the oracle."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import DynamicMSF
+from repro.reference.oracle import KruskalOracle
+
+
+def doctest_facade():
+    import doctest
+
+    import repro.core.msf as m
+    results = doctest.testmod(m)
+    assert results.failed == 0
+
+
+def test_docstring_example_runs():
+    doctest_facade()
+
+
+CONFIGS = [
+    dict(engine="sequential"),
+    dict(engine="sequential", K=8),
+    dict(engine="parallel"),
+    dict(engine="sequential", sparsify=True),
+]
+
+
+@pytest.mark.parametrize("cfg", CONFIGS,
+                         ids=["seq", "seq-k8", "par", "sparsified"])
+def test_facade_churn_matches_oracle(cfg):
+    rng = random.Random(42)
+    n = 12
+    msf = DynamicMSF(n, max_edges=40, **cfg)
+    orc = KruskalOracle()
+    live = {}
+    for _ in range(90):
+        if live and rng.random() < 0.45:
+            eid = rng.choice(list(live))
+            msf.delete_edge(eid)
+            if not live.pop(eid):
+                orc.delete(eid)
+        else:
+            u, v = rng.randrange(n), rng.randrange(n)
+            w = round(rng.uniform(0, 100), 6)
+            eid = msf.insert_edge(u, v, w)
+            live[eid] = u == v
+            if u != v:
+                orc.insert(u, v, w, eid)
+        assert msf.msf_ids() == orc.msf_ids()
+    assert msf.msf_weight() == pytest.approx(orc.msf_weight())
+    assert msf.edge_count() == len(live)
+
+
+def test_parallel_facade_exposes_stats():
+    msf = DynamicMSF(6, engine="parallel")
+    msf.insert_edge(0, 1, 1.0)
+    msf.insert_edge(1, 2, 2.0)
+    assert msf.machine.total.violations == 0
+    assert len(msf.update_stats) >= 2
+
+
+def test_sequential_facade_exposes_ops():
+    msf = DynamicMSF(6)
+    msf.insert_edge(0, 1, 1.0)
+    assert msf.ops.total > 0
+
+
+def test_engine_validation():
+    with pytest.raises(AssertionError):
+        DynamicMSF(4, engine="quantum")
+
+
+def test_sparsified_parallel_composition():
+    """Theorem 1.1 end-to-end through the facade."""
+    msf = DynamicMSF(8, engine="parallel", sparsify=True)
+    orc = KruskalOracle()
+    rng = random.Random(9)
+    live = []
+    for _ in range(25):
+        u, v = rng.sample(range(8), 2)
+        w = round(rng.uniform(0, 9), 6)
+        live.append(msf.insert_edge(u, v, w))
+        orc.insert(u, v, w, live[-1])
+    assert msf.msf_ids() == orc.msf_ids()
+    msf.delete_edge(live[0])
+    orc.delete(live[0])
+    assert msf.msf_ids() == orc.msf_ids()
+    assert msf._impl.erew_violations() == 0
+    cost = msf._impl.parallel_cost_of_last_update()
+    assert cost["measured"] is True

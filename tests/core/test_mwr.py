@@ -1,0 +1,140 @@
+"""MWR search cases: long/long, short/long, short/short, none found."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import mwr
+from repro.core.audit import audit
+from repro.core.seq_msf import SparseDynamicMSF
+
+
+def test_mwr_long_long_picks_global_min():
+    """Two long path components joined by several candidate edges."""
+    n = 80
+    eng = SparseDynamicMSF(n, K=8)
+    for i in range(39):  # light path edges
+        eng.insert_edge(i, i + 1, 0.01 * i, eid=1000 + i)
+    for i in range(40, 79):
+        eng.insert_edge(i, i + 1, 0.01 * i, eid=2000 + i)
+    bridge = eng.insert_edge(10, 50, 5.0, eid=3000)   # becomes tree
+    cands = [eng.insert_edge(20, 60, 7.5, eid=3001),
+             eng.insert_edge(30, 70, 6.25, eid=3002),
+             eng.insert_edge(5, 45, 9.0, eid=3003)]
+    audit(eng)
+    assert bridge.is_tree and not any(c.is_tree for c in cands)
+    replacement = eng.delete_edge(bridge)
+    assert replacement is cands[1]  # 6.25 is the lightest crossing edge
+    audit(eng)
+
+
+def test_mwr_short_short():
+    eng = SparseDynamicMSF(8, K=16)
+    t = eng.insert_edge(0, 1, 1.0)
+    c1 = eng.insert_edge(0, 1, 3.0)
+    c2 = eng.insert_edge(0, 1, 2.0)
+    replacement = eng.delete_edge(t)
+    assert replacement is c2
+    audit(eng)
+
+
+def test_mwr_short_vs_long():
+    n = 60
+    eng = SparseDynamicMSF(n, K=10)
+    for i in range(40):  # long component 0..40, light edges
+        eng.insert_edge(i, i + 1, 0.01 * i, eid=1000 + i)
+    # vertex 50 hangs off the long component by a tree edge + two backups
+    t = eng.insert_edge(50, 7, 0.5, eid=2000)
+    b1 = eng.insert_edge(50, 20, 4.0, eid=2001)
+    b2 = eng.insert_edge(50, 33, 3.0, eid=2002)
+    assert t.is_tree
+    lu_is_short = True  # singleton side after the cut
+    replacement = eng.delete_edge(t)
+    assert replacement is b2
+    audit(eng)
+    del lu_is_short
+
+
+def test_mwr_none_when_disconnected():
+    eng = SparseDynamicMSF(30, K=8)
+    handles = [eng.insert_edge(i, i + 1, float(i)) for i in range(20)]
+    assert eng.delete_edge(handles[10]) is None
+    assert not eng.connected(0, 20)
+    audit(eng)
+
+
+def test_mwr_direct_call_between_disconnected_lists():
+    """find_mwr between two standing lists with no crossing edge is None
+    (a crossing edge cannot exist between standing trees -- inserting one
+    would have merged them), and the lighter crossing insert wins swaps."""
+    eng = SparseDynamicMSF(60, K=8)
+    for i in range(25):
+        eng.insert_edge(i, i + 1, 0.01 * i)
+    for i in range(30, 55):
+        eng.insert_edge(i, i + 1, 0.01 * i)
+    lu = eng.fabric.list_of(eng.vertices[0].pc.chunk)
+    lv = eng.fabric.list_of(eng.vertices[40].pc.chunk)
+    assert lu is not lv
+    assert mwr.find_mwr(eng.fabric, lu, lv) is None
+    x = eng.insert_edge(3, 40, 2.25)
+    y = eng.insert_edge(12, 52, 2.125)  # lighter: displaces x via the cycle
+    assert y.is_tree and not x.is_tree
+    audit(eng)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_mwr_always_minimum_under_churn(seed):
+    """Every replacement returned equals the brute-force minimum crossing
+    edge at deletion time."""
+    rng = random.Random(seed)
+    n = 30
+    eng = SparseDynamicMSF(n, K=8)
+    live = {}
+    for step in range(140):
+        if live and rng.random() < 0.5:
+            eid = rng.choice(list(live))
+            e = live.pop(eid)
+            was_tree = e.is_tree
+            if was_tree:
+                # brute-force expected minimum replacement
+                comp = _component(eng, e)
+                expect = None
+                for f in eng.edges.values():
+                    if f is e or f.is_tree:
+                        continue
+                    if (f.u.vid in comp) != (f.v.vid in comp):
+                        if expect is None or f.key < expect.key:
+                            expect = f
+                got = eng.delete_edge(e)
+                assert got is expect, (got, expect)
+            else:
+                eng.delete_edge(e)
+        else:
+            for _ in range(40):
+                u, v = rng.sample(range(n), 2)
+                if eng.degree(u) < 3 and eng.degree(v) < 3:
+                    break
+            else:
+                continue
+            e = eng.insert_edge(u, v, round(rng.uniform(0, 50), 6))
+            live[e.eid] = e
+
+
+def _component(eng, tree_edge):
+    """Vertices on tree_edge.u's side after removing tree_edge (brute)."""
+    adj = {}
+    for f in eng.edges.values():
+        if f.is_tree and f is not tree_edge:
+            adj.setdefault(f.u.vid, []).append(f.v.vid)
+            adj.setdefault(f.v.vid, []).append(f.u.vid)
+    seen = {tree_edge.u.vid}
+    stack = [tree_edge.u.vid]
+    while stack:
+        x = stack.pop()
+        for y in adj.get(x, ()):
+            if y not in seen:
+                seen.add(y)
+                stack.append(y)
+    return seen

@@ -1,0 +1,212 @@
+"""Kernel-level tests: each PRAM kernel reproduces its sequential twin."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.model import INF_KEY
+from repro.core.par import kernels as kn
+from repro.core.par.engine import ParallelDynamicMSF
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.pram.machine import Machine
+
+
+def build_par_engine(n=64, K=8, edges=None):
+    eng = ParallelDynamicMSF(n, K=K)
+    if edges is None:
+        edges = [(i, i + 1, 0.1 * i) for i in range(n - 1)]
+    for k, (u, v, w) in enumerate(edges):
+        eng.insert_edge(u, v, w, eid=40_000 + k)
+    return eng
+
+
+def test_get_edge_assignments_cover_every_endpoint():
+    eng = build_par_engine(48)
+    space = eng.fabric.space
+    machine = eng.machine
+    for lst in eng.fabric.registry.long_lists:
+        for chunk in lst.chunks():
+            assign, stats = kn.get_edge_assignments(machine, chunk)
+            assert stats.violations == 0
+            assert len(assign) == chunk.n_edges
+            # the multiset of (occurrence, slot) pairs equals the direct
+            # enumeration in chunk order
+            direct = []
+            for occ in chunk.occurrences():
+                if occ.is_principal:
+                    for slot in range(occ.vertex.degree()):
+                        direct.append((occ, slot))
+            assert assign == direct
+
+
+def test_get_edge_depth_logarithmic_in_K():
+    eng_small = build_par_engine(40, K=8)
+    eng_big = build_par_engine(160, K=32)
+    def max_depth(eng):
+        worst = 0
+        for lst in eng.fabric.registry.long_lists:
+            for chunk in lst.chunks():
+                if chunk.n_edges:
+                    _a, s = kn.get_edge_assignments(eng.machine, chunk)
+                    worst = max(worst, s.depth)
+        return worst
+    d1, d2 = max_depth(eng_small), max_depth(eng_big)
+    assert d2 <= d1 + 8 * math.ceil(math.log2(4)) + 16
+
+
+def test_rebuild_row_kernel_matches_sequential_scan():
+    """Kernel row rebuild == the sequential O(K)-scan rebuild."""
+    eng = build_par_engine(64)
+    space = eng.fabric.space
+    for lst in eng.fabric.registry.long_lists:
+        for chunk in lst.chunks():
+            row_before = space.C[chunk.id].copy()
+            # recompute with the kernel
+            kn.rebuild_row_kernel(eng.machine, space, chunk)
+            row_kernel = space.C[chunk.id].copy()
+            # recompute with the sequential scan (super's implementation)
+            from repro.core.chunks import ChunkSpace
+            ChunkSpace.rebuild_row(space, chunk)
+            row_seq = space.C[chunk.id].copy()
+            assert (row_kernel == row_seq).all()
+            assert (row_before == row_seq).all()
+
+
+def test_entry_pair_kernel_matches_sequential():
+    eng = build_par_engine(64)
+    space = eng.fabric.space
+    lst = next(iter(eng.fabric.registry.long_lists))
+    chunks = list(lst.chunks())
+    a, b = chunks[0], chunks[-1]
+    kn.entry_pair_kernel(eng.machine, space, a, b)
+    got = space.C[a.id, b.id]
+    from repro.core.chunks import ChunkSpace
+    ChunkSpace.entry_recompute_pair(space, a, b)
+    assert space.C[a.id, b.id] == got
+
+
+def test_path_refresh_kernel_matches_host_pull():
+    eng = build_par_engine(96, K=8)
+    space = eng.fabric.space
+    lst = next(iter(eng.fabric.registry.long_lists))
+    leaf = lst.first_chunk().leaf
+    # corrupt every internal aggregate, then refresh via the kernel
+    node = leaf.parent
+    while node is not None:
+        node.agg[0].fill((-9.0, 9))
+        node.agg[1].fill(True)
+        node = node.parent
+    stats = kn.path_refresh_kernel(eng.machine, space, leaf)
+    assert stats.violations == 0
+    # compare against a full host recompute
+    from repro.core.lsds import make_pull, node_cadj, node_memb
+    pull = make_pull(space)
+    node = leaf.parent
+    while node is not None:
+        got_c = node.agg[0].copy()
+        got_m = node.agg[1].copy()
+        pull(node)
+        assert (node.agg[0] == got_c).all()
+        assert (node.agg[1] == got_m).all()
+        node = node.parent
+
+
+def test_column_sweep_kernel_matches_sequential_sweep():
+    eng = build_par_engine(96, K=8)
+    space = eng.fabric.space
+    registry = eng.fabric.registry
+    lst = next(iter(registry.long_lists))
+    j = lst.first_chunk().id
+    # corrupt column j everywhere, sweep, verify against sequential sweep
+    for l2 in registry.long_lists:
+        for node in _internal_nodes(l2.root):
+            node.agg[0][j] = (-7.0, 7)
+            node.agg[1][j] = True
+    roots = [l2.root for l2 in registry.long_lists]
+    stats = kn.column_sweep_kernel(eng.machine, space, roots, j)
+    assert stats.violations == 0
+    from repro.core.lsds import ListRegistry
+    got = {id(n): (n.agg[0][j], bool(n.agg[1][j]))
+           for l2 in registry.long_lists for n in _internal_nodes(l2.root)}
+    ListRegistry.refresh_column(registry, j)
+    for l2 in registry.long_lists:
+        for n in _internal_nodes(l2.root):
+            assert got[id(n)] == (n.agg[0][j], bool(n.agg[1][j]))
+
+
+def _internal_nodes(root):
+    from repro.structures import two_three_tree as tt
+    return [n for n in tt.iter_nodes(root) if not n.is_leaf]
+
+
+def test_gamma_argmin_kernel_matches_numpy():
+    machine = Machine()
+    rng = random.Random(3)
+    Jcap = 37
+
+    class FakeSpace:
+        pass
+
+    space = FakeSpace()
+    space.Jcap = Jcap
+    cadj = np.empty(Jcap, dtype=object)
+    cadj.fill(INF_KEY)
+    memb = np.zeros(Jcap, dtype=bool)
+    for j in rng.sample(range(Jcap), 20):
+        cadj[j] = (rng.random(), j)
+    for j in rng.sample(range(Jcap), 18):
+        memb[j] = True
+    winner, stats = kn.gamma_argmin_kernel(machine, space, cadj, memb)
+    assert stats.violations == 0
+    masked = [(cadj[j], j) for j in range(Jcap)
+              if memb[j] and cadj[j] != INF_KEY]
+    if masked:
+        exp_key, exp_j = min(masked)
+        assert winner == (exp_key, exp_j)
+    else:
+        assert winner is None
+
+
+def test_gamma_argmin_all_masked_returns_none():
+    machine = Machine()
+
+    class FakeSpace:
+        Jcap = 8
+
+    cadj = np.empty(8, dtype=object)
+    cadj.fill(INF_KEY)
+    cadj[2] = (1.0, 2)
+    memb = np.zeros(8, dtype=bool)  # nothing in L2
+    winner, _ = kn.gamma_argmin_kernel(machine, FakeSpace(), cadj, memb)
+    assert winner is None
+
+
+def test_parallel_mwr_equals_sequential_mwr():
+    """Drive identical streams; the chosen replacements coincide, which
+    pins the gamma/verify kernels to Lemma 2.4's sequential algorithm."""
+    rng = random.Random(5)
+    n = 24
+    par = ParallelDynamicMSF(n, K=8)
+    seq = SparseDynamicMSF(n, K=8)
+    hp, hs = {}, {}
+    for step in range(120):
+        if hp and rng.random() < 0.5:
+            k = rng.choice(list(hp))
+            rp = par.delete_edge(hp.pop(k))
+            rs = seq.delete_edge(hs.pop(k))
+            assert (rp.eid if rp else None) == (rs.eid if rs else None)
+        else:
+            for _ in range(40):
+                u, v = rng.sample(range(n), 2)
+                if par.degree(u) < 3 and par.degree(v) < 3:
+                    break
+            else:
+                continue
+            w = round(rng.uniform(0, 9), 6)
+            hp[step] = par.insert_edge(u, v, w, eid=70_000 + step)
+            hs[step] = seq.insert_edge(u, v, w, eid=70_000 + step)
+    assert par.machine.total.violations == 0

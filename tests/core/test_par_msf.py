@@ -1,0 +1,168 @@
+"""Parallel engine: oracle equivalence, cross-engine equality, EREW
+legality, and O(log n) depth measurements."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.audit import audit
+from repro.core.par import ParallelDynamicMSF
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.reference.oracle import KruskalOracle
+
+
+def check(engine, oracle):
+    audit(engine)
+    assert {e.eid for e in engine.msf_edges()} == oracle.msf_ids()
+    assert engine.machine.total.violations == 0
+
+
+def test_basic_insert_delete_parallel():
+    eng = ParallelDynamicMSF(6, K=8)
+    orc = KruskalOracle()
+    e1 = eng.insert_edge(0, 1, 3.0)
+    orc.insert(0, 1, 3.0, e1.eid)
+    e2 = eng.insert_edge(1, 2, 1.0)
+    orc.insert(1, 2, 1.0, e2.eid)
+    check(eng, orc)
+    assert eng.connected(0, 2)
+    eng.delete_edge(e1)
+    orc.delete(e1.eid)
+    check(eng, orc)
+    assert not eng.connected(0, 2)
+    assert len(eng.update_stats) == 3
+    assert all(s.depth > 0 for s in eng.update_stats)
+
+
+def test_replacement_found_in_parallel():
+    eng = ParallelDynamicMSF(4, K=8)
+    orc = KruskalOracle()
+    handles = {}
+    for u, v, w in [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0), (3, 0, 4.0)]:
+        e = eng.insert_edge(u, v, w)
+        handles[(u, v)] = e
+        orc.insert(u, v, w, e.eid)
+    check(eng, orc)
+    assert not handles[(3, 0)].is_tree
+    eng.delete_edge(handles[(1, 2)])
+    orc.delete(handles[(1, 2)].eid)
+    check(eng, orc)
+    assert handles[(3, 0)].is_tree
+
+
+def _drive(eng, orc, rng, steps, n, live=None, mirror=None):
+    live = {} if live is None else live
+    for _ in range(steps):
+        if live and (rng.random() < 0.45 or len(live) >= 1.4 * n):
+            eid = rng.choice(list(live))
+            eng.delete_edge(live.pop(eid))
+            orc.delete(eid)
+            if mirror is not None:
+                mirror.delete_between_eid(eid)
+        else:
+            for _ in range(40):
+                u, v = rng.sample(range(n), 2)
+                if eng.degree(u) < 3 and eng.degree(v) < 3:
+                    break
+            else:
+                continue
+            w = round(rng.uniform(0, 100), 6)
+            e = eng.insert_edge(u, v, w)
+            live[e.eid] = e
+            orc.insert(u, v, w, e.eid)
+            if mirror is not None:
+                mirror.insert(u, v, w, e.eid)
+    return live
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_parallel_random_churn_oracle(seed):
+    rng = random.Random(seed)
+    n = 18
+    eng = ParallelDynamicMSF(n, K=8)
+    orc = KruskalOracle()
+    live = {}
+    for step in range(70):
+        _drive(eng, orc, rng, 1, n, live)
+        if step % 3 == 0:
+            check(eng, orc)
+    check(eng, orc)
+
+
+class _SeqMirror:
+    """Replays the same stream on the sequential engine."""
+
+    def __init__(self, n, K):
+        self.eng = SparseDynamicMSF(n, K=K)
+        self.by_eid = {}
+
+    def insert(self, u, v, w, eid):
+        self.by_eid[eid] = self.eng.insert_edge(u, v, w, eid=eid)
+
+    def delete_between_eid(self, eid):
+        self.eng.delete_edge(self.by_eid.pop(eid))
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_parallel_matches_sequential_engine(seed):
+    """Identical op streams produce identical forests on both engines."""
+    rng = random.Random(500 + seed)
+    n = 16
+    par = ParallelDynamicMSF(n, K=8)
+    mirror = _SeqMirror(n, K=8)
+    orc = KruskalOracle()
+    _drive(par, orc, rng, 60, n, mirror=mirror)
+    par_forest = {e.eid for e in par.msf_edges()}
+    seq_forest = {e.eid for e in mirror.eng.msf_edges()}
+    assert par_forest == seq_forest == orc.msf_ids()
+    assert par.machine.total.violations == 0
+
+
+def test_no_erew_violations_across_workload():
+    rng = random.Random(99)
+    n = 24
+    eng = ParallelDynamicMSF(n, K=8)  # strict: any violation raises
+    orc = KruskalOracle()
+    _drive(eng, orc, rng, 120, n)
+    assert eng.machine.total.violations == 0
+    assert eng.machine.total.launches > 0
+
+
+def test_depth_is_logarithmic():
+    """Measured per-update depth grows like log n, not like sqrt n."""
+    depths = {}
+    for n in (64, 256, 1024):
+        rng = random.Random(7)
+        eng = ParallelDynamicMSF(n)
+        orc = KruskalOracle()
+        _drive(eng, orc, rng, 60, n)
+        worst = max(s.depth for s in eng.update_stats)
+        depths[n] = worst
+        # generous constant; the point is the log-like scale
+        assert worst <= 220 * math.log2(n), (n, worst)
+    # quadrupling n must not even double the worst-case depth
+    assert depths[1024] <= 2.0 * depths[64], depths
+
+
+def test_processors_scale_like_sqrt_n():
+    for n in (64, 256):
+        rng = random.Random(11)
+        eng = ParallelDynamicMSF(n)
+        orc = KruskalOracle()
+        _drive(eng, orc, rng, 50, n)
+        procs = max(s.processors for s in eng.update_stats)
+        # O(J + K) = O(sqrt n); allow the constant from Jcap = 5 sqrt(n) + 8
+        assert procs <= 30 * math.isqrt(n) + 64, (n, procs)
+
+
+def test_update_stats_cover_every_update():
+    eng = ParallelDynamicMSF(8, K=8)
+    e = eng.insert_edge(0, 1, 1.0)
+    eng.insert_edge(1, 2, 2.0)
+    eng.delete_edge(e)
+    assert len(eng.update_stats) == 3
+    labels = [s.label for s in eng.update_stats]
+    assert labels == ["insert", "insert", "delete"]

@@ -1,0 +1,80 @@
+"""Theorem 1.1 end-to-end: sparsification over the EREW PRAM engines.
+
+Section 5.3: per-level engines update independently, so the parallel
+general-graph update depth is the O(log n) walk plus the *max* measured
+per-level depth, with sum-of-sqrt processors.  Every level engine runs on
+a strict EREW machine, so the run itself is the legality proof.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.sparsify import SparsifiedMSF
+from repro.reference.oracle import KruskalOracle
+
+
+def test_parallel_sparsified_matches_oracle():
+    rng = random.Random(4)
+    n = 12
+    sp = SparsifiedMSF(n, parallel=True)
+    orc = KruskalOracle()
+    live = []
+    for step in range(80):
+        if live and rng.random() < 0.4:
+            eid = live.pop(rng.randrange(len(live)))
+            sp.delete_edge(eid)
+            orc.delete(eid)
+        else:
+            u, v = rng.sample(range(n), 2)
+            w = round(rng.uniform(0, 50), 6)
+            live.append(sp.insert_edge(u, v, w))
+            orc.insert(u, v, w, live[-1])
+        if step % 8 == 0:
+            assert sp.msf_ids() == orc.msf_ids()
+    assert sp.msf_ids() == orc.msf_ids()
+    assert sp.erew_violations() == 0
+
+
+def test_parallel_cost_composition_is_measured():
+    sp = SparsifiedMSF(16, parallel=True)
+    rng = random.Random(1)
+    for _ in range(30):
+        u, v = rng.sample(range(16), 2)
+        sp.insert_edge(u, v, rng.uniform(1.0, 10))
+    sp.insert_edge(0, 15, 0.5)  # must enter the MSF: touches every level
+    cost = sp.parallel_cost_of_last_update()
+    assert cost["measured"] is True
+    assert cost["depth"] >= math.ceil(math.log2(16))
+    assert cost["levels_touched"] >= 1
+    assert cost["processors"] > 0
+
+
+def test_parallel_depth_is_max_not_sum_of_levels():
+    """The composition takes max over levels (they run concurrently)."""
+    sp = SparsifiedMSF(16, parallel=True)
+    rng = random.Random(2)
+    eids = []
+    for _ in range(40):
+        u, v = rng.sample(range(16), 2)
+        eids.append(sp.insert_edge(u, v, rng.uniform(0, 10)))
+    # delete an MSF edge: propagates through several levels
+    target = sorted(sp.msf_ids())[0]
+    sp.delete_edge(target)
+    cost = sp.parallel_cost_of_last_update()
+    walk = math.ceil(math.log2(16))
+    per_level = [d for _l, _o, d in sp._last_levels]
+    assert cost["depth"] == walk + max(per_level)
+    assert cost["depth"] < walk + sum(per_level) or len(
+        [d for d in per_level if d]) <= 1
+
+
+def test_sequential_mode_reports_model_costs():
+    sp = SparsifiedMSF(16)
+    sp.insert_edge(0, 15, 1.0)
+    cost = sp.parallel_cost_of_last_update()
+    assert cost["measured"] is False
+    assert sp.erew_violations() == 0  # no machines at all

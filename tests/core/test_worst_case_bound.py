@@ -1,0 +1,69 @@
+"""Regression pin for the worst-case bounds (Theorems 1.2 / 3.1).
+
+The constants were measured once (E1/E2) and generous headroom added; if a
+change makes any single update exceed them, the *worst-case* guarantee --
+the paper's whole point -- regressed, even if amortized costs still look
+fine.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.par import ParallelDynamicMSF
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.workloads import adversarial_cuts, churn
+
+SEQ_C = 700      # measured ~223 x sqrt(n log n); 3x headroom
+PAR_DEPTH_C = 900  # measured ~320-410 x log2(n); ~2x headroom
+
+
+def _drive_seq(n, ops):
+    eng = SparseDynamicMSF(n)
+    handles = {}
+    idx = 0
+    bound = SEQ_C * math.sqrt(n * math.log2(n))
+    worst = 0
+    for op in ops:
+        eng.ops.mark()
+        if op[0] == "ins":
+            _t, u, v, w = op
+            handles[idx] = eng.insert_edge(u, v, w, eid=10_000 + idx)
+        else:
+            eng.delete_edge(handles.pop(op[1]))
+        cost = eng.ops.since_mark()
+        worst = max(worst, cost)
+        assert cost <= bound, (cost, bound, op)
+        idx += 1
+    return worst
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_every_sequential_update_within_bound_adversarial(n):
+    worst = _drive_seq(n, adversarial_cuts(n, rounds=25))
+    assert worst > 0
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_every_sequential_update_within_bound_churn(n):
+    _drive_seq(n, churn(n, 250, seed=3, max_degree=3))
+
+
+@pytest.mark.parametrize("n", [128, 512])
+def test_every_parallel_update_depth_within_bound(n):
+    eng = ParallelDynamicMSF(n)
+    handles = {}
+    idx = 0
+    for op in adversarial_cuts(n, rounds=10):
+        if op[0] == "ins":
+            _t, u, v, w = op
+            handles[idx] = eng.insert_edge(u, v, w, eid=10_000 + idx)
+        else:
+            eng.delete_edge(handles.pop(op[1]))
+        idx += 1
+    bound = PAR_DEPTH_C * math.log2(n)
+    for s in eng.update_stats:
+        assert s.depth <= bound, (s.depth, bound)
+    assert eng.machine.total.violations == 0

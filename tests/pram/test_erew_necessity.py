@@ -1,0 +1,121 @@
+"""Why the paper's EREW-specific machinery is necessary.
+
+Each test builds the *naive* version of a kernel access pattern (what a
+CREW algorithm would do) and shows the strict machine rejects it, next to
+the staggered / replicated / per-column pattern that passes.  This is the
+"other direction" of experiment E4: the checker isn't vacuous, and the
+paper's second/third data-structure changes (Section 3) are load-bearing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pram.machine import ErewViolation, Machine, Nop, Read, Write
+
+
+class Obj:
+    def __init__(self, **kw):
+        for k, v in kw.items():
+            setattr(self, k, v)
+
+
+def test_naive_shared_principal_read_violates():
+    """Two edge-processors of one vertex reading pc concurrently: the
+    situation the paper's staggering by adjacency slot avoids."""
+    vertex = Obj(pc="occ")
+
+    def naive(slot):
+        yield Read(("attr", vertex, "pc"))
+
+    m = Machine()
+    with pytest.raises(ErewViolation):
+        m.run([naive(0), naive(1)])
+
+
+def test_staggered_principal_read_passes():
+    vertex = Obj(pc="occ")
+
+    def staggered(slot):
+        for s in range(3):
+            if s == slot:
+                yield Read(("attr", vertex, "pc"))
+            else:
+                yield Nop()
+
+    m = Machine()
+    stats = m.run([staggered(0), staggered(1), staggered(2)])
+    assert stats.violations == 0
+    assert stats.depth == 3  # the stagger costs a constant factor only
+
+
+def test_shared_edge_record_violates_side_records_pass():
+    """Both endpoints reading one edge's weight cell concurrently fails;
+    per-side replicas (the SideRec pattern) are exclusive."""
+    edge = Obj(weight=3.5)
+    side_u = Obj(key=3.5)
+    side_v = Obj(key=3.5)
+
+    def shared():
+        yield Read(("attr", edge, "weight"))
+
+    m = Machine()
+    with pytest.raises(ErewViolation):
+        m.run([shared(), shared()])
+
+    def per_side(rec):
+        yield Read(("attr", rec, "key"))
+
+    stats = Machine().run([per_side(side_u), per_side(side_v)])
+    assert stats.violations == 0
+
+
+def test_single_lsds_vector_cell_is_the_bottleneck():
+    """The paper's third change (per-column S_j trees): J processors
+    hitting one shared aggregate cell violate EREW; giving each processor
+    its own column cell is clean."""
+    import numpy as np
+    vec = np.zeros(8, dtype=object)
+    m = Machine()
+    sid = m.mem.register(vec)
+
+    def all_read_cell0(j):
+        yield Read(("idx", sid, 0))
+
+    with pytest.raises(ErewViolation):
+        m.run([all_read_cell0(j) for j in range(4)])
+
+    m2 = Machine()
+    sid2 = m2.mem.register(vec)
+
+    def read_own_column(j):
+        yield Read(("idx", sid2, j))
+
+    stats = m2.run([read_own_column(j) for j in range(8)])
+    assert stats.violations == 0
+
+
+def test_crew_mode_accepts_what_erew_rejects():
+    """The Lemma 3.3 escape hatch: the same shared-read step is legal
+    under CREW, which is why the paper invokes the JaJa conversion."""
+    cell_owner = Obj(x=1)
+
+    def reader():
+        yield Read(("attr", cell_owner, "x"))
+
+    m = Machine()
+    stats = m.run([reader(), reader()], mode="crew")
+    assert stats.violations == 0
+    with pytest.raises(ErewViolation):
+        m.run([reader(), reader()], mode="erew")
+
+
+def test_concurrent_write_rejected_even_in_crew():
+    target = Obj(x=0)
+
+    def writer(v):
+        yield Write(("attr", target, "x"), v)
+
+    m = Machine(mode="crew")
+    with pytest.raises(ErewViolation):
+        m.run([writer(1), writer(2)])

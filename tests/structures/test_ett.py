@@ -1,0 +1,159 @@
+"""Euler-tour forest vs. a naive forest model."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import two_three_tree as tt
+from repro.structures.ett import EulerTourForest
+
+
+class NaiveForest:
+    def __init__(self, n):
+        self.adj = {v: set() for v in range(n)}
+
+    def link(self, u, v):
+        self.adj[u].add(v)
+        self.adj[v].add(u)
+
+    def cut(self, u, v):
+        self.adj[u].discard(v)
+        self.adj[v].discard(u)
+
+    def component(self, u):
+        seen = {u}
+        stack = [u]
+        while stack:
+            x = stack.pop()
+            for y in self.adj[x]:
+                if y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+        return seen
+
+
+def audit_tours(forest: EulerTourForest, naive: NaiveForest, n: int):
+    for v in range(n):
+        comp = naive.component(v)
+        assert forest.size(v) == len(comp)
+        for w in range(n):
+            assert forest.connected(v, w) == (w in comp)
+    # occurrence multiplicities and tour validity per component
+    roots = {id(forest.tree_root(v)): v for v in range(n)}
+    for rep in roots.values():
+        root = forest.tree_root(rep)
+        tt.validate(root)
+        occs = [lf.item for lf in tt.iter_leaves(root)]
+        comp = naive.component(rep)
+        mult = {}
+        for occ in occs:
+            mult[occ.vertex] = mult.get(occ.vertex, 0) + 1
+        for v in comp:
+            deg = len(naive.adj[v])
+            assert mult.get(v, 0) == max(1, deg), (v, mult.get(v), deg)
+        # cyclic adjacencies = tree edges
+        if len(occs) > 1:
+            pairs = list(zip(occs, occs[1:])) + [(occs[-1], occs[0])]
+            for a, b in pairs:
+                assert b.vertex in naive.adj[a.vertex]
+
+
+def test_basic_link_cut():
+    f = EulerTourForest(5)
+    naive = NaiveForest(5)
+    e1 = f.link(0, 1)
+    naive.link(0, 1)
+    e2 = f.link(1, 2)
+    naive.link(1, 2)
+    audit_tours(f, naive, 5)
+    f.cut(e1)
+    naive.cut(0, 1)
+    audit_tours(f, naive, 5)
+    f.cut(e2)
+    naive.cut(1, 2)
+    audit_tours(f, naive, 5)
+
+
+def test_sizes():
+    f = EulerTourForest(8)
+    edges = [f.link(i, i + 1) for i in range(7)]
+    assert f.size(0) == 8
+    f.cut(edges[3])
+    assert f.size(0) == 4 and f.size(7) == 4
+
+
+def test_vertex_flags():
+    f = EulerTourForest(6)
+    for i in range(5):
+        f.link(i, i + 1)
+    f.set_vertex_flag(2, True)
+    f.set_vertex_flag(4, True)
+    root = f.tree_root(0)
+    assert sorted(f.iter_flagged_vertices(root)) == [2, 4]
+    f.set_vertex_flag(2, False)
+    assert sorted(f.iter_flagged_vertices(f.tree_root(0))) == [4]
+
+
+def test_edge_markers():
+    f = EulerTourForest(6)
+    es = [f.link(i, i + 1) for i in range(5)]
+    f.set_edge_marker(es[1], True)
+    f.set_edge_marker(es[3], True)
+    got = {(e.u, e.v) for e in f.iter_marked_edges(f.tree_root(0))}
+    assert got == {(1, 2), (3, 4)}
+    f.set_edge_marker(es[1], False)
+    got = {(e.u, e.v) for e in f.iter_marked_edges(f.tree_root(0))}
+    assert got == {(3, 4)}
+    # cutting a marked edge clears its marker
+    f.set_edge_marker(es[3], True)
+    f.cut(es[3])
+    assert list(f.iter_marked_edges(f.tree_root(0))) == []
+
+
+def test_flags_survive_restructuring():
+    f = EulerTourForest(10)
+    naive = NaiveForest(10)
+    f.set_vertex_flag(7, True)
+    edges = {}
+    for i in range(9):
+        edges[i] = f.link(i, i + 1)
+        naive.link(i, i + 1)
+    assert list(f.iter_flagged_vertices(f.tree_root(0))) == [7]
+    f.cut(edges[4])
+    naive.cut(4, 5)
+    assert list(f.iter_flagged_vertices(f.tree_root(0))) == []
+    assert list(f.iter_flagged_vertices(f.tree_root(7))) == [7]
+    audit_tours(f, naive, 10)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10**9))
+def test_random_link_cut_model(seed):
+    rng = random.Random(seed)
+    n = 14
+    f = EulerTourForest(n)
+    naive = NaiveForest(n)
+    live = {}
+    for step in range(70):
+        if live and rng.random() < 0.4:
+            key = rng.choice(list(live))
+            f.cut(live.pop(key))
+            naive.cut(*key)
+        else:
+            u, v = rng.sample(range(n), 2)
+            if not f.connected(u, v):
+                key = (u, v) if u < v else (v, u)
+                live[key] = f.link(u, v)
+                naive.link(u, v)
+        if rng.random() < 0.3:
+            w = rng.randrange(n)
+            flag = rng.random() < 0.5
+            f.set_vertex_flag(w, flag)
+        if step % 7 == 0:
+            for v in rng.sample(range(n), 4):
+                comp = naive.component(v)
+                assert f.size(v) == len(comp)
+    audit_tours(f, naive, n)

@@ -1,0 +1,134 @@
+"""Link-cut forest vs. a naive adjacency-list forest oracle."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.link_cut import LCTNode, LinkCutForest
+
+
+class NaiveForest:
+    """Adjacency-list forest with DFS-based connectivity and path max."""
+
+    def __init__(self, n):
+        self.adj = {u: {} for u in range(n)}  # u -> v -> key
+
+    def link(self, u, v, key):
+        self.adj[u][v] = key
+        self.adj[v][u] = key
+
+    def cut(self, u, v):
+        del self.adj[u][v]
+        del self.adj[v][u]
+
+    def path(self, u, v):
+        """Vertex path u..v or None if disconnected."""
+        stack = [(u, [u])]
+        seen = {u}
+        while stack:
+            x, p = stack.pop()
+            if x == v:
+                return p
+            for y in self.adj[x]:
+                if y not in seen:
+                    seen.add(y)
+                    stack.append((y, p + [y]))
+        return None
+
+    def connected(self, u, v):
+        return self.path(u, v) is not None
+
+    def path_max(self, u, v):
+        p = self.path(u, v)
+        assert p is not None and len(p) > 1
+        return max(self.adj[a][b] for a, b in zip(p, p[1:]))
+
+
+def build_forest(n):
+    lct = LinkCutForest()
+    vnodes = [LCTNode(label=("v", i)) for i in range(n)]
+    return lct, vnodes
+
+
+def test_single_link_and_path_max():
+    lct, v = build_forest(4)
+    e1 = LCTNode(key=(5.0, 1), label="e1")
+    e2 = LCTNode(key=(9.0, 2), label="e2")
+    lct.link_edge(e1, v[0], v[1])
+    lct.link_edge(e2, v[1], v[2])
+    assert lct.connected(v[0], v[2])
+    assert not lct.connected(v[0], v[3])
+    assert lct.path_max(v[0], v[2]) is e2
+    assert lct.path_max(v[0], v[1]) is e1
+
+
+def test_cut_disconnects():
+    lct, v = build_forest(3)
+    e1 = LCTNode(key=(1.0, 1))
+    e2 = LCTNode(key=(2.0, 2))
+    lct.link_edge(e1, v[0], v[1])
+    lct.link_edge(e2, v[1], v[2])
+    lct.cut_edge(e1, v[0], v[1])
+    assert not lct.connected(v[0], v[1])
+    assert lct.connected(v[1], v[2])
+    # edge node is fully detached and relinkable
+    lct.link_edge(e1, v[0], v[2])
+    assert lct.connected(v[0], v[1])
+
+
+def test_evert_long_path():
+    n = 60
+    lct, v = build_forest(n)
+    enodes = []
+    for i in range(n - 1):
+        e = LCTNode(key=(float(i), i))
+        lct.link_edge(e, v[i], v[i + 1])
+        enodes.append(e)
+    assert lct.path_max(v[0], v[n - 1]) is enodes[-1]
+    assert lct.path_max(v[0], v[10]) is enodes[9]
+    lct.make_root(v[n // 2])
+    assert lct.path_max(v[3], v[7]) is enodes[6]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10_000))
+def test_random_link_cut_pathmax_vs_naive(seed):
+    rng = random.Random(seed)
+    n = 28
+    lct, v = build_forest(n)
+    naive = NaiveForest(n)
+    enode = {}  # (u, v) normalized -> LCT edge node
+    eid = 0
+    for _ in range(120):
+        u, w = rng.sample(range(n), 2)
+        key = (u, w) if u < w else (w, u)
+        if key in enode:
+            lct.cut_edge(enode.pop(key), v[key[0]], v[key[1]])
+            naive.cut(*key)
+        elif not naive.connected(u, w):
+            eid += 1
+            k = (rng.random(), eid)
+            e = LCTNode(key=k, label=key)
+            lct.link_edge(e, v[u], v[w])
+            naive.link(u, w, k)
+            enode[key] = e
+        # probe random pairs
+        for _ in range(3):
+            a, b = rng.sample(range(n), 2)
+            conn = naive.connected(a, b)
+            assert lct.connected(v[a], v[b]) == conn
+            if conn:
+                assert lct.path_max(v[a], v[b]).key == naive.path_max(a, b)
+
+
+def test_ops_counter_increments():
+    lct, v = build_forest(8)
+    before = lct.ops
+    for i in range(7):
+        e = LCTNode(key=(float(i), i))
+        lct.link_edge(e, v[i], v[i + 1])
+    lct.path_max(v[0], v[7])
+    assert lct.ops > before

@@ -1,0 +1,137 @@
+"""Extra substrate coverage: tree helpers, LCT edge cases, memory layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pram.machine import Machine
+from repro.pram.memory import Mem, attr, idx
+from repro.structures import two_three_tree as tt
+from repro.structures.link_cut import LCTNode, LinkCutForest
+
+
+# --------------------------------------------------------------- 2-3 tree
+
+def _build(items):
+    root = None
+    prev = None
+    for it in items:
+        lf = tt.leaf(it)
+        root = lf if root is None else tt.insert_after(prev, lf)
+        prev = lf
+    return root
+
+
+def test_iter_nodes_and_count():
+    root = _build(range(17))
+    nodes = list(tt.iter_nodes(root))
+    leaves = [n for n in nodes if n.is_leaf]
+    assert len(leaves) == 17
+    assert tt.count_leaves(root) == 17
+    assert nodes[0] is root
+    internal = len(nodes) - 17
+    assert 8 <= internal <= 16  # 2-3 tree internal-node bounds
+
+
+def test_height_of():
+    assert tt.height_of(None) == -1
+    assert tt.height_of(tt.leaf("x")) == 0
+    assert tt.height_of(_build(range(9))) >= 2
+
+
+def test_refresh_upward_propagates_leaf_change():
+    sums = []
+
+    def pull(node):
+        node.agg = sum(k.agg if not k.is_leaf else k.item for k in node.kids)
+
+    root = None
+    prev = None
+    leaves = []
+    for it in range(1, 9):
+        lf = tt.leaf(it)
+        leaves.append(lf)
+        root = lf if root is None else tt.insert_after(prev, lf, pull)
+        prev = lf
+    assert root.agg == 36
+    leaves[3].item = 104  # 4 -> 104
+    tt.refresh_upward(leaves[3], pull)
+    assert root.agg == 136
+    del sums
+
+
+def test_first_last_leaf_none():
+    assert tt.first_leaf(None) is None
+    assert tt.last_leaf(None) is None
+
+
+# --------------------------------------------------------------- link-cut
+
+def test_lct_connected_self():
+    lct = LinkCutForest()
+    a = LCTNode(label="a")
+    assert lct.connected(a, a)
+
+
+def test_lct_cut_non_adjacent_asserts():
+    lct = LinkCutForest()
+    a, b, c = (LCTNode(label=x) for x in "abc")
+    e1 = LCTNode(key=(1.0, 1))
+    e2 = LCTNode(key=(2.0, 2))
+    lct.link_edge(e1, a, b)
+    lct.link_edge(e2, b, c)
+    with pytest.raises(AssertionError):
+        lct.cut(a, c)  # not adjacent (e1, b, e2 in between)
+
+
+def test_lct_find_root_stability():
+    lct = LinkCutForest()
+    vs = [LCTNode(label=i) for i in range(6)]
+    for i in range(5):
+        e = LCTNode(key=(float(i), i))
+        lct.link_edge(e, vs[i], vs[i + 1])
+    r = lct.find_root(vs[3])
+    assert all(lct.find_root(v) is r for v in vs)
+    lct.make_root(vs[2])
+    r2 = lct.find_root(vs[5])
+    assert r2 is vs[2]
+
+
+def test_lct_path_max_tie_break_on_ids():
+    lct = LinkCutForest()
+    vs = [LCTNode(label=i) for i in range(4)]
+    e1 = LCTNode(key=(5.0, 10))
+    e2 = LCTNode(key=(5.0, 20))  # same weight, larger id
+    lct.link_edge(e1, vs[0], vs[1])
+    lct.link_edge(e2, vs[1], vs[2])
+    assert lct.path_max(vs[0], vs[2]) is e2
+
+
+# --------------------------------------------------------------- memory
+
+def test_memory_bad_address_kind():
+    mem = Mem()
+    with pytest.raises(ValueError):
+        mem.read(("bogus", 1, 2))
+    with pytest.raises(ValueError):
+        mem.write(("bogus", 1, 2), 0)
+
+
+def test_memory_helpers():
+    mem = Mem()
+    arr = [1, 2, 3]
+    cell = mem.cell(arr, 1)
+    assert cell == idx(id(arr), 1)
+    assert mem.read(cell) == 2
+    obj = type("O", (), {"f": 9})()
+    assert mem.read(attr(obj, "f")) == 9
+
+
+def test_machine_rejects_non_op_yield():
+    m = Machine()
+
+    def bad():
+        yield "not an op"
+
+    with pytest.raises(TypeError):
+        m.run([bad()])

@@ -1,0 +1,213 @@
+"""Model-based tests for the positional 2-3 tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures import two_three_tree as tt
+
+
+def seq(root):
+    return [lf.item for lf in tt.iter_leaves(root)]
+
+
+class SumAgg:
+    """Aggregate hook: node.agg = sum of leaf items (ints)."""
+
+    def __call__(self, node):
+        node.agg = sum((k.agg if not k.is_leaf else k.item) for k in node.kids)
+        # normalize: internal agg = sum; leaves carry item as value
+        node.agg = 0
+        for k in node.kids:
+            node.agg += k.item if k.is_leaf else k.agg
+
+
+def build(items, pull=tt._noop_pull):
+    root = None
+    prev = None
+    for it in items:
+        lf = tt.leaf(it)
+        if root is None:
+            root = lf
+        else:
+            root = tt.insert_after(prev, lf, pull)
+        prev = lf
+    return root
+
+
+def test_empty_and_single():
+    assert tt.first_leaf(None) is None
+    lf = tt.leaf("a")
+    assert tt.root_of(lf) is lf
+    assert seq(lf) == ["a"]
+    assert tt.delete_leaf(lf) is None
+
+
+def test_insert_sequence_order():
+    root = build(list(range(50)))
+    tt.validate(root)
+    assert seq(root) == list(range(50))
+
+
+def test_insert_first():
+    root = build([1, 2, 3])
+    root = tt.insert_first(root, tt.leaf(0))
+    tt.validate(root)
+    assert seq(root) == [0, 1, 2, 3]
+    assert tt.insert_first(None, tt.leaf(9)).item == 9
+
+
+def test_next_prev_leaf():
+    root = build(list(range(20)))
+    leaves = list(tt.iter_leaves(root))
+    for i, lf in enumerate(leaves):
+        nxt = tt.next_leaf(lf)
+        prv = tt.prev_leaf(lf)
+        assert (nxt.item if nxt else None) == (i + 1 if i < 19 else None)
+        assert (prv.item if prv else None) == (i - 1 if i > 0 else None)
+
+
+def test_delete_every_leaf_orderings():
+    for order_seed in range(5):
+        root = build(list(range(30)))
+        leaves = {lf.item: lf for lf in tt.iter_leaves(root)}
+        rng = random.Random(order_seed)
+        items = list(range(30))
+        rng.shuffle(items)
+        remaining = list(range(30))
+        for it in items:
+            root = tt.delete_leaf(leaves[it])
+            remaining.remove(it)
+            tt.validate(root)
+            assert seq(root) == remaining
+
+
+def test_join_various_heights():
+    for n1 in [1, 2, 3, 5, 9, 27, 40]:
+        for n2 in [1, 2, 4, 8, 31]:
+            r1 = build(list(range(n1)))
+            r2 = build(list(range(100, 100 + n2)))
+            joined = tt.join(r1, r2)
+            tt.validate(joined)
+            assert seq(joined) == list(range(n1)) + list(range(100, 100 + n2))
+    assert tt.join(None, None) is None
+    single = tt.leaf("x")
+    assert tt.join(single, None) is single
+
+
+def test_split_after_each_position():
+    n = 24
+    for pos in range(n):
+        root = build(list(range(n)))
+        leaves = list(tt.iter_leaves(root))
+        left, right = tt.split_after(leaves[pos])
+        tt.validate(left)
+        tt.validate(right)
+        assert seq(left) == list(range(pos + 1))
+        assert seq(right) == (list(range(pos + 1, n)) if pos < n - 1 else [])
+        if pos == n - 1:
+            assert right is None
+
+
+def test_split_then_rejoin_roundtrip():
+    root = build(list(range(33)))
+    leaves = list(tt.iter_leaves(root))
+    left, right = tt.split_after(leaves[10])
+    back = tt.join(left, right)
+    tt.validate(back)
+    assert seq(back) == list(range(33))
+
+
+def test_aggregate_sum_maintained():
+    pull = SumAgg()
+    root = build(list(range(1, 21)), pull)
+    assert root.agg == sum(range(1, 21))
+    leaves = {lf.item: lf for lf in tt.iter_leaves(root)}
+    root = tt.delete_leaf(leaves[7], pull)
+    assert root.agg == sum(range(1, 21)) - 7
+    left, right = tt.split_after(leaves[10], pull)
+    lsum = left.agg if not left.is_leaf else left.item
+    rsum = right.agg if not right.is_leaf else right.item
+    assert lsum == sum(x for x in range(1, 11) if x != 7)
+    assert rsum == sum(range(11, 21))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.sampled_from(["ins", "del", "split", "join"]), max_size=60),
+       st.randoms(use_true_random=False))
+def test_random_ops_model(ops, rng):
+    """Run random op sequences against a plain python-list model."""
+    pull = SumAgg()
+    counter = [0]
+
+    def fresh():
+        counter[0] += 1
+        return counter[0]
+
+    # trees: list of (root, model_list); leaf lookup by item
+    first = fresh()
+    trees = [[tt.leaf(first), [first]]]
+    by_item = {first: trees[0]}
+    leaf_of = {first: tt.first_leaf(trees[0][0])}
+
+    for op in ops:
+        if not trees:
+            item = fresh()
+            lf = tt.leaf(item)
+            trees.append([lf, [item]])
+            leaf_of[item] = lf
+        t = rng.choice(trees)
+        root, model = t
+        if op == "ins":
+            item = fresh()
+            lf = tt.leaf(item)
+            anchor_item = rng.choice(model)
+            anchor = leaf_of[anchor_item]
+            t[0] = tt.insert_after(anchor, lf, pull)
+            model.insert(model.index(anchor_item) + 1, item)
+            leaf_of[item] = lf
+            by_item[item] = t
+        elif op == "del":
+            if len(model) == 0:
+                continue
+            item = rng.choice(model)
+            t[0] = tt.delete_leaf(leaf_of[item], pull)
+            model.remove(item)
+            del leaf_of[item]
+            if t[0] is None:
+                trees.remove(t)
+        elif op == "split":
+            if len(model) < 2:
+                continue
+            pos = rng.randrange(len(model) - 1)
+            left, right = tt.split_after(leaf_of[model[pos]], pull)
+            t[0] = left
+            t[1] = model[: pos + 1]
+            trees.append([right, model[pos + 1:]])
+        elif op == "join":
+            if len(trees) < 2:
+                continue
+            a, b = rng.sample(range(len(trees)), 2)
+            ta, tb = trees[a], trees[b]
+            ta[0] = tt.join(ta[0], tb[0], pull)
+            ta[1] = ta[1] + tb[1]
+            trees.remove(tb)
+        for root, model in trees:
+            tt.validate(root)
+            assert [lf.item for lf in tt.iter_leaves(root)] == model
+            if root is not None and not root.is_leaf:
+                assert root.agg == sum(model)
+
+
+def test_validate_rejects_bad_tree():
+    root = build(list(range(9)))
+    # sabotage: give an internal node a wrong-height child
+    bad = tt.leaf("zz")
+    root.kids.append(bad)
+    bad.parent = root
+    with pytest.raises(AssertionError):
+        tt.validate(root)

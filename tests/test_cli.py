@@ -1,0 +1,35 @@
+"""The ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_selftest_exit_zero():
+    assert main(["selftest"]) == 0
+
+
+def test_verify_custom_params():
+    assert main(["verify", "--n", "8", "--steps", "40", "--seed", "3"]) == 0
+
+
+def test_demo_runs(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "EREW" in out and "OK" in out
+
+
+def test_module_invocation():
+    proc = subprocess.run([sys.executable, "-m", "repro", "selftest"],
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr[-1000:]
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

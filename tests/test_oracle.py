@@ -1,0 +1,83 @@
+"""The reference Kruskal oracle itself (ground truth must be trustworthy)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.reference.oracle import KruskalOracle, UnionFind, kruskal
+
+
+def test_union_find_basics():
+    uf = UnionFind()
+    assert uf.find("a") == "a"
+    assert uf.union("a", "b")
+    assert not uf.union("a", "b")
+    assert uf.find("a") == uf.find("b")
+    uf.union("c", "d")
+    assert uf.find("a") != uf.find("c")
+    uf.union("b", "c")
+    assert uf.find("a") == uf.find("d")
+
+
+def test_union_find_path_halving_terminates_on_long_chains():
+    uf = UnionFind()
+    for i in range(1000):
+        uf.union(i, i + 1)
+    assert uf.find(0) == uf.find(1000)
+
+
+def test_kruskal_tie_break_by_eid():
+    msf = kruskal([(0, 1, 5.0, 2), (0, 1, 5.0, 1)])
+    assert msf == {1}
+
+
+def test_kruskal_ignores_self_loops():
+    msf = kruskal([(3, 3, 0.0, 1), (0, 1, 1.0, 2)])
+    assert msf == {2}
+
+
+def test_kruskal_matches_networkx_on_random_graphs():
+    nx = pytest.importorskip("networkx")
+    rng = random.Random(5)
+    for trial in range(10):
+        n = 12
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        edges = []
+        for eid in range(30):
+            u, v = rng.sample(range(n), 2)
+            w = round(rng.uniform(0, 10), 6)
+            edges.append((u, v, w, eid))
+            # networkx keeps one edge per pair: keep the lightest, matching
+            # what an MSF can use
+            if g.has_edge(u, v):
+                if g[u][v]["weight"] > w:
+                    g[u][v]["weight"] = w
+            else:
+                g.add_edge(u, v, weight=w)
+        ours = kruskal(edges)
+        our_weight = sum(w for (u, v, w, eid) in edges if eid in ours)
+        nx_weight = sum(d["weight"] for _u, _v, d in
+                        nx.minimum_spanning_edges(g, data=True))
+        assert our_weight == pytest.approx(nx_weight)
+
+
+def test_oracle_components_and_connected():
+    orc = KruskalOracle()
+    orc.insert(0, 1, 1.0, 1)
+    orc.insert(2, 3, 1.0, 2)
+    assert orc.components() == 2
+    assert orc.connected(0, 1) and not orc.connected(0, 2)
+    orc.insert(1, 2, 1.0, 3)
+    assert orc.components() == 1
+    orc.delete(3)
+    assert not orc.connected(0, 3)
+
+
+def test_oracle_duplicate_insert_rejected():
+    orc = KruskalOracle()
+    orc.insert(0, 1, 1.0, 7)
+    with pytest.raises(AssertionError):
+        orc.insert(1, 2, 1.0, 7)

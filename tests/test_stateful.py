@@ -1,0 +1,75 @@
+"""Hypothesis stateful testing: the facade vs. the oracle as a state machine.
+
+Hypothesis explores operation interleavings (including pathological ones
+like repeated insert/delete of one edge, parallel-edge stacks, self-loops)
+and shrinks failures to minimal sequences.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, precondition, rule)
+
+from repro import DynamicMSF
+from repro.reference.oracle import KruskalOracle
+
+N = 10
+
+
+class MsfMachine(RuleBasedStateMachine):
+    @initialize(kind=st.sampled_from(["sequential", "sequential-k8",
+                                      "parallel", "sparsified"]))
+    def setup(self, kind):
+        if kind == "sparsified":
+            self.msf = DynamicMSF(N, sparsify=True)
+        elif kind == "parallel":
+            self.msf = DynamicMSF(N, engine="parallel", max_edges=48)
+        elif kind == "sequential-k8":
+            self.msf = DynamicMSF(N, max_edges=48, K=8)
+        else:
+            self.msf = DynamicMSF(N, max_edges=48)
+        self.kind = kind
+        self.oracle = KruskalOracle()
+        self.live: dict[int, bool] = {}  # eid -> is_self_loop
+
+    @rule(u=st.integers(0, N - 1), v=st.integers(0, N - 1),
+          w=st.integers(0, 6))
+    def insert(self, u, v, w):
+        if len(self.live) >= 40:
+            return
+        eid = self.msf.insert_edge(u, v, float(w))
+        self.live[eid] = u == v
+        if u != v:
+            self.oracle.insert(u, v, float(w), eid)
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def delete(self, data):
+        eid = data.draw(st.sampled_from(sorted(self.live)))
+        is_loop = self.live.pop(eid)
+        self.msf.delete_edge(eid)
+        if not is_loop:
+            self.oracle.delete(eid)
+
+    @rule(u=st.integers(0, N - 1), v=st.integers(0, N - 1))
+    def probe_connectivity(self, u, v):
+        assert self.msf.connected(u, v) == (
+            u == v or self.oracle.connected(u, v))
+
+    @invariant()
+    def forest_matches_oracle(self):
+        if not hasattr(self, "msf"):
+            return
+        assert self.msf.msf_ids() == self.oracle.msf_ids()
+
+    @invariant()
+    def erew_clean(self):
+        if getattr(self, "kind", None) == "parallel":
+            assert self.msf.machine.total.violations == 0
+
+
+TestMsfStateMachine = MsfMachine.TestCase
+TestMsfStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)

@@ -1,0 +1,117 @@
+"""Workload generators: determinism, degree bounds, replayability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.reference.oracle import KruskalOracle
+from repro.workloads import (OpStream, adversarial_cuts, churn, dense_stream,
+                             drive, grid_edges, path_edges)
+
+
+def test_churn_is_deterministic():
+    a = list(churn(20, 50, seed=9))
+    b = list(churn(20, 50, seed=9))
+    assert a == b
+    c = list(churn(20, 50, seed=10))
+    assert a != c
+
+
+def test_churn_respects_degree_bound():
+    deg = {}
+    live = {}
+    for idx, op in enumerate(churn(12, 300, seed=4, max_degree=3)):
+        if op[0] == "ins":
+            _t, u, v, w = op
+            deg[u] = deg.get(u, 0) + 1
+            deg[v] = deg.get(v, 0) + 1
+            live[idx] = (u, v)
+            assert deg[u] <= 3 and deg[v] <= 3
+        else:
+            u, v = live.pop(op[1])
+            deg[u] -= 1
+            deg[v] -= 1
+
+
+def test_churn_deletes_reference_live_inserts():
+    live = set()
+    for idx, op in enumerate(churn(10, 200, seed=1)):
+        if op[0] == "ins":
+            live.add(idx)
+        else:
+            assert op[1] in live
+            live.discard(op[1])
+
+
+def test_churn_ties_mode_small_weights():
+    ws = [op[3] for op in churn(10, 80, seed=2, weights="ties")
+          if op[0] == "ins"]
+    assert ws and all(w == int(w) and 0 <= w <= 7 for w in ws)
+
+
+def test_grid_edges_shape():
+    edges = grid_edges(4, seed=0)
+    assert len(edges) == 2 * 4 * 3  # 2 * side * (side-1)
+    deg = {}
+    for u, v, _w in edges:
+        deg[u] = deg.get(u, 0) + 1
+        deg[v] = deg.get(v, 0) + 1
+    assert max(deg.values()) <= 4
+
+
+def test_path_edges():
+    edges = path_edges(5, seed=0)
+    assert [(u, v) for u, v, _ in edges] == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+
+def test_dense_stream_counts_and_no_self_loops():
+    edges = dense_stream(10, 200, seed=0)
+    assert len(edges) == 200
+    assert all(u != v for u, v, _ in edges)
+
+
+def test_adversarial_cuts_valid_refs():
+    """Every delete references a live insert; deletions target tree edges
+    of one big component."""
+    live = set()
+    deletes = 0
+    for idx, op in enumerate(adversarial_cuts(64, rounds=10, seed=3)):
+        if op[0] == "ins":
+            live.add(idx)
+        else:
+            assert op[1] in live
+            live.discard(op[1])
+            deletes += 1
+    assert deletes == 10
+
+
+def test_opstream_drive_replays_identically():
+    ops = list(churn(16, 80, seed=6, max_degree=3))
+    eng1 = SparseDynamicMSF(16, K=8)
+    eng2 = SparseDynamicMSF(16, K=8)
+    drive(eng1, ops)
+    drive(eng2, ops)
+    assert ({e.eid for e in eng1.msf_edges()}
+            != set()) or eng1.msf_weight() == 0
+    assert eng1.msf_weight() == pytest.approx(eng2.msf_weight())
+
+
+def test_adversarial_cuts_keep_msf_correct():
+    eng = SparseDynamicMSF(48, K=8)
+    orc = KruskalOracle()
+    stream = OpStream(eng)
+    def as_eid(handle):
+        # core engines hand back Edge objects, facades hand back ints
+        return handle.eid if hasattr(handle, "eid") else handle
+
+    for op in adversarial_cuts(48, rounds=12, seed=0):
+        if op[0] == "ins":
+            stream.apply(op)
+            orc.insert(op[1], op[2], op[3],
+                       as_eid(stream.eids[stream.index - 1]))
+        else:
+            eid = as_eid(stream.eids[op[1]])
+            stream.apply(op)
+            orc.delete(eid)
+        assert {e.eid for e in eng.msf_edges()} == orc.msf_ids()

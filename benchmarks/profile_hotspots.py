@@ -3,19 +3,31 @@
 
 Usage:
     python benchmarks/profile_hotspots.py [engine] [n] [steps]
+                                          [--sort {cumulative,tottime}]
+                                          [--limit N] [-o FILE]
 
-engine: seq | par | sparsify   (default seq, n=1024, steps=300)
+engine: seq | par | par-fast | sparsify   (default seq, n=1024, steps=300)
 
-Prints the top cumulative-time functions so optimization work targets the
-real bottlenecks (for the sequential engine these are the numpy vector
-pulls and the chunk rescans -- already the algorithmically-charged costs).
+``par-fast`` profiles the parallel engine with ``audit="fast"`` so the
+shape-keyed kernel bypass shows up in the profile instead of the lockstep
+simulator.  Prints the top functions by the chosen sort key so optimization
+work targets the real bottlenecks (for the sequential engine these are the
+numpy vector pulls and the chunk rescans -- already the
+algorithmically-charged costs).  ``-o FILE`` additionally dumps the raw
+profile for ``snakeviz`` / ``pstats`` post-processing.
+
+Unknown engine names are rejected *before* any profiling starts, and the
+process exits non-zero so shell pipelines fail loudly.
 """
 
 from __future__ import annotations
 
+import argparse
 import cProfile
 import pstats
 import sys
+
+ENGINES = ("seq", "par", "par-fast", "sparsify")
 
 
 def build(engine: str, n: int):
@@ -25,10 +37,13 @@ def build(engine: str, n: int):
     if engine == "par":
         from repro.core.par import ParallelDynamicMSF
         return ParallelDynamicMSF(n), True
+    if engine == "par-fast":
+        from repro.core.par import ParallelDynamicMSF
+        return ParallelDynamicMSF(n, audit="fast"), True
     if engine == "sparsify":
         from repro.core.sparsify import SparsifiedMSF
         return SparsifiedMSF(max(n, 2)), False
-    raise SystemExit(f"unknown engine {engine!r}")
+    raise ValueError(f"unknown engine {engine!r}")
 
 
 def workload(eng, core_style: bool, n: int, steps: int) -> None:
@@ -48,19 +63,52 @@ def workload(eng, core_style: bool, n: int, steps: int) -> None:
         idx += 1
 
 
-def main() -> int:
-    engine = sys.argv[1] if len(sys.argv) > 1 else "seq"
-    n = int(sys.argv[2]) if len(sys.argv) > 2 else 1024
-    steps = int(sys.argv[3]) if len(sys.argv) > 3 else 300
-    eng, core_style = build(engine, n)
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Profile an engine's hot paths under the churn workload.")
+    parser.add_argument("engine", nargs="?", default="seq", choices=ENGINES,
+                        help="engine to profile (default: seq)")
+    parser.add_argument("n", nargs="?", type=int, default=1024,
+                        help="vertex-set size (default: 1024)")
+    parser.add_argument("steps", nargs="?", type=int, default=300,
+                        help="number of updates (default: 300)")
+    parser.add_argument("--sort", choices=("cumulative", "tottime"),
+                        default="cumulative",
+                        help="pstats sort key (default: cumulative)")
+    parser.add_argument("--limit", type=int, default=18, metavar="N",
+                        help="how many rows to print (default: 18)")
+    parser.add_argument("-o", "--output", metavar="FILE", default=None,
+                        help="also dump the raw profile to FILE")
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    # Validate *everything* that can fail before the profiler starts, so a
+    # typo never burns a multi-minute workload first.
+    if args.n < 2:
+        print(f"error: n must be >= 2, got {args.n}", file=sys.stderr)
+        return 2
+    if args.steps < 1:
+        print(f"error: steps must be >= 1, got {args.steps}", file=sys.stderr)
+        return 2
+    try:
+        eng, core_style = build(args.engine, args.n)
+    except ValueError as exc:  # unreachable via argparse choices; belt+braces
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     prof = cProfile.Profile()
     prof.enable()
-    workload(eng, core_style, n, steps)
+    workload(eng, core_style, args.n, args.steps)
     prof.disable()
     stats = pstats.Stats(prof)
-    stats.sort_stats("cumulative")
-    print(f"== {engine} engine, n={n}, {steps} updates: top functions ==")
-    stats.print_stats(18)
+    stats.sort_stats(args.sort)
+    print(f"== {args.engine} engine, n={args.n}, {args.steps} updates: "
+          f"top functions by {args.sort} ==")
+    stats.print_stats(args.limit)
+    if args.output:
+        prof.dump_stats(args.output)
+        print(f"raw profile written to {args.output}")
     return 0
 
 

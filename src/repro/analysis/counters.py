@@ -20,9 +20,32 @@ class OpCounter:
     def __init__(self) -> None:
         self.counts: dict[str, int] = defaultdict(int)
         self._mark: int = 0
+        self._paused: int = 0
 
     def charge(self, name: str, amount: int = 1) -> None:
+        if self._paused:
+            return
         self.counts[name] += int(amount)
+
+    def paused(self):
+        """Context manager suspending accounting.
+
+        Used when *lazily materializing* structures whose construction the
+        eager engines attributed to ``__init__`` (outside any per-update
+        measurement window): pausing keeps per-update deltas identical
+        whether a vertex was built eagerly or on first touch.
+        """
+        counter = self
+
+        class _Paused:
+            def __enter__(self):
+                counter._paused += 1
+
+            def __exit__(self, *exc):
+                counter._paused -= 1
+                return False
+
+        return _Paused()
 
     @property
     def total(self) -> int:

@@ -76,7 +76,13 @@ class DegreeReducer:
         self.max_edges = max_edges if max_edges is not None else max(2 * n, 16)
         n_core = n + 2 * self.max_edges
         if engine_factory is None:
-            self.core = SparseDynamicMSF(n_core, K=K, ops=ops)
+            # lazy vertices: the gadget pool is sized for the worst case
+            # (n + 2 * max_edges) but sparse workloads touch a fraction of
+            # it; building singleton Euler lists on first touch removes the
+            # construction cost that dominated the sparsified facade's E9
+            # wall time (accounting stays identical -- see seq_msf).
+            self.core = SparseDynamicMSF(n_core, K=K, ops=ops,
+                                         lazy_vertices=True)
         else:
             self.core = engine_factory(n_core)
         self._pool = list(range(n_core - 1, n - 1, -1))  # free gadget ids
@@ -164,14 +170,18 @@ class DegreeReducer:
         return self._net_delta(mark)
 
     def _net_delta(self, mark: int) -> tuple[set[int], set[int]]:
-        touched = {eid for eid, _ in self.core.change_log[mark:] if eid > 0}
+        # single pass over the log tail: the first flip of each touched
+        # edge tells its status *before* the update (the old per-edge
+        # `next()` rescans made this quadratic in the tail length)
+        first_flip: dict[int, bool] = {}
+        for eid, flag in self.core.change_log[mark:]:
+            if eid > 0 and eid not in first_flip:
+                first_flip[eid] = flag
         added: set[int] = set()
         removed: set[int] = set()
-        for t in touched:
+        for t, flip in first_flip.items():
             now = t in self.real and self.real[t][3].is_tree
-            first_flip = next(flag for e, flag in self.core.change_log[mark:]
-                              if e == t)
-            was = not first_flip  # status before the first flip
+            was = not flip  # status before the first flip
             if now and not was:
                 added.add(t)
             elif was and not now:

@@ -147,8 +147,10 @@ class ParallelDynamicMSF(SparseDynamicMSF):
 
     def __init__(self, n_max: int, K: Optional[int] = None, *,
                  machine: Optional[Machine] = None, strict: bool = True,
+                 audit: Optional[str] = None, impl: str = "onepass",
                  ops: Optional[OpCounter] = None) -> None:
-        self.machine = machine if machine is not None else Machine(strict=strict)
+        self.machine = machine if machine is not None else Machine(
+            strict=strict, audit=audit, impl=impl)
         self.update_stats: list[KernelStats] = []
         self._measuring = False
         super().__init__(n_max, K, flavor="parallel", with_bt=True, ops=ops)

@@ -31,6 +31,42 @@ from .model import MAX_DEGREE, Edge, Vertex, adj_add, adj_remove
 __all__ = ["SparseDynamicMSF"]
 
 
+class _VertexTable:
+    """List-like vertex container materializing entries on first access."""
+
+    __slots__ = ("_engine", "_slots")
+
+    def __init__(self, engine: "SparseDynamicMSF") -> None:
+        self._engine = engine
+        self._slots: list[Optional[Vertex]] = [None] * engine.n_max
+
+    def __getitem__(self, vid: int) -> Vertex:
+        vx = self._slots[vid]
+        if vx is None:
+            vx = self._engine._materialize_vertex(vid)
+            self._slots[vid] = vx
+        return vx
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[Vertex]:
+        """Iterate *materialized* vertices only.
+
+        Unmaterialized slots own no structures (no occurrence, no list, no
+        link-cut node), so consumers that walk all vertices -- the
+        structural auditor being the only one -- would both skew and
+        defeat laziness by forcing the whole pool into existence.
+        """
+        for vx in self._slots:
+            if vx is not None:
+                yield vx
+
+    def materialized(self) -> int:
+        """How many vertices have been built (diagnostics)."""
+        return sum(1 for vx in self._slots if vx is not None)
+
+
 class SparseDynamicMSF:
     """Dynamic MSF over a fixed vertex set ``0..n_max-1`` with degree <= 3.
 
@@ -43,33 +79,68 @@ class SparseDynamicMSF:
         chunk-size parameter; default ``sqrt(n log n)`` (``flavor``-driven).
     with_bt:
         maintain per-chunk ``BT_c`` trees (required by the parallel engine).
+    lazy_vertices:
+        materialize per-vertex structures (Vertex, link-cut node, singleton
+        Euler list) on first touch instead of in ``__init__``.  Used by the
+        degree reducer, whose ``n + 2 * max_edges`` gadget pool is mostly
+        untouched under sparse workloads -- eager construction dominated
+        the sparsified facade's E9 wall time.  Materialization runs with
+        accounting paused, so per-update measured costs are identical to
+        the eager engine's (construction was attributed to ``__init__``,
+        outside every measurement window).  Untouched singleton lists are
+        structurally inert: they are short (no chunk id), belong to no
+        tour, and interact with nothing until their vertex is used.
     """
 
     _eid = itertools.count(1)
 
     def __init__(self, n_max: int, K: Optional[int] = None, *,
                  flavor: str = "sequential", with_bt: bool = False,
-                 ops: Optional[OpCounter] = None) -> None:
+                 ops: Optional[OpCounter] = None,
+                 lazy_vertices: bool = False) -> None:
         self.n_max = n_max
         self.ops = ops if ops is not None else OpCounter()
         self.fabric = self._build_fabric(n_max, K, flavor, with_bt, self.ops)
         self.lct = LinkCutForest()
-        self.vertices: list[Vertex] = []
         self.edges: dict[int, Edge] = {}
         self.tree_edges: set[Edge] = set()
         #: append-only log of tree-status flips ``(eid, is_tree_now)`` --
         #: consumed by the degree reducer / sparsification tree to compute
         #: net MSF deltas per update
         self.change_log: list[tuple[int, bool]] = []
-        for vid in range(n_max):
-            vx = Vertex(vid)
-            vx.lct = LCTNode(label=("v", vid))
-            self.fabric.new_singleton_list(vx)
-            self.vertices.append(vx)
+        if lazy_vertices:
+            self.vertices: list[Vertex] = _VertexTable(self)
+        else:
+            self.vertices = []
+            for vid in range(n_max):
+                vx = Vertex(vid)
+                vx.lct = LCTNode(label=("v", vid))
+                self.fabric.new_singleton_list(vx)
+                self.vertices.append(vx)
 
     def _build_fabric(self, n_max, K, flavor, with_bt, ops) -> Fabric:
         """Hook: the parallel engine substitutes kernel-backed components."""
         return Fabric(n_max, K, flavor=flavor, with_bt=with_bt, ops=ops)
+
+    def _materialize_vertex(self, vid: int) -> Vertex:
+        """Build vertex ``vid`` on first touch (``lazy_vertices`` mode).
+
+        Accounting (op counters, and the PRAM machine's analytic charges
+        for the parallel engine) is paused: the eager engines did this work
+        in ``__init__``, outside every per-update measurement window.
+        """
+        machine = getattr(self, "machine", None)
+        with self.ops.paused():
+            if machine is not None:
+                with machine.paused():
+                    vx = Vertex(vid)
+                    vx.lct = LCTNode(label=("v", vid))
+                    self.fabric.new_singleton_list(vx)
+            else:
+                vx = Vertex(vid)
+                vx.lct = LCTNode(label=("v", vid))
+                self.fabric.new_singleton_list(vx)
+        return vx
 
     # ------------------------------------------------------------- queries
 

@@ -166,31 +166,50 @@ class SparsifiedMSF:
         assert isinstance(self.root, _Node)
         # per touched level: (level, engine ops delta, machine depth delta)
         self._last_levels: list[tuple[int, int, int]] = []
+        # The vertex-partition tree is a pure function of `n`, so the
+        # per-vertex level ranges and the per-pair root-to-leaf node paths
+        # never change: memoize them instead of re-deriving each update
+        # (the old per-update `_range_at` descents dominated `_propagate`).
+        self._range_cache: dict[int, list[tuple[int, int]]] = {}
+        self._path_cache: dict[tuple[int, int], list[tuple]] = {}
 
     # ------------------------------------------------------------ structure
 
+    def _ranges_of(self, u: int) -> list[tuple[int, int]]:
+        """``u``'s range at every level 0..max_level (memoized)."""
+        ranges = self._range_cache.get(u)
+        if ranges is None:
+            ranges = []
+            lo, hi = 0, self.n
+            for _level in range(self.max_level + 1):
+                ranges.append((lo, hi))
+                if hi - lo > 1:
+                    (l1, h1), (l2, h2) = _split(lo, hi)
+                    lo, hi = (l1, h1) if u < h1 else (l2, h2)
+            self._range_cache[u] = ranges
+        return ranges
+
     def _range_at(self, level: int, u: int) -> tuple[int, int]:
-        lo, hi = 0, self.n
-        for _ in range(level):
-            if hi - lo == 1:
-                break
-            (l1, h1), (l2, h2) = _split(lo, hi)
-            if u < h1:
-                lo, hi = l1, h1
-            else:
-                lo, hi = l2, h2
-        return lo, hi
+        ranges = self._ranges_of(u)
+        return ranges[level] if level < len(ranges) else ranges[-1]
 
     def _path(self, u: int, v: int) -> list[tuple]:
         """Node keys from the root down to the leaf of pair (u, v)."""
+        pair = (u, v) if u <= v else (v, u)
+        keys = self._path_cache.get(pair)
+        if keys is not None:
+            return keys
+        ru, rv = self._ranges_of(u), self._ranges_of(v)
         keys = []
         for level in range(self.max_level + 1):
-            ra, rb = self._range_at(level, u), self._range_at(level, v)
+            ra = ru[level] if level < len(ru) else ru[-1]
+            rb = rv[level] if level < len(rv) else rv[-1]
             if ra > rb:
                 ra, rb = rb, ra
             keys.append((level, ra, rb))
             if ra[1] - ra[0] == 1 and rb[1] - rb[0] == 1:
                 break
+        self._path_cache[pair] = keys
         return keys
 
     def _get_node(self, level: int, ra: tuple[int, int], rb: tuple[int, int]):

@@ -1,0 +1,324 @@
+"""Tests for the fast-path execution engine (one-pass loop, audit ladder,
+shape caches) and the KernelStats composition rules.
+
+The load-bearing assertions are differential: the one-pass loop against the
+retained four-pass reference oracle, and ``audit="fast"`` against
+``audit="strict"`` on a real parallel-engine workload -- fast mode must be a
+pure measurement optimization (identical stats, identical forests), never a
+semantics change.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pram.machine import (
+    ErewViolation,
+    KernelStats,
+    Machine,
+    Nop,
+    Read,
+    Write,
+)
+
+
+class Box:
+    def __init__(self, **kw):
+        for k, v in kw.items():
+            setattr(self, k, v)
+
+
+# --------------------------------------------------------------------------
+# CREW legality and audit="count" violation counting
+# --------------------------------------------------------------------------
+
+
+def _shared_readers(m: Machine, k: int):
+    b = Box(x=7)
+
+    def prog():
+        v = yield Read(("attr", b, "x"))
+        assert v == 7
+
+    return [prog() for _ in range(k)]
+
+
+def test_crew_machine_allows_concurrent_reads():
+    m = Machine(mode="crew")
+    stats = m.run(_shared_readers(m, 8))
+    assert stats.violations == 0
+    assert stats.depth == 1 and stats.work == 8 and stats.processors == 8
+
+
+def test_crew_kernel_override_on_erew_machine():
+    m = Machine(mode="erew")
+    # the same kernel raises under the machine's EREW policy...
+    with pytest.raises(ErewViolation):
+        m.run(_shared_readers(m, 4))
+    # ...but is legal when the launch overrides to CREW (Lemma 3.3's
+    # membership reads use exactly this override)
+    stats = m.run(_shared_readers(m, 4), mode="crew")
+    assert stats.violations == 0
+
+
+def test_crew_still_rejects_concurrent_writes():
+    m = Machine(mode="crew")
+    b = Box(x=0)
+
+    def prog(i):
+        yield Write(("attr", b, "x"), i)
+
+    with pytest.raises(ErewViolation):
+        m.run([prog(i) for i in range(2)])
+
+
+def test_audit_count_counts_instead_of_raising():
+    for machine in (Machine(strict=False), Machine(audit="count")):
+        assert machine.audit == "count"
+        stats = machine.run(_shared_readers(machine, 3))
+        # one shared cell touched concurrently => one violation, no raise
+        assert stats.violations == 1
+        assert machine.total.violations == 1
+
+
+def test_audit_count_read_write_and_write_write():
+    m = Machine(audit="count")
+    b = Box(x=0)
+
+    def reader():
+        yield Read(("attr", b, "x"))
+
+    def writer():
+        yield Write(("attr", b, "x"), 5)
+
+    stats = m.run([reader(), writer()])
+    assert stats.violations == 1
+    stats = m.run([writer(), writer()])
+    assert stats.violations == 1
+    assert m.total.violations == 2
+
+
+# --------------------------------------------------------------------------
+# differential: one-pass loop vs the retained reference oracle
+# --------------------------------------------------------------------------
+
+
+def _mixed_kernel(m: Machine, sid: int, n: int):
+    """A kernel exercising every op type, staggered lifetimes, reads-before-
+    writes semantics and register traffic."""
+
+    def prog(i):
+        v = yield Read(("idx", sid, i))
+        yield Write(("idx", sid, (i + 1) % n), v + 1)
+        if i % 2:
+            yield Nop()
+            yield Write(m.mem.reg(f"r{i}"), v)
+            got = yield Read(m.mem.reg(f"r{i}"))
+            assert got == v
+
+    return [prog(i) for i in range(n)]
+
+
+def test_onepass_matches_reference_synthetic():
+    results = {}
+    for impl in ("onepass", "reference"):
+        m = Machine(impl=impl)
+        arr = list(range(10))
+        sid = m.mem.register(arr)
+        stats = m.run(_mixed_kernel(m, sid, 10), label="mixed")
+        results[impl] = (stats.depth, stats.work, stats.processors,
+                         stats.violations, list(arr))
+    assert results["onepass"] == results["reference"]
+
+
+def test_onepass_matches_reference_reads_before_writes():
+    """Synchronous PRAM semantics: a step's reads see pre-step memory."""
+    for impl in ("onepass", "reference"):
+        m = Machine(impl=impl)
+        arr = [1, 2]
+        sid = m.mem.register(arr)
+
+        def swapper(i):
+            v = yield Read(("idx", sid, i))
+            yield Write(("idx", sid, 1 - i), v)
+
+        m.run([swapper(0), swapper(1)])
+        assert arr == [2, 1], impl
+
+
+def _run_engine_workload(n, rounds, seed, **engine_kw):
+    from repro.core.par import ParallelDynamicMSF
+    from repro.workloads import adversarial_cuts, drive
+
+    eng = ParallelDynamicMSF(n, **engine_kw)
+    drive(eng, adversarial_cuts(n, rounds, seed=seed))
+    per_update = [(st.depth, st.work, st.processors, st.violations)
+                  for st in eng.update_stats]
+    # eids come from a process-global counter, so compare forests
+    # structurally (endpoints + weight identify an edge in this workload)
+    forest = sorted((min(e.u.vid, e.v.vid), max(e.u.vid, e.v.vid), e.weight)
+                    for e in eng.msf_edges())
+    total = eng.machine.total
+    return (per_update, forest,
+            (total.depth, total.work, total.processors, total.violations),
+            eng.machine)
+
+
+def test_onepass_matches_reference_on_real_workload():
+    """The production loop and the four-pass oracle produce bit-identical
+    KernelStats on a real parallel-engine workload."""
+    a = _run_engine_workload(48, 2, seed=5, impl="onepass")
+    b = _run_engine_workload(48, 2, seed=5, impl="reference")
+    assert a[0] == b[0]   # per-update stats
+    assert a[1] == b[1]   # identical forests
+    assert a[2] == b[2]   # machine totals
+
+
+# --------------------------------------------------------------------------
+# audit="fast": measurement-identical, plus cache behavior
+# --------------------------------------------------------------------------
+
+
+def test_fast_matches_strict_on_real_workload():
+    """Fast mode (fingerprint streaming + shape-keyed bypass) reports the
+    same per-update depth/work/processors and yields the same MSF as a
+    fully-checked strict run."""
+    a = _run_engine_workload(48, 3, seed=7, audit="strict")
+    b = _run_engine_workload(48, 3, seed=7, audit="fast")
+    assert a[0] == b[0]
+    assert a[1] == b[1]
+    assert a[2] == b[2]
+    machine = b[3]
+    assert machine.fast_hits > 0  # the bypass actually engaged
+    assert machine.total.violations == 0
+
+
+def test_fast_learns_then_hits():
+    m = Machine(audit="fast")
+    arr = [0] * 8
+    sid = m.mem.register(arr)
+
+    def prog(i):
+        v = yield Read(("idx", sid, i))
+        yield Write(("idx", sid, i), v + 1)
+
+    s1 = m.run([prog(i) for i in range(8)], label="bump")
+    assert m.fast_misses == 1 and m.fast_hits == 0  # learning launch
+    s2 = m.run([prog(i) for i in range(8)], label="bump")
+    assert m.fast_hits == 1
+    assert (s1.depth, s1.work, s1.processors) == \
+        (s2.depth, s2.work, s2.processors)
+    assert arr == [2] * 8  # both launches' writes applied
+
+
+def test_fast_first_launch_still_raises_on_conflict():
+    """The learning launch of an unseen signature is fully strict."""
+    m = Machine(audit="fast")
+    with pytest.raises(ErewViolation):
+        m.run(_shared_readers(m, 2), label="bad")
+
+
+def test_fast_miss_falls_back_and_relearns():
+    m = Machine(audit="fast")
+    arr = [0] * 4
+    sid = m.mem.register(arr)
+
+    def short(i):
+        yield Write(("idx", sid, i), 1)
+
+    def long(i):  # same label / policy / processor count, different shape
+        yield Write(("idx", sid, i), 2)
+        yield Write(("idx", sid, i), 3)
+
+    m.run([short(i) for i in range(4)], label="k")   # learn shape A
+    stats = m.run([long(i) for i in range(4)], label="k")  # diverges
+    assert m.fast_misses == 2  # learning launch + the divergence
+    # stats of the diverged run are still exact
+    assert stats.depth == 2 and stats.work == 8 and stats.processors == 4
+    # the miss scheduled a relearn: the next launch of this signature runs
+    # checked and caches shape B, after which both shapes hit
+    m.run([long(i) for i in range(4)], label="k")    # relearn (miss #3)
+    assert m.fast_misses == 3
+    hits_before = m.fast_hits
+    m.run([long(i) for i in range(4)], label="k")
+    m.run([short(i) for i in range(4)], label="k")
+    assert m.fast_hits == hits_before + 2
+
+
+# --------------------------------------------------------------------------
+# shape-keyed kernel bypass: run_recorded / shaped_hit / charge_shaped
+# --------------------------------------------------------------------------
+
+
+def test_shaped_bypass_records_and_charges_exactly():
+    m = Machine(audit="fast")
+    arr = [0] * 6
+    sid = m.mem.register(arr)
+
+    def prog(i):
+        v = yield Read(("idx", sid, i))
+        yield Write(("idx", sid, i), v + 10)
+
+    key = ("demo", 6)
+    assert not m.shaped_hit(key)
+    rec = m.run_recorded(key, [prog(i) for i in range(6)], label="demo")
+    assert m.shaped_hit(key)
+    charged = m.charge_shaped(key, label="demo")
+    assert (charged.depth, charged.work, charged.processors) == \
+        (rec.depth, rec.work, rec.processors)
+    assert m.fast_hits == 1
+    # both the recording and the charge land in the machine totals
+    assert m.total.depth == rec.depth + charged.depth
+    assert m.total.work == rec.work + charged.work
+
+
+def test_shaped_hit_never_fires_outside_fast_mode():
+    """strict/count machines must simulate everything: shaped_hit is False
+    even for a key that *is* recorded, so E4's verdict never takes the
+    bypass."""
+    m = Machine(audit="strict")
+    m._shaped[("k",)] = (1, 1, 1)  # even if somehow present...
+    assert not m.shaped_hit(("k",))
+    assert not Machine(audit="count").shaped_hit(("k",))
+
+
+def test_run_recorded_is_strict_even_in_fast_mode():
+    m = Machine(audit="fast")
+    with pytest.raises(ErewViolation):
+        m.run_recorded(("bad",), _shared_readers(m, 2), label="bad")
+    assert not m.shaped_hit(("bad",))  # nothing cached for a dirty launch
+
+
+# --------------------------------------------------------------------------
+# KernelStats composition rules
+# --------------------------------------------------------------------------
+
+
+def test_kernelstats_add_is_sequential_composition():
+    a = KernelStats(depth=5, work=50, processors=8, launches=1, violations=1)
+    b = KernelStats(depth=3, work=30, processors=4, launches=2, violations=0)
+    a.add(b)
+    # depth and work accumulate; the processor pool is reused => max
+    assert a.depth == 8
+    assert a.work == 80
+    assert a.processors == 8
+    assert a.launches == 3
+    assert a.violations == 1
+
+
+def test_kernelstats_parallel_compose():
+    parts = [
+        KernelStats(depth=5, work=50, processors=8, launches=1),
+        KernelStats(depth=3, work=30, processors=4, launches=1, violations=2),
+        KernelStats(depth=9, work=10, processors=2, launches=3),
+    ]
+    agg = KernelStats.parallel_compose(parts, label="levels")
+    # disjoint pools side by side: depth is the slowest part, work and
+    # processors add (Section 5.3's per-level engine composition)
+    assert agg.depth == 9
+    assert agg.work == 90
+    assert agg.processors == 14
+    assert agg.launches == 5
+    assert agg.violations == 2
+    assert agg.label == "levels"
+    assert KernelStats.parallel_compose([]).depth == 0

@@ -11,7 +11,6 @@ patterns are rejected -- i.e. the checker has teeth.
 
 from __future__ import annotations
 
-import pytest
 from _common import banner, drive_parallel_measured, render_table
 
 from repro.core.par import ParallelDynamicMSF

@@ -16,10 +16,9 @@ from __future__ import annotations
 from _common import banner, render_table
 
 from repro.analysis.fits import classify_growth
-from repro.core import mwr
 from repro.core.par import ParallelDynamicMSF
 from repro.core.seq_msf import SparseDynamicMSF
-from repro.workloads import drive, path_edges
+from repro.workloads import path_edges
 
 NS_FULL = [256, 512, 1024, 2048, 4096]
 NS_FAST = [256, 512, 1024]

@@ -12,6 +12,14 @@ Runs the E9 workload family across all engines and records
   exactly the hot path ``Machine.run`` optimizations target);
 * ``quick`` -- scaled-down versions of the same workloads for CI smoke.
 
+PR 2 adds the serving layer (``repro.serve``) and two engines:
+``facade-batched`` drives the deferred-consistency ``BatchedMSF`` over a
+read/write ``query_mix`` stream (batch coalescing + epoch-snapshot
+reads), and ``query-path`` measures a pure read burst against a
+prefilled ``BatchedMSF`` (union-find snapshot + O(1) incremental
+weight).  Both are gated like every other engine; ``bench_serve.py``
+holds the side-by-side before/after comparison.
+
 ``--check`` re-measures and compares against the most recent committed
 ``BENCH_*.json``: ``updates_per_s`` may not drop more than ``--tolerance``
 (default 15%), and the model quantities ``depth``/``work`` -- which are
@@ -35,6 +43,8 @@ import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
 
 SCHEMA = "bench-regression/v1"
 
@@ -52,6 +62,11 @@ FULL = {
                               steps=150),
     "facade-sparsified": dict(kind="facade-sparsified", n=256,
                               workload="churn", steps=60),
+    "facade-batched": dict(kind="facade-batched", n=256,
+                           workload="query-mix", steps=1200,
+                           read_ratio=0.8, batch=64),
+    "query-path": dict(kind="query-path", n=256, workload="query-burst",
+                       prefill=240, queries=5000),
 }
 
 QUICK = {
@@ -64,13 +79,32 @@ QUICK = {
                               steps=80),
     "facade-sparsified": dict(kind="facade-sparsified", n=128,
                               workload="churn", steps=40),
+    "facade-batched": dict(kind="facade-batched", n=128,
+                           workload="query-mix", steps=400,
+                           read_ratio=0.8, batch=64),
+    "query-path": dict(kind="query-path", n=128, workload="query-burst",
+                       prefill=120, queries=1500),
 }
 
 
 def _ops_for(spec: dict) -> list:
-    from repro.workloads import adversarial_cuts, churn
+    import random
+
+    from repro.workloads import adversarial_cuts, churn, query_mix
     if spec["workload"] == "adversarial":
         return list(adversarial_cuts(spec["n"], spec["rounds"], seed=3))
+    if spec["workload"] == "query-mix":
+        return list(query_mix(spec["n"], spec["steps"],
+                              read_ratio=spec["read_ratio"], seed=5))
+    if spec["workload"] == "query-burst":
+        rng = random.Random(5)
+        ops = []
+        for i in range(spec["queries"]):
+            if i % 2 == 0:
+                ops.append(("conn", *rng.sample(range(spec["n"]), 2)))
+            else:
+                ops.append(("weight",))
+        return ops
     max_degree = 3 if spec["kind"] in ("seq-core", "par-core") else None
     return list(churn(spec["n"], spec["steps"], seed=5,
                       max_degree=max_degree))
@@ -102,6 +136,19 @@ def _build(spec: dict):
         from repro import DynamicMSF
         eng = DynamicMSF(n, sparsify=True)
         return eng, False, None
+    if kind == "facade-batched":
+        from repro import BatchedMSF
+        eng = BatchedMSF(n, consistency="deferred",
+                         batch_size=spec["batch"], pool_size=1)
+        return eng, False, None
+    if kind == "query-path":
+        from repro import BatchedMSF
+        from repro.workloads import churn, drive
+        eng = BatchedMSF(n)
+        drive(eng, churn(n, spec["prefill"], seed=5))
+        eng.flush()
+        eng.connected(0, n - 1)  # warm the epoch snapshot
+        return eng, False, None
     raise ValueError(f"unknown engine kind {kind!r}")
 
 
@@ -109,15 +156,23 @@ def _replay(engine, ops, core_style: bool) -> None:
     handles = {}
     idx = 0
     for op in ops:
-        if op[0] == "ins":
+        tag = op[0]
+        if tag == "ins":
             _t, u, v, w = op
             if core_style:
                 handles[idx] = engine.insert_edge(u, v, w, eid=10_000 + idx)
             else:
                 handles[idx] = engine.insert_edge(u, v, w)
-        else:
+        elif tag == "del":
             engine.delete_edge(handles.pop(op[1]))
+        elif tag == "conn":
+            engine.connected(op[1], op[2])
+        elif tag == "weight":
+            engine.msf_weight()
         idx += 1
+    flush = getattr(engine, "flush", None)
+    if flush is not None:  # batched fronts: include the final batch apply
+        flush()
 
 
 def measure_profile(specs: dict, engines=None) -> dict:
@@ -223,8 +278,8 @@ def main(argv=None) -> int:
                     help="allowed relative regression (default 0.15)")
     ap.add_argument("--engines", nargs="*", default=None,
                     help="restrict to these engine names")
-    ap.add_argument("-o", "--out", default=str(REPO_ROOT / "BENCH_PR1.json"),
-                    help="output file (default BENCH_PR1.json)")
+    ap.add_argument("-o", "--out", default=str(REPO_ROOT / "BENCH_PR2.json"),
+                    help="output file (default BENCH_PR2.json)")
     args = ap.parse_args(argv)
 
     out_path = Path(args.out)

@@ -23,15 +23,18 @@ from .core.par import ParallelDynamicMSF
 from .core.seq_msf import SparseDynamicMSF
 from .core.sparsify import SparsifiedMSF
 from .pram.machine import ErewViolation, KernelStats, Machine
+from .serve import BatchedMSF, LevelExecutor
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DynamicMSF",
+    "BatchedMSF",
     "SparseDynamicMSF",
     "ParallelDynamicMSF",
     "SparsifiedMSF",
     "DegreeReducer",
+    "LevelExecutor",
     "Machine",
     "KernelStats",
     "ErewViolation",

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from io import StringIO
 
-from ..structures import two_three_tree as tt
 from .model import INF_KEY
 from .seq_msf import SparseDynamicMSF
 

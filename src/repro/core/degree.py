@@ -67,11 +67,18 @@ class DegreeReducer:
         ``(n_core) -> engine``; defaults to the sequential sparse engine.
     """
 
-    _eid = itertools.count(1)
-
     def __init__(self, n: int, max_edges: Optional[int] = None, *,
                  engine_factory=None, K: Optional[int] = None,
                  ops: Optional[OpCounter] = None) -> None:
+        # Per-instance edge-id counter.  A class-level counter would draw
+        # ids in *global* call order, so the sparsification tree's
+        # host-parallel batch executor (repro.serve) would hand each node's
+        # gadget chain edges scheduler-dependent ids -- and chain-edge ids
+        # break (-inf, eid) key ties inside the core engines.  Per-instance
+        # counters keep every node engine's id stream a pure function of
+        # its own op sequence, which the executor keeps identical across
+        # pool sizes.
+        self._eid = itertools.count(1)
         self.n = n
         self.max_edges = max_edges if max_edges is not None else max(2 * n, 16)
         n_core = n + 2 * self.max_edges

@@ -23,7 +23,7 @@ CAdj/Memb, and are excluded from the column sweep.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterator
 
 import numpy as np
 

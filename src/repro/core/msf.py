@@ -106,6 +106,30 @@ class DynamicMSF:
 
     # ------------------------------------------------------------- costs
 
+    def erew_violations(self) -> int:
+        """EREW violations across the backing engines, 0 when unmeasured.
+
+        Guarded for every configuration: sparsified trees (including
+        partially-materialized ones) delegate to the tree's own guarded
+        walk, sequential engines report 0, and the non-sparsified
+        parallel engine reads its single machine.
+        """
+        impl = self._impl
+        fn = getattr(impl, "erew_violations", None)
+        if fn is not None:
+            return fn()
+        machine = getattr(getattr(impl, "core", None), "machine", None)
+        return machine.total.violations if machine is not None else 0
+
+    def parallel_cost_of_last_update(self) -> dict:
+        """Section 5.3 cost composition (sparsified engines), or an
+        explicit zero-cost report when no level accounting exists."""
+        fn = getattr(self._impl, "parallel_cost_of_last_update", None)
+        if fn is not None:
+            return fn()
+        return {"depth": 0, "processors": 0, "levels_touched": 0,
+                "measured": False}
+
     @property
     def machine(self):
         """The PRAM machine (non-sparsified parallel engine only; the

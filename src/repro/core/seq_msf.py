@@ -19,6 +19,7 @@ sparsification (``repro.core.sparsify``) and the degree reducer
 from __future__ import annotations
 
 import itertools
+import math
 from typing import Iterator, Optional
 
 from ..analysis.counters import OpCounter
@@ -108,6 +109,12 @@ class SparseDynamicMSF:
         #: consumed by the degree reducer / sparsification tree to compute
         #: net MSF deltas per update
         self.change_log: list[tuple[int, bool]] = []
+        # incremental MSF weight: finite part plus +/-inf multiplicities
+        # (the degree reducer's gadget chain edges weigh -inf, and float
+        # delta arithmetic on infinities would produce NaN)
+        self._w_finite = 0.0
+        self._w_ninf = 0
+        self._w_pinf = 0
         if lazy_vertices:
             self.vertices: list[Vertex] = _VertexTable(self)
         else:
@@ -154,7 +161,41 @@ class SparseDynamicMSF:
         yield from self.tree_edges
 
     def msf_weight(self) -> float:
+        """Total MSF weight, maintained incrementally (O(1) per query).
+
+        Matches ``msf_weight_recomputed()`` up to float associativity;
+        infinite chain-edge weights (degree reducer) are tracked by
+        multiplicity so deltas never produce ``inf - inf`` NaNs.
+        """
+        if self._w_ninf and self._w_pinf:
+            return float("nan")
+        if self._w_ninf:
+            return float("-inf")
+        if self._w_pinf:
+            return float("inf")
+        return self._w_finite
+
+    def msf_weight_recomputed(self) -> float:
+        """Reference full sum over tree edges (tests / debugging)."""
         return sum(e.weight for e in self.tree_edges)
+
+    def _weight_add(self, w: float) -> None:
+        if math.isinf(w):
+            if w < 0:
+                self._w_ninf += 1
+            else:
+                self._w_pinf += 1
+        else:
+            self._w_finite += w
+
+    def _weight_remove(self, w: float) -> None:
+        if math.isinf(w):
+            if w < 0:
+                self._w_ninf -= 1
+            else:
+                self._w_pinf -= 1
+        else:
+            self._w_finite -= w
 
     def degree(self, u: int) -> int:
         return self.vertices[u].degree()
@@ -196,6 +237,7 @@ class SparseDynamicMSF:
             return None
         self.tree_edges.discard(e)
         e.is_tree = False
+        self._weight_remove(e.weight)
         self.change_log.append((e.eid, False))
         self.lct.cut_edge(e.lct, e.u.lct, e.v.lct)
         self.ops.charge("lct", 1)
@@ -221,6 +263,7 @@ class SparseDynamicMSF:
     def _make_tree_edge(self, e: Edge) -> None:
         e.is_tree = True
         self.tree_edges.add(e)
+        self._weight_add(e.weight)
         self.change_log.append((e.eid, True))
         e.lct = LCTNode(key=e.key, label=e)
         self.lct.link_edge(e.lct, e.u.lct, e.v.lct)
@@ -231,6 +274,7 @@ class SparseDynamicMSF:
         """Demote tree edge ``f`` to a non-tree edge (it stays in G)."""
         f.is_tree = False
         self.tree_edges.discard(f)
+        self._weight_remove(f.weight)
         self.change_log.append((f.eid, False))
         self.lct.cut_edge(f.lct, f.u.lct, f.v.lct)
         f.lct = None

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 from .degree import DegreeReducer
 
@@ -142,6 +142,76 @@ class _Node:
         return list(added), list(removed)
 
 
+class _PropagationPlan:
+    """One update's leaf-to-root walk, reified as an executable plan.
+
+    ``stations`` is the ordered list of tree-node keys the update visits
+    (leaf first, root last) and ``step(pos)`` performs exactly one node's
+    ``apply`` -- returning ``True`` when the MSF delta has emptied and the
+    remaining stations can be skipped (Eppstein et al.'s stability
+    property).  The serial update path and the host-parallel batch
+    executor (``repro.serve.LevelExecutor``) both drive this same object,
+    so per-node op sequences -- and therefore forests, op counters and
+    PRAM depth/work -- are identical no matter how steps are scheduled,
+    as long as each station runs its plans in submission order.
+    """
+
+    __slots__ = ("owner", "stations", "init_ins", "carry", "levels",
+                 "root_delta", "_winfo")
+
+    def __init__(self, owner: "SparsifiedMSF", u: int, v: int,
+                 ins: Sequence[tuple], dels: Sequence[int],
+                 winfo: Optional[dict] = None) -> None:
+        self.owner = owner
+        # Pre-materialize the path on the constructing (host) thread so
+        # worker threads never mutate the shared node/path caches.
+        self.stations = list(reversed(owner._path(u, v)))
+        for key in self.stations:
+            owner._get_node(*key)
+        self.init_ins = list(ins)
+        self.carry: tuple[list, list] = (
+            [eid for eid, _u, _v, _w in ins], list(dels))
+        #: per visited station: (level, engine ops delta, machine depth
+        #: delta) -- same shape as ``SparsifiedMSF._last_levels``
+        self.levels: list[tuple[int, int, int]] = []
+        #: net (added, removed) edge ids of the *root* MSF, i.e. the
+        #: global forest delta of this update (empty on early exit)
+        self.root_delta: tuple[list, list] = ([], [])
+        self._winfo = winfo
+
+    def edge_info(self, eid: int) -> tuple[int, int, float]:
+        """(u, v, w) of ``eid``, falling back to the batch's tombstone
+        registry for edges whose deletion is part of the same batch."""
+        info = self.owner.edges.get(eid)
+        if info is None:
+            info = self._winfo[eid]
+        return info
+
+    def step(self, pos: int) -> bool:
+        """Run station ``pos``; returns ``True`` if the plan is finished."""
+        owner = self.owner
+        key = self.stations[pos]
+        node = owner.nodes[key]
+        is_node = isinstance(node, _Node)
+        mark = owner._node_ops(node)
+        dmark = node.depth_total() if is_node else 0
+        added_ids, removed_ids = self.carry
+        payload = (self.init_ins if pos == 0 else
+                   [(eid, *self.edge_info(eid)) for eid in added_ids])
+        added_ids, removed_ids = node.apply(payload, removed_ids)
+        depth = (node.depth_total() - dmark) if is_node else 0
+        self.levels.append((key[0], owner._node_ops(node) - mark, depth))
+        self.carry = (added_ids, removed_ids)
+        if key[0] == 0:  # the root: this delta is the global MSF delta
+            self.root_delta = (added_ids, removed_ids)
+        return not added_ids and not removed_ids
+
+    def run_serial(self) -> None:
+        for pos in range(len(self.stations)):
+            if self.step(pos):
+                return
+
+
 class SparsifiedMSF:
     """Dynamic MSF for general graphs with ``f(n)``-bounded updates.
 
@@ -150,11 +220,14 @@ class SparsifiedMSF:
     per-update cost (experiment E6 verifies cost is flat in ``m``).
     """
 
-    _eid = itertools.count(1)
-
     def __init__(self, n: int, K: Optional[int] = None, *,
                  parallel: bool = False) -> None:
         assert n >= 2
+        # Per-instance edge-id counter (a class-level counter would make
+        # assigned ids depend on how many other trees the process built,
+        # breaking the bit-identical gates between serving fronts and the
+        # serial facade replaying the same op stream).
+        self._eid = itertools.count(1)
         self.n = n
         self.K = K
         self.parallel = parallel
@@ -166,6 +239,9 @@ class SparsifiedMSF:
         assert isinstance(self.root, _Node)
         # per touched level: (level, engine ops delta, machine depth delta)
         self._last_levels: list[tuple[int, int, int]] = []
+        # incremental MSF weight, maintained from root-level deltas so
+        # ``msf_weight()`` is O(1) instead of a sum over ``msf_ids()``
+        self._msf_weight = 0.0
         # The vertex-partition tree is a pure function of `n`, so the
         # per-vertex level ranges and the per-pair root-to-leaf node paths
         # never change: memoize them instead of re-deriving each update
@@ -240,29 +316,87 @@ class SparsifiedMSF:
         if eid in self.self_loops:
             del self.self_loops[eid]
             return
-        u, v, _w = self.edges.pop(eid)
-        self._propagate(u, v, ins=[], dels=[eid])
+        u, v, w = self.edges.pop(eid)
+        self._propagate(u, v, ins=[], dels=[eid],
+                        winfo={eid: (u, v, w)})
 
-    def _propagate(self, u: int, v: int, ins, dels) -> None:
-        keys = self._path(u, v)
-        self._last_levels = []
-        added_ids = [eid for eid, _u, _v, _w in ins]
-        removed_ids = list(dels)
-        first = True
-        for key in reversed(keys):  # leaf up to and including the root
-            node = self._get_node(*key)
-            mark = self._node_ops(node)
-            dmark = node.depth_total() if isinstance(node, _Node) else 0
-            payload = ins if first else [(eid, *self.edges[eid])
-                                         for eid in added_ids]
-            added_ids, removed_ids = node.apply(payload, removed_ids)
-            depth = (node.depth_total() - dmark
-                     if isinstance(node, _Node) else 0)
-            self._last_levels.append(
-                (key[0], self._node_ops(node) - mark, depth))
-            first = False
-            if not added_ids and not removed_ids:
-                return
+    def _propagate(self, u: int, v: int, ins, dels, winfo=None) -> None:
+        plan = _PropagationPlan(self, u, v, ins, dels, winfo)
+        plan.run_serial()
+        self._last_levels = plan.levels
+        self._fold_root_delta(plan)
+
+    def _fold_root_delta(self, plan: _PropagationPlan) -> None:
+        """Fold one plan's root MSF delta into the incremental weight."""
+        added, removed = plan.root_delta
+        if not added and not removed:
+            return
+        self._msf_weight += (
+            sum(plan.edge_info(eid)[2] for eid in added)
+            - sum(plan.edge_info(eid)[2] for eid in removed))
+
+    # ------------------------------------------------------------ batching
+
+    def apply_batch(self, ops, *, executor=None) -> dict:
+        """Apply a pre-coalesced update batch; returns summary stats.
+
+        ``ops`` is a sequence of ``("ins", eid, u, v, w)`` /
+        ``("del", eid)`` tuples in a fixed canonical order (the
+        ``repro.serve`` layer produces it).  The edge registry is updated
+        up front on the calling thread; each real-graph op becomes a
+        :class:`_PropagationPlan`, and the plans are either run serially
+        in order (``executor=None``) or handed to a fork-join executor
+        that may interleave *different plans on different tree nodes*
+        concurrently -- per-node plan order is preserved, which makes the
+        result bit-identical to the serial path (Section 5.3's
+        level-independence: every level engine owns disjoint structures).
+
+        After the batch, ``_last_levels`` holds the per-level aggregate
+        ``(level, ops, depth)`` across the whole batch, so
+        :meth:`parallel_cost_of_last_update` reports the batch's
+        fork-join composition (per-level depths add within a level, the
+        max is taken across levels).
+        """
+        removed_info: dict[int, tuple[int, int, float]] = {}
+        plans: list[_PropagationPlan] = []
+        for op in ops:
+            if op[0] == "ins":
+                _t, eid, u, v, w = op
+                assert 0 <= u < self.n and 0 <= v < self.n
+                if u == v:
+                    self.self_loops[eid] = (u, w)
+                    continue
+                assert eid not in self.edges, f"duplicate edge id {eid}"
+                self.edges[eid] = (u, v, w)
+                plans.append(_PropagationPlan(
+                    self, u, v, [(eid, u, v, w)], [], removed_info))
+            else:
+                eid = op[1]
+                if eid in self.self_loops:
+                    del self.self_loops[eid]
+                    continue
+                u, v, w = self.edges.pop(eid)
+                removed_info[eid] = (u, v, w)
+                plans.append(_PropagationPlan(
+                    self, u, v, [], [eid], removed_info))
+        if executor is None or getattr(executor, "pool_size", 1) <= 1:
+            for plan in plans:
+                plan.run_serial()
+        else:
+            executor.run(plans)
+        # ordered merge on the host thread: deterministic regardless of
+        # worker scheduling (plan order is submission order)
+        per_level: dict[int, tuple[int, int]] = {}
+        for plan in plans:
+            for level, ops_d, depth_d in plan.levels:
+                o, d = per_level.get(level, (0, 0))
+                per_level[level] = (o + ops_d, d + depth_d)
+        self._last_levels = [(level, o, d)
+                             for level, (o, d) in sorted(per_level.items())]
+        for plan in plans:
+            self._fold_root_delta(plan)
+        return {"ops": len(ops), "plans": len(plans),
+                "stations": sum(len(p.levels) for p in plans)}
 
     @staticmethod
     def _node_ops(node) -> int:
@@ -281,6 +415,15 @@ class SparsifiedMSF:
             yield (u, v, w, eid)
 
     def msf_weight(self) -> float:
+        """Total MSF weight, delta-maintained from root-level MSF deltas.
+
+        O(1) instead of a sum over ``msf_ids()``; agrees with
+        :meth:`msf_weight_recomputed` up to float associativity.
+        """
+        return self._msf_weight
+
+    def msf_weight_recomputed(self) -> float:
+        """Reference full sum over the root MSF (tests / debugging)."""
         return sum(self.edges[eid][2] for eid in self.msf_ids())
 
     def connected(self, u: int, v: int) -> bool:
@@ -323,11 +466,45 @@ class SparsifiedMSF:
                 "measured": self.parallel}
 
     def erew_violations(self) -> int:
-        """Total EREW violations across every level engine (parallel mode)."""
+        """Total EREW violations across every level engine.
+
+        Safe on any tree shape: partially-materialized trees only iterate
+        the nodes that exist, ``_Leaf`` nodes carry no engine, and
+        ``parallel=False`` engines have no ``machine`` attribute -- all of
+        those contribute 0, so the serving layer can always report this.
+        """
         total = 0
         for node in self.nodes.values():
             if isinstance(node, _Node):
-                machine = getattr(node.engine.core, "machine", None)
+                machine = getattr(getattr(node.engine, "core", None),
+                                  "machine", None)
                 if machine is not None:
                     total += machine.total.violations
         return total
+
+    # ---------------------------------------------------- determinism aids
+
+    def ops_by_node(self) -> dict[tuple, int]:
+        """{node key -> elementary-op total} over materialized engines.
+
+        A scheduling-order fingerprint: the batch executor must leave this
+        identical across pool sizes (each engine sees the same op stream).
+        """
+        return {key: node.engine.core.ops.total
+                for key, node in self.nodes.items()
+                if isinstance(node, _Node)}
+
+    def depth_work_by_node(self) -> dict[tuple, tuple[int, int]]:
+        """{node key -> (machine depth, work)} for parallel-mode engines.
+
+        Empty for ``parallel=False`` trees (no machine attribute) --
+        guarded the same way as :meth:`erew_violations`.
+        """
+        out: dict[tuple, tuple[int, int]] = {}
+        for key, node in self.nodes.items():
+            if isinstance(node, _Node):
+                machine = getattr(getattr(node.engine, "core", None),
+                                  "machine", None)
+                if machine is not None:
+                    out[key] = (machine.total.depth, machine.total.work)
+        return out

@@ -7,7 +7,7 @@ MSF is *unique* and engine forests can be compared edge-for-edge.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, Optional
+from typing import Hashable, Iterable
 
 __all__ = ["UnionFind", "KruskalOracle", "kruskal"]
 

@@ -1,0 +1,29 @@
+"""repro.serve -- the batched-update / snapshot-read serving layer.
+
+Turns the reproduction's dynamic-MSF engines into a read-heavy serving
+stack (see README "Serving layer"):
+
+* :class:`BatchedMSF` -- facade-compatible front that coalesces update
+  batches deterministically and serves reads from an epoch-versioned
+  union-find snapshot;
+* :class:`LevelExecutor` -- deterministic fork-join pool dispatching the
+  sparsification tree's independent per-level engine updates (Section
+  5.3) with per-node FIFO ordering, bit-identical across pool sizes;
+* :func:`coalesce` / :class:`CoalescedBatch` -- canonical batch algebra
+  (insert+delete annihilation, dedupe, stable ordering);
+* :class:`ConnectivitySnapshot` -- the O(alpha(n))-per-query read path.
+"""
+
+from .batch import CoalescedBatch, coalesce
+from .batched import BatchedMSF
+from .executor import LevelExecutor, default_pool_size
+from .snapshot import ConnectivitySnapshot
+
+__all__ = [
+    "BatchedMSF",
+    "CoalescedBatch",
+    "ConnectivitySnapshot",
+    "LevelExecutor",
+    "coalesce",
+    "default_pool_size",
+]

@@ -1,0 +1,244 @@
+"""`BatchedMSF` -- the batched-update, snapshot-read serving front.
+
+Wraps a dynamic-MSF engine (the sparsification tree by default) behind a
+write buffer and an epoch-versioned read path:
+
+* **writes** (``insert_edge`` / ``delete_edge``) are buffered and
+  coalesced deterministically (:mod:`repro.serve.batch`) -- in-batch
+  insert+delete pairs annihilate before any engine sees them -- then
+  applied as one canonical batch, with the per-level sparsification work
+  dispatched through a :class:`~repro.serve.executor.LevelExecutor`;
+* **reads** are strongly consistent (a query first flushes pending
+  writes) and served from an epoch-stamped union-find snapshot
+  (:mod:`repro.serve.snapshot`) plus the engines' delta-maintained
+  ``msf_weight`` -- near-O(1) per query instead of a root-engine walk.
+
+The facade API mirrors :class:`repro.DynamicMSF`; ``flush()`` is the
+only addition callers may want to invoke explicitly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+from ..core.degree import DegreeReducer
+from ..core.sparsify import SparsifiedMSF
+from .batch import CoalescedBatch, coalesce
+from .executor import LevelExecutor
+from .snapshot import ConnectivitySnapshot
+
+__all__ = ["BatchedMSF"]
+
+
+class BatchedMSF:
+    """Batched-update / snapshot-read dynamic MSF for serving workloads.
+
+    Parameters
+    ----------
+    n:
+        number of vertices (``0..n-1``).
+    engine:
+        ``"sequential"`` or ``"parallel"`` core engines, as in
+        :class:`repro.DynamicMSF`.
+    sparsify:
+        route updates through the sparsification tree (default: True --
+        this is the configuration the batch executor accelerates).
+    batch_size:
+        auto-flush threshold for the write buffer.
+    pool_size:
+        host threads for the per-level fork-join executor; ``1`` is the
+        bit-identical serial path, ``None`` picks a small default pool.
+        Ignored when ``sparsify=False``.
+    consistency:
+        ``"strong"`` (default) -- every read first flushes the pending
+        batch, so queries always observe their session's writes (the
+        facade-compatible mode the differential tests compare against).
+        ``"deferred"`` -- bounded staleness: reads are served from the
+        epoch of the *last applied batch* and never force a flush, so
+        update batches stay full and coalescing does its work; call
+        :meth:`flush` for an explicit read-your-writes barrier.  This is
+        the read-heavy serving configuration (ROADMAP's
+        "millions of users" goal) and what ``bench_serve.py`` measures.
+    """
+
+    def __init__(self, n: int, *, engine: str = "sequential",
+                 sparsify: bool = True, batch_size: int = 64,
+                 pool_size: Optional[int] = None,
+                 consistency: str = "strong",
+                 K: Optional[int] = None,
+                 max_edges: Optional[int] = None) -> None:
+        assert engine in ("sequential", "parallel")
+        assert consistency in ("strong", "deferred")
+        assert batch_size >= 1
+        self.consistency = consistency
+        self.n = n
+        self.engine_kind = engine
+        self.sparsified = sparsify
+        self.batch_size = batch_size
+        if sparsify:
+            self._impl = SparsifiedMSF(n, K=K,
+                                       parallel=(engine == "parallel"))
+            self.executor: Optional[LevelExecutor] = LevelExecutor(pool_size)
+        elif engine == "parallel":
+            from ..core.par import ParallelDynamicMSF
+            self._impl = DegreeReducer(
+                n, max_edges,
+                engine_factory=lambda nc: ParallelDynamicMSF(nc, K=K))
+            self.executor = None
+        else:
+            self._impl = DegreeReducer(n, max_edges, K=K)
+            self.executor = None
+        self._next_eid = itertools.count(1)
+        self._pending: list[tuple] = []      # buffered ops, submission order
+        self._pending_ins: set[int] = set()  # not-yet-cancelled batch inserts
+        self._live: set[int] = set()         # edge ids applied and live
+        self._epoch = 0                      # bumped per applied batch
+        self._snapshot: Optional[ConnectivitySnapshot] = None
+        self.stats = {
+            "batches": 0, "ops_submitted": 0, "ops_applied": 0,
+            "ops_cancelled": 0, "ops_deduped": 0, "snapshot_builds": 0,
+            "queries": 0,
+        }
+
+    # ------------------------------------------------------------- updates
+
+    def insert_edge(self, u: int, v: int, weight: float) -> int:
+        """Buffer an edge insertion; returns its id immediately."""
+        assert 0 <= u < self.n and 0 <= v < self.n
+        eid = next(self._next_eid)
+        self._pending.append(("ins", eid, u, v, float(weight)))
+        self._pending_ins.add(eid)
+        self.stats["ops_submitted"] += 1
+        self._maybe_flush()
+        return eid
+
+    def delete_edge(self, eid: int) -> None:
+        """Buffer an edge deletion (cancels a same-batch insert)."""
+        if eid in self._pending_ins:
+            self._pending_ins.discard(eid)
+        elif eid not in self._live:
+            raise KeyError(f"unknown or already-deleted edge id {eid}")
+        self._pending.append(("del", eid))
+        self.stats["ops_submitted"] += 1
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if len(self._pending) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> Optional[CoalescedBatch]:
+        """Coalesce and apply the pending batch; returns it (or None)."""
+        if not self._pending:
+            return None
+        batch = coalesce(self._pending, known=self._live)
+        self._pending.clear()
+        self._pending_ins.clear()
+        self.stats["ops_cancelled"] += 2 * batch.cancelled
+        self.stats["ops_deduped"] += batch.deduped
+        self.stats["ops_applied"] += len(batch)
+        if len(batch):
+            self._apply(batch)
+            self._live.difference_update(batch.deletes)
+            self._live.update(eid for eid, _u, _v, _w in batch.inserts)
+            self._epoch += 1         # invalidates the read snapshot
+            self._snapshot = None
+        self.stats["batches"] += 1
+        return batch
+
+    def _apply(self, batch: CoalescedBatch) -> None:
+        impl = self._impl
+        if self.sparsified:
+            impl.apply_batch(batch.ops(), executor=self.executor)
+            return
+        # degree-reducer backend: no level structure to fork-join over;
+        # apply the canonical stream one op at a time
+        for eid in batch.deletes:
+            impl.delete_edge(eid)
+        for eid, u, v, w in batch.inserts:
+            impl.insert_edge(u, v, w, eid=eid)
+
+    # ------------------------------------------------------------- queries
+
+    def _sync(self) -> None:
+        """Read barrier: flush pending writes under strong consistency;
+        deferred mode serves reads from the last applied epoch."""
+        if self.consistency == "strong":
+            self.flush()
+
+    def _snap(self) -> ConnectivitySnapshot:
+        snap = self._snapshot
+        if snap is None or snap.epoch != self._epoch:
+            snap = ConnectivitySnapshot(
+                self.n,
+                ((u, v) for u, v, _w, _eid in self._impl.msf_edges()),
+                self._epoch)
+            self._snapshot = snap
+            self.stats["snapshot_builds"] += 1
+        return snap
+
+    def connected(self, u: int, v: int) -> bool:
+        """Union-find snapshot query: ~O(alpha(n)) after a lazy rebuild."""
+        self._sync()
+        self.stats["queries"] += 1
+        return self._snap().connected(u, v)
+
+    def component_count(self) -> int:
+        self._sync()
+        return self._snap().component_count()
+
+    def msf_weight(self) -> float:
+        """Delta-maintained total weight (O(1) on the sparsified engine)."""
+        self._sync()
+        self.stats["queries"] += 1
+        return self._impl.msf_weight()
+
+    def msf_ids(self) -> set[int]:
+        self._sync()
+        return self._impl.msf_ids()
+
+    def msf_edges(self) -> Iterator[tuple[int, int, float, int]]:
+        self._sync()
+        yield from self._impl.msf_edges()
+
+    def edge_count(self) -> int:
+        self._sync()
+        return self._impl.edge_count()
+
+    @property
+    def epoch(self) -> int:
+        """Number of applied (non-empty) batches so far."""
+        return self._epoch
+
+    @property
+    def pending_ops(self) -> int:
+        return len(self._pending)
+
+    # --------------------------------------------------------------- costs
+
+    def erew_violations(self) -> int:
+        """EREW violations of the backing engines; 0 when not measured.
+
+        Guarded for every backend configuration (sequential engines and
+        partially-materialized sparsification trees report 0).
+        """
+        self._sync()
+        impl = self._impl
+        fn = getattr(impl, "erew_violations", None)
+        if fn is not None:
+            return fn()
+        machine = getattr(getattr(impl, "core", None), "machine", None)
+        return machine.total.violations if machine is not None else 0
+
+    def parallel_cost_of_last_update(self) -> dict:
+        """Section 5.3 cost composition of the last applied batch.
+
+        Falls back to an explicit zero-cost report for backends without
+        level accounting, so the serving layer can always report costs.
+        """
+        self._sync()
+        fn = getattr(self._impl, "parallel_cost_of_last_update", None)
+        if fn is not None:
+            return fn()
+        return {"depth": 0, "processors": 0, "levels_touched": 0,
+                "measured": False}

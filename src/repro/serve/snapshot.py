@@ -1,0 +1,60 @@
+"""Epoch-versioned connectivity snapshot for the read path.
+
+``connected()`` on the sparsified engine walks the root engine's gadget
+chains and Euler-list structures -- correct, but far too heavy for a
+read-dominated serving workload.  A :class:`ConnectivitySnapshot` is a
+plain union-find built *once* from the current MSF edge set (the forest
+has at most ``n - 1`` edges, so a build is ``O(n alpha(n))``), stamped
+with the epoch of the batch it reflects.  Queries are then near-O(1)
+finds with path halving; the serving front throws the snapshot away
+whenever a batch is applied and rebuilds lazily on the first query of
+the new epoch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["ConnectivitySnapshot"]
+
+
+class ConnectivitySnapshot:
+    """Immutable-by-convention union-find over one epoch's MSF."""
+
+    __slots__ = ("n", "epoch", "edge_count", "_parent", "_components")
+
+    def __init__(self, n: int, msf_edges: Iterable[tuple[int, int]],
+                 epoch: int) -> None:
+        self.n = n
+        self.epoch = epoch
+        parent = list(range(n))
+        self._parent = parent
+        count = 0
+        components = n
+        find = self._find
+        for u, v in msf_edges:
+            count += 1
+            ru, rv = find(u), find(v)
+            if ru != rv:  # MSF edges never cycle, but stay defensive
+                # union by index keeps the build deterministic
+                if rv < ru:
+                    ru, rv = rv, ru
+                parent[rv] = ru
+                components -= 1
+        self.edge_count = count
+        self._components = components
+
+    def _find(self, x: int) -> int:
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = parent[x]
+        return x
+
+    # ------------------------------------------------------------- queries
+
+    def connected(self, u: int, v: int) -> bool:
+        return self._find(u) == self._find(v)
+
+    def component_count(self) -> int:
+        return self._components

@@ -175,10 +175,10 @@ class EulerTourForest:
         if not v_single:
             old_tail = tt.last_leaf(tt.root_of(v_star.leaf)).item
             v_new = _Occ(v)
-            root = tt.insert_after(old_tail.leaf, v_new.leaf, _pull)
+            # (return value is the possibly-new tree root; unused here)
+            tt.insert_after(old_tail.leaf, v_new.leaf, _pull)
             self._retarget((old_tail, v_star), (old_tail, v_new))
             end_v = v_new
-            del root
         u_new: Optional[_Occ] = None
         if not u_single:
             nxt = tt.next_leaf(u_star.leaf)

@@ -21,6 +21,7 @@ __all__ = [
     "path_edges",
     "dense_stream",
     "adversarial_cuts",
+    "query_mix",
     "OpStream",
     "drive",
 ]
@@ -97,6 +98,66 @@ def dense_stream(n: int, m: int, *, seed: int = 0) -> list[tuple[int, int, float
     return out
 
 
+def query_mix(n: int, steps: int, *, read_ratio: float = 0.8,
+              seed: int = 0, p_delete: float = 0.45,
+              max_degree: Optional[int] = None,
+              max_live: Optional[int] = None,
+              weights: str = "uniform") -> Iterator[Op]:
+    """Interleaved read/update serving workload on ``n`` vertices.
+
+    Each step is, with probability ``read_ratio``, a read --
+    ``("conn", u, v)`` (random connectivity probe) or ``("weight",)``
+    (total MSF weight), equally likely -- and otherwise an update drawn
+    exactly like :func:`churn` (same knobs).  Pure function of ``seed``:
+    the same seed replays the identical op stream on every engine.
+    """
+    assert 0.0 <= read_ratio <= 1.0
+    rng = random.Random(seed)
+    max_live = max_live if max_live is not None else int(1.4 * n)
+    degree = [0] * n
+    live: dict[int, tuple[int, int]] = {}  # op index -> (u, v)
+    emitted = 0
+    while emitted < steps:
+        op_index = emitted
+        if rng.random() < read_ratio:
+            if rng.random() < 0.5:
+                u, v = rng.sample(range(n), 2)
+                yield ("conn", u, v)
+            else:
+                yield ("weight",)
+            emitted += 1
+            continue
+        do_delete = live and (rng.random() < p_delete
+                              or len(live) >= max_live)
+        if do_delete:
+            ref = rng.choice(list(live))
+            u, v = live.pop(ref)
+            degree[u] -= 1
+            degree[v] -= 1
+            yield ("del", ref)
+        else:
+            for _ in range(60):
+                u, v = rng.sample(range(n), 2)
+                if max_degree is None or (degree[u] < max_degree
+                                          and degree[v] < max_degree):
+                    break
+            else:
+                # degree-saturated: degrade to a connectivity probe so the
+                # stream stays dense (every emitted index yields one op)
+                yield ("conn", u, v)
+                emitted += 1
+                continue
+            if weights == "ties":
+                w = float(rng.randint(0, 7))
+            else:
+                w = round(rng.uniform(0.0, 1000.0), 9)
+            degree[u] += 1
+            degree[v] += 1
+            live[op_index] = (u, v)
+            yield ("ins", u, v, w)
+        emitted += 1
+
+
 def adversarial_cuts(n: int, rounds: int, *, seed: int = 0) -> Iterator[Op]:
     """Worst-case probe: build one path (single large tree), then repeatedly
     delete a middle tree edge and re-insert it.
@@ -126,21 +187,36 @@ def adversarial_cuts(n: int, rounds: int, *, seed: int = 0) -> Iterator[Op]:
 
 
 class OpStream:
-    """Replays an op stream onto any engine exposing the facade API."""
+    """Replays an op stream onto any engine exposing the facade API.
+
+    Update ops (``ins``/``del``) mutate the engine; query ops (``conn``/
+    ``weight``, produced by :func:`query_mix`) call the corresponding
+    read method and append the answer to ``results`` -- so two engines
+    replaying the same stream can be differentially compared on both
+    their final state *and* every intermediate read.
+    """
 
     def __init__(self, target) -> None:
         self.target = target
         self.eids: dict[int, int] = {}  # op index -> engine eid
+        self.results: list = []         # answers of query ops, in order
         self.index = 0
 
     def apply(self, op: Op) -> None:
-        if op[0] == "ins":
+        tag = op[0]
+        if tag == "ins":
             _tag, u, v, w = op
             eid = self.target.insert_edge(u, v, w)
             self.eids[self.index] = eid
-        else:
+        elif tag == "del":
             ref = op[1]
             self.target.delete_edge(self.eids.pop(ref))
+        elif tag == "conn":
+            self.results.append(self.target.connected(op[1], op[2]))
+        elif tag == "weight":
+            self.results.append(self.target.msf_weight())
+        else:
+            raise ValueError(f"unknown op tag {tag!r}")
         self.index += 1
 
 

@@ -12,7 +12,7 @@ from repro.baselines.scan import ScanDynamicMSF
 from repro.core.audit import audit
 from repro.core.seq_msf import SparseDynamicMSF
 from repro.reference.oracle import KruskalOracle
-from repro.workloads import churn, drive
+from repro.workloads import churn
 
 
 def test_recompute_matches_oracle():

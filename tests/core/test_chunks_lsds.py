@@ -9,7 +9,6 @@ from repro.core.chunks import ChunkSpace, default_K
 from repro.core.lsds import node_cadj, node_memb
 from repro.core.model import INF_KEY
 from repro.core.seq_msf import SparseDynamicMSF
-from repro.structures import two_three_tree as tt
 
 
 def test_default_K_flavors():

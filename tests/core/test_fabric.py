@@ -9,7 +9,6 @@ import pytest
 from repro.core.audit import audit
 from repro.core.euler import tour_occurrences
 from repro.core.seq_msf import SparseDynamicMSF
-from repro.structures import two_three_tree as tt
 
 
 def build_path_engine(n, K=8):
@@ -148,11 +147,9 @@ def test_insert_delete_occurrence_fixes_invariant():
     first = lst.first_chunk()
     head = first.head
     occ = eng.fabric.insert_occ_after(head, head.vertex)
-    audit_skip_tour_checks = False
     # the new occurrence breaks tour validity intentionally; undo it
     eng.fabric.delete_occ(occ)
     audit(eng)
-    del audit_skip_tour_checks
 
 
 def test_move_principal_recharges_edges():

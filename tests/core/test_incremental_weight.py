@@ -1,0 +1,106 @@
+"""Incremental ``msf_weight`` pinned against full recomputation.
+
+Both engines maintain the total forest weight as a running delta --
+O(1) per query instead of a walk.  These tests replay churn streams and
+assert the incremental value matches ``msf_weight_recomputed()`` (the
+reference full sum) after *every* operation, including the degree
+reducer's ``-inf`` chain edges, which are tracked by multiplicity so the
+deltas never produce ``inf - inf`` NaNs.
+"""
+
+import math
+
+import pytest
+
+from repro import DynamicMSF
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.core.sparsify import SparsifiedMSF
+from repro.workloads import churn
+
+
+def _close(a, b):
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@pytest.mark.parametrize("weights", ["uniform", "ties"])
+def test_seq_core_weight_tracks_recomputation(weights):
+    n = 64
+    eng = SparseDynamicMSF(n)
+    handles = {}
+    for idx, op in enumerate(churn(n, 300, seed=3, max_degree=3,
+                                   weights=weights)):
+        if op[0] == "ins":
+            _t, u, v, w = op
+            handles[idx] = eng.insert_edge(u, v, w, eid=1000 + idx)
+        else:
+            eng.delete_edge(handles.pop(op[1]))
+        assert _close(eng.msf_weight(), eng.msf_weight_recomputed())
+
+
+def test_seq_core_negative_inf_chain_edges():
+    """-inf edges (the degree reducer's chain weights) by multiplicity."""
+    eng = SparseDynamicMSF(8)
+    ninf = float("-inf")
+    e1 = eng.insert_edge(0, 1, ninf, eid=1)
+    e2 = eng.insert_edge(1, 2, ninf, eid=2)
+    e3 = eng.insert_edge(2, 3, 5.0, eid=3)
+    assert eng.msf_weight() == ninf
+    eng.delete_edge(e1)
+    assert eng.msf_weight() == ninf           # one -inf edge remains
+    eng.delete_edge(e2)
+    assert eng.msf_weight() == 5.0            # finite part resurfaces intact
+    eng.delete_edge(e3)
+    assert eng.msf_weight() == 0.0
+
+
+def test_sparsified_weight_tracks_recomputation():
+    n = 48
+    eng = SparsifiedMSF(n)
+    handles = {}
+    for idx, op in enumerate(churn(n, 260, seed=7)):
+        if op[0] == "ins":
+            _t, u, v, w = op
+            handles[idx] = eng.insert_edge(u, v, w)
+        else:
+            eng.delete_edge(handles.pop(op[1]))
+        assert _close(eng.msf_weight(), eng.msf_weight_recomputed())
+
+
+def test_sparsified_batch_weight_tracks_recomputation():
+    """apply_batch folds root deltas exactly like serial propagation."""
+    n = 32
+    eng = SparsifiedMSF(n)
+    eid = 0
+    live = []
+    import random
+    rng = random.Random(5)
+    for _round in range(12):
+        ops = []
+        for _ in range(6):
+            if live and rng.random() < 0.4:
+                ops.append(("del", live.pop(rng.randrange(len(live)))))
+            else:
+                eid += 1
+                u, v = rng.sample(range(n), 2)
+                ops.append(("ins", eid, u, v, round(rng.uniform(0, 99), 6)))
+                live.append(eid)
+        eng.apply_batch(ops)
+        assert _close(eng.msf_weight(), eng.msf_weight_recomputed())
+
+
+def test_facade_weight_with_degree_reducer_gadgets():
+    """Through the facade the -inf chain edges are internal: the public
+    weight equals the sum over the public ``msf_edges()``."""
+    n = 24
+    msf = DynamicMSF(n, max_edges=6 * n)
+    handles = {}
+    for idx, op in enumerate(churn(n, 200, seed=1)):  # unbounded degree
+        if op[0] == "ins":
+            _t, u, v, w = op
+            handles[idx] = msf.insert_edge(u, v, w)
+        else:
+            msf.delete_edge(handles.pop(op[1]))
+        want = sum(w for _u, _v, w, _e in msf.msf_edges())
+        assert _close(msf.msf_weight(), want)

@@ -33,7 +33,7 @@ def test_mwr_long_long_picks_global_min():
 def test_mwr_short_short():
     eng = SparseDynamicMSF(8, K=16)
     t = eng.insert_edge(0, 1, 1.0)
-    c1 = eng.insert_edge(0, 1, 3.0)
+    eng.insert_edge(0, 1, 3.0)          # middle-weight backup
     c2 = eng.insert_edge(0, 1, 2.0)
     replacement = eng.delete_edge(t)
     assert replacement is c2
@@ -47,14 +47,12 @@ def test_mwr_short_vs_long():
         eng.insert_edge(i, i + 1, 0.01 * i, eid=1000 + i)
     # vertex 50 hangs off the long component by a tree edge + two backups
     t = eng.insert_edge(50, 7, 0.5, eid=2000)
-    b1 = eng.insert_edge(50, 20, 4.0, eid=2001)
+    eng.insert_edge(50, 20, 4.0, eid=2001)  # heavier backup
     b2 = eng.insert_edge(50, 33, 3.0, eid=2002)
     assert t.is_tree
-    lu_is_short = True  # singleton side after the cut
     replacement = eng.delete_edge(t)
     assert replacement is b2
     audit(eng)
-    del lu_is_short
 
 
 def test_mwr_none_when_disconnected():

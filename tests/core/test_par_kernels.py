@@ -6,7 +6,6 @@ import math
 import random
 
 import numpy as np
-import pytest
 
 from repro.core.model import INF_KEY
 from repro.core.par import kernels as kn
@@ -26,7 +25,6 @@ def build_par_engine(n=64, K=8, edges=None):
 
 def test_get_edge_assignments_cover_every_endpoint():
     eng = build_par_engine(48)
-    space = eng.fabric.space
     machine = eng.machine
     for lst in eng.fabric.registry.long_lists:
         for chunk in lst.chunks():
@@ -103,7 +101,7 @@ def test_path_refresh_kernel_matches_host_pull():
     stats = kn.path_refresh_kernel(eng.machine, space, leaf)
     assert stats.violations == 0
     # compare against a full host recompute
-    from repro.core.lsds import make_pull, node_cadj, node_memb
+    from repro.core.lsds import make_pull
     pull = make_pull(space)
     node = leaf.parent
     while node is not None:

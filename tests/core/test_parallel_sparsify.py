@@ -11,7 +11,6 @@ from __future__ import annotations
 import math
 import random
 
-import pytest
 
 from repro.core.sparsify import SparsifiedMSF
 from repro.reference.oracle import KruskalOracle

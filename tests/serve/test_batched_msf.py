@@ -1,0 +1,229 @@
+"""BatchedMSF differential gates.
+
+The serving front must be *observationally identical* to the plain
+facade: same forest, same weight, same answers -- for every batch size,
+every pool size, and both backing engines.  Deferred mode is gated
+against an explicit lagged oracle (updates apply in blocks, reads see
+the last applied block).
+"""
+
+import math
+
+import pytest
+
+from repro import BatchedMSF, DynamicMSF
+from repro.workloads import churn, drive, query_mix
+
+
+def _forest(engine):
+    return {(u, v, w) for u, v, w, _eid in engine.msf_edges()}
+
+
+def _weights_close(a, b):
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# differential vs naive one-at-a-time application
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("batch_size", [1, 7, 64])
+def test_strong_mode_matches_facade_read_for_read(batch_size):
+    n, ops = 48, list(query_mix(48, 300, read_ratio=0.5, seed=2))
+    naive = drive(DynamicMSF(n, sparsify=True), ops)
+    served = drive(BatchedMSF(n, batch_size=batch_size, pool_size=1), ops)
+    assert len(served.results) == len(naive.results)
+    for got, want in zip(served.results, naive.results):
+        if isinstance(want, bool):
+            assert got == want
+        else:
+            assert _weights_close(got, want)
+    served.target.flush()
+    assert _forest(served.target) == _forest(naive.target)
+    assert _weights_close(served.target.msf_weight(), naive.target.msf_weight())
+    assert served.target.edge_count() == naive.target.edge_count()
+    assert served.target.erew_violations() == 0
+
+
+@pytest.mark.parametrize("pool", [1, 2, 4])
+def test_pool_sizes_bit_identical(pool):
+    """Any pool size must equal the serial facade: forest, weight, and the
+    per-node elementary-op fingerprints of the sparsification tree."""
+    n, ops = 40, list(churn(40, 220, seed=9))
+    base = DynamicMSF(n, sparsify=True)
+    drive(base, ops)
+    served = BatchedMSF(n, batch_size=16, pool_size=pool)
+    drive(served, ops)
+    served.flush()
+    assert _forest(served) == _forest(base)
+    assert served.msf_ids() == base.msf_ids()
+    assert _weights_close(served.msf_weight(), base.msf_weight())
+    # the determinism gate: every engine in the tree did the *same work*
+    assert served._impl.ops_by_node() is not None
+    ref = BatchedMSF(n, batch_size=16, pool_size=1)
+    drive(ref, ops)
+    ref.flush()
+    assert served._impl.ops_by_node() == ref._impl.ops_by_node()
+
+
+def test_parallel_engine_pool_sizes_bit_identical():
+    """PRAM depth/work per tree node is pool-size independent too."""
+    n, ops = 24, list(churn(24, 40, seed=4))
+    fronts = []
+    for pool in (1, 3):
+        f = BatchedMSF(n, engine="parallel", batch_size=8, pool_size=pool)
+        drive(f, ops)
+        f.flush()
+        fronts.append(f)
+    a, b = fronts
+    assert _forest(a) == _forest(b)
+    assert _weights_close(a.msf_weight(), b.msf_weight())
+    assert a._impl.depth_work_by_node() == b._impl.depth_work_by_node()
+    assert a._impl.ops_by_node() == b._impl.ops_by_node()
+    assert a.erew_violations() == 0 and b.erew_violations() == 0
+    assert a.parallel_cost_of_last_update() == b.parallel_cost_of_last_update()
+
+
+def test_degree_reducer_backend_matches_facade():
+    """sparsify=False routes through the DegreeReducer; same contract."""
+    n, ops = 32, list(churn(32, 150, seed=5))
+    base = DynamicMSF(n, max_edges=4 * n)
+    drive(base, ops)
+    served = BatchedMSF(n, sparsify=False, max_edges=4 * n, batch_size=16)
+    drive(served, ops)
+    served.flush()
+    assert _forest(served) == _forest(base)
+    assert _weights_close(served.msf_weight(), base.msf_weight())
+    assert served.erew_violations() == 0
+    assert served.parallel_cost_of_last_update()["measured"] is False
+
+
+# ---------------------------------------------------------------------------
+# deferred consistency vs the lagged oracle
+# ---------------------------------------------------------------------------
+
+def _lagged_oracle(n, ops, batch_size):
+    eng = DynamicMSF(n, sparsify=True)
+    eids, results, buffered = {}, [], []
+    for i, op in enumerate(ops):
+        if op[0] in ("ins", "del"):
+            buffered.append((i, op))
+            if len(buffered) >= batch_size:
+                for j, b in buffered:
+                    if b[0] == "ins":
+                        eids[j] = eng.insert_edge(b[1], b[2], b[3])
+                    else:
+                        eng.delete_edge(eids.pop(b[1]))
+                buffered.clear()
+        elif op[0] == "conn":
+            results.append(eng.connected(op[1], op[2]))
+        else:
+            results.append(eng.msf_weight())
+    return results
+
+
+@pytest.mark.parametrize("pool", [1, 2])
+def test_deferred_mode_matches_lagged_oracle(pool):
+    n, bs = 40, 16
+    ops = list(query_mix(n, 400, read_ratio=0.7, seed=13))
+    served = BatchedMSF(n, batch_size=bs, pool_size=pool,
+                        consistency="deferred")
+    stream = drive(served, ops)
+    want = _lagged_oracle(n, ops, bs)
+    assert len(stream.results) == len(want)
+    for got, exp in zip(stream.results, want):
+        if isinstance(exp, bool):
+            assert got == exp
+        else:
+            assert _weights_close(got, exp)
+    # flush() is the explicit read-your-writes barrier
+    served.flush()
+    naive = DynamicMSF(n, sparsify=True)
+    drive(naive, ops)
+    assert _forest(served) == _forest(naive)
+
+
+def test_deferred_reads_do_not_flush():
+    front = BatchedMSF(8, batch_size=64, consistency="deferred")
+    front.insert_edge(0, 1, 1.0)
+    assert front.pending_ops == 1
+    assert front.connected(0, 1) is False     # stale: batch not applied yet
+    assert front.pending_ops == 1             # read did NOT force a flush
+    front.flush()
+    assert front.connected(0, 1) is True
+
+
+# ---------------------------------------------------------------------------
+# batching mechanics: epochs, snapshots, cancellation, errors
+# ---------------------------------------------------------------------------
+
+def test_epoch_and_snapshot_invalidation():
+    front = BatchedMSF(6, batch_size=100)
+    assert front.epoch == 0
+    e1 = front.insert_edge(0, 1, 1.0)
+    front.insert_edge(1, 2, 2.0)
+    assert front.pending_ops == 2
+    assert front.connected(0, 2) is True      # strong read flushes
+    assert front.epoch == 1 and front.pending_ops == 0
+    builds = front.stats["snapshot_builds"]
+    front.connected(0, 1)                     # same epoch: cached snapshot
+    assert front.stats["snapshot_builds"] == builds
+    front.delete_edge(e1)
+    assert front.connected(0, 1) is False     # new epoch: lazy rebuild
+    assert front.epoch == 2
+    assert front.stats["snapshot_builds"] == builds + 1
+
+
+def test_in_batch_cancellation_never_reaches_engine():
+    front = BatchedMSF(6, batch_size=100)
+    eid = front.insert_edge(0, 1, 1.0)
+    front.delete_edge(eid)                    # cancels in the buffer
+    batch = front.flush()
+    assert batch is not None and len(batch) == 0
+    assert batch.cancelled == 1
+    assert front.stats["ops_cancelled"] == 2
+    assert front.edge_count() == 0
+    assert front.epoch == 0                   # empty batch: no epoch bump
+
+
+def test_auto_flush_at_batch_size():
+    front = BatchedMSF(10, batch_size=3)
+    front.insert_edge(0, 1, 1.0)
+    front.insert_edge(1, 2, 1.0)
+    assert front.epoch == 0
+    front.insert_edge(2, 3, 1.0)              # hits the threshold
+    assert front.epoch == 1 and front.pending_ops == 0
+
+
+def test_delete_unknown_edge_raises_at_submit():
+    front = BatchedMSF(4)
+    with pytest.raises(KeyError):
+        front.delete_edge(999)
+    eid = front.insert_edge(0, 1, 1.0)
+    front.flush()
+    front.delete_edge(eid)
+    front.flush()
+    with pytest.raises(KeyError):             # already deleted and applied
+        front.delete_edge(eid)
+
+
+def test_duplicate_pending_delete_dedupes():
+    front = BatchedMSF(4, batch_size=100)
+    eid = front.insert_edge(0, 1, 1.0)
+    front.flush()
+    front.delete_edge(eid)
+    front.delete_edge(eid)                    # duplicate while buffered
+    batch = front.flush()
+    assert batch.deletes == (eid,) and batch.deduped == 1
+    assert front.edge_count() == 0
+
+
+def test_stats_account_for_every_submitted_op():
+    n, ops = 32, list(churn(32, 200, seed=21))
+    front = BatchedMSF(n, batch_size=32)
+    drive(front, ops)
+    front.flush()
+    s = front.stats
+    assert s["ops_submitted"] == len(ops)
+    assert (s["ops_applied"] + s["ops_cancelled"] + s["ops_deduped"]
+            == s["ops_submitted"])

@@ -1,0 +1,133 @@
+"""LevelExecutor contract: per-station FIFO order, early exit, errors.
+
+The executor promises that for every station, plans execute there in
+submission order, mutually exclusive -- so each station observes a
+schedule-independent op sequence and any pool size is bit-identical to
+the serial path.  These tests drive it with synthetic plans that record
+their execution trace per station.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve.executor import LevelExecutor, default_pool_size
+
+
+class TracePlan:
+    """Records (plan_id, station) visits into a shared per-station log."""
+
+    def __init__(self, pid, stations, logs, *, stop_at=None, fail_at=None,
+                 barrier=None):
+        self.pid = pid
+        self.stations = list(stations)
+        self.logs = logs            # station -> list of pids (station-locked)
+        self.stop_at = stop_at      # early-exit after this many steps
+        self.fail_at = fail_at      # raise at this station index
+        self.barrier = barrier      # optional concurrency probe
+
+    def step(self, pos):
+        if self.fail_at is not None and pos == self.fail_at:
+            raise RuntimeError(f"plan {self.pid} failed at {pos}")
+        if self.barrier is not None:
+            self.barrier(self.pid, self.stations[pos])
+        self.logs.setdefault(self.stations[pos], []).append(self.pid)
+        return self.stop_at is not None and pos + 1 >= self.stop_at
+
+
+def run_plans(pool, specs):
+    """specs: list of (stations, kwargs); returns station->pid-order log."""
+    logs = {}
+    plans = [TracePlan(i, st, logs, **kw) for i, (st, kw) in enumerate(specs)]
+    LevelExecutor(pool).run(plans)
+    return logs
+
+
+STATION_SETS = [
+    # classic leaf->root paths sharing upper stations
+    [(["a", "x", "r"], {}), (["b", "x", "r"], {}), (["c", "r"], {})],
+    # disjoint plans
+    [(["a"], {}), (["b"], {}), (["c"], {})],
+    # total overlap: pure pipeline
+    [(["x", "y", "z"], {}), (["x", "y", "z"], {}), (["x", "y", "z"], {})],
+]
+
+
+@pytest.mark.parametrize("pool", [1, 2, 4])
+@pytest.mark.parametrize("specs", STATION_SETS)
+def test_station_fifo_order_any_pool(pool, specs):
+    logs = run_plans(pool, specs)
+    for station, pids in logs.items():
+        expected = [i for i, (st, _kw) in enumerate(specs) if station in st]
+        assert pids == expected, f"station {station!r} order broke"
+
+
+@pytest.mark.parametrize("pool", [1, 3])
+def test_early_exit_releases_downstream_claims(pool):
+    # plan 0 stops after its first station; plan 1 shares the later ones
+    # and must not deadlock waiting on plan 0's abandoned claims.
+    logs = run_plans(pool, [
+        (["a", "x", "r"], {"stop_at": 1}),
+        (["x", "r"], {}),
+    ])
+    assert logs["a"] == [0]
+    assert logs["x"] == [1] and logs["r"] == [1]
+
+
+@pytest.mark.parametrize("pool", [1, 3])
+def test_exception_propagates(pool):
+    with pytest.raises(RuntimeError, match="failed at"):
+        run_plans(pool, [
+            (["a", "r"], {}),
+            (["b", "r"], {"fail_at": 0}),
+        ])
+
+
+def test_lowest_plan_index_error_wins_eventually():
+    # both plans fail; the reported error must be deterministic enough to
+    # come from one of them (the scheduler prefers the lowest index when
+    # both are recorded).  With pool 1 the first plan always wins.
+    with pytest.raises(RuntimeError, match="plan 0"):
+        run_plans(1, [
+            (["a"], {"fail_at": 0}),
+            (["b"], {"fail_at": 0}),
+        ])
+
+
+def test_pipeline_overlap_actually_happens_with_pool():
+    """Two disjoint single-station plans overlap under pool >= 2."""
+    if (default_pool_size() or 1) < 1:  # pragma: no cover - sanity
+        pytest.skip("no host threads")
+    gate = threading.Barrier(2, timeout=10)
+    overlapped = []
+
+    def probe(pid, station):
+        try:
+            gate.wait(timeout=5)
+            overlapped.append(pid)
+        except threading.BrokenBarrierError:  # pragma: no cover
+            pass
+
+    logs = {}
+    plans = [TracePlan(i, [f"s{i}"], logs, barrier=probe) for i in range(2)]
+    LevelExecutor(2).run(plans)
+    # both plans reached the barrier simultaneously => true overlap
+    assert sorted(overlapped) == [0, 1]
+
+
+def test_empty_and_stationless_plans():
+    LevelExecutor(2).run([])                            # no-op
+    logs = run_plans(2, [([], {}), (["a"], {})])
+    assert logs == {"a": [1]}
+
+
+def test_pool_one_is_submission_order_serial():
+    logs = run_plans(1, [(["a", "r"], {}), (["b", "r"], {})])
+    # serial path: plan 0 fully first (its stations), then plan 1
+    assert logs["r"] == [0, 1]
+    assert logs["a"] == [0] and logs["b"] == [1]
+
+
+def test_default_pool_size_bounds():
+    p = default_pool_size()
+    assert 1 <= p <= 4

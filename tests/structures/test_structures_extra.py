@@ -40,8 +40,6 @@ def test_height_of():
 
 
 def test_refresh_upward_propagates_leaf_change():
-    sums = []
-
     def pull(node):
         node.agg = sum(k.agg if not k.is_leaf else k.item for k in node.kids)
 
@@ -57,7 +55,6 @@ def test_refresh_upward_propagates_leaf_change():
     leaves[3].item = 104  # 4 -> 104
     tt.refresh_upward(leaves[3], pull)
     assert root.agg == 136
-    del sums
 
 
 def test_first_last_leaf_none():

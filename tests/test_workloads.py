@@ -7,7 +7,7 @@ import pytest
 from repro.core.seq_msf import SparseDynamicMSF
 from repro.reference.oracle import KruskalOracle
 from repro.workloads import (OpStream, adversarial_cuts, churn, dense_stream,
-                             drive, grid_edges, path_edges)
+                             drive, grid_edges, path_edges, query_mix)
 
 
 def test_churn_is_deterministic():
@@ -95,6 +95,54 @@ def test_opstream_drive_replays_identically():
     assert ({e.eid for e in eng1.msf_edges()}
             != set()) or eng1.msf_weight() == 0
     assert eng1.msf_weight() == pytest.approx(eng2.msf_weight())
+
+
+def test_query_mix_is_deterministic():
+    a = list(query_mix(24, 120, read_ratio=0.8, seed=9))
+    b = list(query_mix(24, 120, read_ratio=0.8, seed=9))
+    assert a == b
+    assert a != list(query_mix(24, 120, read_ratio=0.8, seed=10))
+    assert a != list(query_mix(24, 120, read_ratio=0.5, seed=9))
+
+
+def test_query_mix_stream_shape():
+    n, steps, ratio = 20, 400, 0.75
+    ops = list(query_mix(n, steps, read_ratio=ratio, seed=3))
+    assert len(ops) == steps            # every index yields exactly one op
+    tags = [op[0] for op in ops]
+    assert set(tags) <= {"ins", "del", "conn", "weight"}
+    reads = sum(t in ("conn", "weight") for t in tags)
+    assert abs(reads / steps - ratio) < 0.12  # seeded, loose sanity band
+    # deletes reference live inserts, conn endpoints are in range
+    live = set()
+    for idx, op in enumerate(ops):
+        if op[0] == "ins":
+            assert 0 <= op[1] < n and 0 <= op[2] < n and op[1] != op[2]
+            live.add(idx)
+        elif op[0] == "del":
+            assert op[1] in live
+            live.discard(op[1])
+        elif op[0] == "conn":
+            assert 0 <= op[1] < n and 0 <= op[2] < n
+
+
+def test_query_mix_extremes():
+    assert all(op[0] in ("conn", "weight")
+               for op in query_mix(10, 60, read_ratio=1.0, seed=0))
+    assert all(op[0] in ("ins", "del")
+               for op in query_mix(10, 60, read_ratio=0.0, seed=0))
+
+
+def test_opstream_records_query_results():
+    eng = SparseDynamicMSF(8, K=4)
+    stream = OpStream(eng)
+    stream.apply(("ins", 0, 1, 2.5))
+    stream.apply(("conn", 0, 1))
+    stream.apply(("weight",))
+    stream.apply(("conn", 0, 7))
+    assert stream.results == [True, 2.5, False]
+    with pytest.raises(ValueError):
+        stream.apply(("bogus",))
 
 
 def test_adversarial_cuts_keep_msf_correct():

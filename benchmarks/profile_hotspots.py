@@ -5,6 +5,7 @@ Usage:
     python benchmarks/profile_hotspots.py [engine] [n] [steps]
                                           [--sort {cumulative,tottime}]
                                           [--limit N] [-o FILE]
+                                          [--json FILE] [--cold]
 
 engine: seq | par | par-fast | sparsify   (default seq, n=1024, steps=300)
 
@@ -16,6 +17,17 @@ numpy vector pulls and the chunk rescans -- already the
 algorithmically-charged costs).  ``-o FILE`` additionally dumps the raw
 profile for ``snakeviz`` / ``pstats`` post-processing.
 
+For engines that support the PR 3 engine arena (``sparsify``), the default
+run first drives one *untimed* warm-up workload, releases the tree's node
+engines back to the pool, and rebuilds -- the profiled loop then shows the
+pooled steady state (no per-update ``DegreeReducer``/``ChunkSpace``
+construction and zero runtime class creation).  ``--cold`` disables the
+warm-up so cold-path construction costs can still be attributed.
+
+``--json FILE`` additionally writes a machine-readable attribution record
+(top-N rows by ``cumtime`` and ``tottime`` plus per-module ``tottime``
+totals) so CI can archive hotspot attribution next to the BENCH file.
+
 Unknown engine names are rejected *before* any profiling starts, and the
 process exits non-zero so shell pipelines fail loudly.
 """
@@ -24,10 +36,15 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import json
+import os
 import pstats
 import sys
+import time
 
 ENGINES = ("seq", "par", "par-fast", "sparsify")
+
+JSON_SCHEMA = "hotspot-attribution/v1"
 
 
 def build(engine: str, n: int):
@@ -63,6 +80,42 @@ def workload(eng, core_style: bool, n: int, steps: int) -> None:
         idx += 1
 
 
+def _module_of(filename: str) -> str:
+    """Human attribution key: python module (or builtin bucket) of a row."""
+    if filename.startswith("<") or filename == "~":
+        return "<builtins>"
+    return os.path.splitext(os.path.basename(filename))[0]
+
+
+def attribution(stats: pstats.Stats, limit: int) -> dict:
+    """Top-``limit`` rows by cumtime and tottime, plus per-module totals."""
+    entries = []
+    modules: dict[str, float] = {}
+    for (filename, lineno, funcname), row in stats.stats.items():
+        _cc, nc, tottime, cumtime, _callers = row
+        module = _module_of(filename)
+        entries.append({
+            "module": module,
+            "function": funcname,
+            "file": filename,
+            "line": lineno,
+            "ncalls": nc,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        })
+        modules[module] = modules.get(module, 0.0) + tottime
+    by_cum = sorted(entries, key=lambda e: e["cumtime"], reverse=True)
+    by_tot = sorted(entries, key=lambda e: e["tottime"], reverse=True)
+    return {
+        "top_cumtime": by_cum[:limit],
+        "top_tottime": by_tot[:limit],
+        "tottime_by_module": {
+            m: round(t, 6)
+            for m, t in sorted(modules.items(), key=lambda kv: -kv[1])
+        },
+    }
+
+
 def parse_args(argv=None) -> argparse.Namespace:
     parser = argparse.ArgumentParser(
         description="Profile an engine's hot paths under the churn workload.")
@@ -79,6 +132,13 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="how many rows to print (default: 18)")
     parser.add_argument("-o", "--output", metavar="FILE", default=None,
                         help="also dump the raw profile to FILE")
+    parser.add_argument("--json", metavar="FILE", default=None,
+                        help="write a machine-readable hotspot-attribution "
+                             "record (top-N cumtime/tottime rows plus "
+                             "per-module totals) to FILE")
+    parser.add_argument("--cold", action="store_true",
+                        help="skip the engine-arena warm-up pass and "
+                             "profile the cold build path instead")
     return parser.parse_args(argv)
 
 
@@ -97,18 +157,43 @@ def main(argv=None) -> int:
     except ValueError as exc:  # unreachable via argparse choices; belt+braces
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    arena = "cold"
+    if not args.cold and getattr(eng, "release", None) is not None:
+        # Warm the engine arena: drive the workload once untimed, return the
+        # node engines to the pool, rebuild.  The profiled loop below then
+        # materializes its sparsification nodes from the free-list -- the
+        # pooled steady state PR 3's tentpole targets -- instead of paying
+        # cold DegreeReducer/ChunkSpace construction per node.
+        workload(eng, core_style, args.n, args.steps)
+        eng.release()
+        eng, core_style = build(args.engine, args.n)
+        arena = "warm"
     prof = cProfile.Profile()
     prof.enable()
     workload(eng, core_style, args.n, args.steps)
     prof.disable()
     stats = pstats.Stats(prof)
     stats.sort_stats(args.sort)
-    print(f"== {args.engine} engine, n={args.n}, {args.steps} updates: "
-          f"top functions by {args.sort} ==")
+    print(f"== {args.engine} engine, n={args.n}, {args.steps} updates "
+          f"({arena} arena): top functions by {args.sort} ==")
     stats.print_stats(args.limit)
     if args.output:
         prof.dump_stats(args.output)
         print(f"raw profile written to {args.output}")
+    if args.json:
+        record = {
+            "schema": JSON_SCHEMA,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "engine": args.engine,
+            "n": args.n,
+            "steps": args.steps,
+            "arena": arena,
+            **attribution(stats, args.limit),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(record, fh, indent=2)
+            fh.write("\n")
+        print(f"hotspot attribution written to {args.json}")
     return 0
 
 

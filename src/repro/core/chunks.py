@@ -57,7 +57,7 @@ class Chunk:
     """A consecutive run of occurrences in one Euler-tour list."""
 
     __slots__ = ("head", "tail", "count", "n_edges", "id", "leaf",
-                 "memb_row", "bt_root", "dead")
+                 "memb_row", "bt_root", "dead", "cache_ver", "cache_lst")
 
     def __init__(self) -> None:
         self.head: Optional[Occurrence] = None
@@ -69,6 +69,8 @@ class Chunk:
         self.memb_row: Optional[np.ndarray] = None  # one-hot bools when id'd
         self.bt_root: Optional[tt.Node] = None      # BT_c (parallel engine)
         self.dead = False       # merged away / dropped; guards stale refs
+        self.cache_ver = 0      # chunk->list cache stamp (ListRegistry.version)
+        self.cache_lst = None   # cached EulerList, valid iff stamps match
 
     @property
     def n_c(self) -> int:
@@ -129,6 +131,20 @@ class ChunkSpace:
         self._free_ids = list(range(self.Jcap - 1, -1, -1))
         self.with_bt = with_bt
         self.ops = ops if ops is not None else OpCounter()
+
+    def reset(self) -> None:
+        """Restore the space to its just-constructed state **in place**.
+
+        The matrix buffer, ``inf_row`` and the stable ``row_views`` survive
+        (PRAM kernels address cells as ``(row_view, column)``, so identity
+        must be preserved across arena reuse); only the contents and the id
+        free-list are re-initialized.  Callers pause accounting around this,
+        mirroring how ``__init__``'s work lands outside any measurement
+        window.
+        """
+        self.C.fill(INF_KEY)
+        self.chunk_of_id = [None] * self.Jcap
+        self._free_ids = list(range(self.Jcap - 1, -1, -1))
 
     # -- id management ---------------------------------------------------------
 
@@ -230,22 +246,45 @@ class ChunkSpace:
         count = 0
         n_edges = 0
         bt_root: Optional[tt.Node] = None
-        prev_leaf: Optional[tt.Node] = None
-        for occ in self.occ_iter_between(c.head, c.tail):
-            occ.chunk = c
-            occ.chunk_id = c.id
-            count += 1
-            deg = occ.vertex.degree() if occ.is_principal else 0
-            n_edges += deg
-            if self.with_bt:
-                lf = tt.leaf(occ, agg=(1 + deg, deg))
+        cid = c.id
+        tail = c.tail
+        charge = self.ops.charge
+        if not self.with_bt:
+            # Hot-loop hygiene: the sequential engine takes this branch on
+            # every Invariant-1 fix; the per-occurrence ``with_bt`` test,
+            # attribute re-lookups and the generator frame of
+            # ``occ_iter_between`` are hoisted out of the O(K) scan.
+            occ = c.head
+            while occ is not None:
+                occ.chunk = c
+                occ.chunk_id = cid
+                count += 1
+                if occ.is_principal:
+                    n_edges += occ.vertex.degree()
+                if occ is tail:
+                    break
+                occ = occ.next
+        else:
+            prev_leaf: Optional[tt.Node] = None
+            tt_leaf, insert_after = tt.leaf, tt.insert_after
+            occ = c.head
+            while occ is not None:
+                occ.chunk = c
+                occ.chunk_id = cid
+                count += 1
+                deg = occ.vertex.degree() if occ.is_principal else 0
+                n_edges += deg
+                lf = tt_leaf(occ, agg=(1 + deg, deg))
                 occ.bt_leaf = lf
                 if bt_root is None:
                     bt_root = lf
                 else:
-                    bt_root = tt.insert_after(prev_leaf, lf, _bt_pull)
+                    bt_root = insert_after(prev_leaf, lf, _bt_pull)
                 prev_leaf = lf
-            self.ops.charge("occ_scan")
+                if occ is tail:
+                    break
+                occ = occ.next
+        charge("occ_scan", count)
         c.count = count
         c.n_edges = n_edges
         c.bt_root = bt_root

@@ -46,6 +46,22 @@ class _Chain:
         self.free: list[int] = [g0]   # gadget nodes with an open host slot
         self.hosted: dict[int, int] = {}  # gadget node -> hosted real eid
 
+    def reset(self, g0: int) -> None:
+        """Restore to the just-constructed state without reallocating."""
+        nodes = self.nodes
+        if len(nodes) == 1:
+            nodes[0] = g0
+        else:
+            del nodes[:]
+            nodes.append(g0)
+        free = self.free
+        if len(free) == 1:
+            free[0] = g0
+        else:
+            del free[:]
+            free.append(g0)
+        self.hosted.clear()
+
     @property
     def anchor(self) -> int:
         return self.nodes[0]
@@ -99,6 +115,27 @@ class DegreeReducer:
         self.self_loops: dict[int, tuple[int, float]] = {}
         # chain core-edges: gadget id -> core Edge to its chain predecessor
         self._chain_edge: dict[int, Edge] = {}
+
+    def reset(self) -> None:
+        """In-place reset for engine-arena reuse (see ``core.sparsify``).
+
+        Recycles the ``_Chain`` objects (the per-churn profile showed
+        thousands of ``_Chain.__init__`` calls from rebuilding reducers)
+        and delegates the heavy state to :meth:`SparseDynamicMSF.reset`.
+        After this the reducer is bit-identical to a freshly constructed
+        one: same eid stream, same pool order, same empty registries.
+        """
+        self._eid = itertools.count(1)
+        self.core.reset()
+        n_core = self.n + 2 * self.max_edges
+        pool = self._pool
+        del pool[:]
+        pool.extend(range(n_core - 1, self.n - 1, -1))
+        for v, chain in enumerate(self.chains):
+            chain.reset(v)
+        self.real.clear()
+        self.self_loops.clear()
+        self._chain_edge.clear()
 
     # ------------------------------------------------------------- queries
 

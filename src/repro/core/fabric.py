@@ -40,6 +40,15 @@ class Fabric:
         self.registry = ListRegistry(self.space)
         self.pull = self.registry.pull
 
+    def reset(self) -> None:
+        """In-place reset for arena reuse: matrix cleared, lists dropped.
+
+        The pull closures (and their hoisted scratch buffers) survive, as
+        does the matrix storage itself -- only contents are re-initialized.
+        """
+        self.space.reset()
+        self.registry.reset()
+
     # ------------------------------------------------------------------ lists
 
     def new_singleton_list(self, vertex: Vertex) -> tuple[EulerList, Occurrence]:
@@ -54,19 +63,26 @@ class Fabric:
         self._transition(lst)
         return lst, occ
 
-    def list_of(self, occ_or_chunk) -> EulerList:
-        chunk = occ_or_chunk if isinstance(occ_or_chunk, Chunk) else occ_or_chunk.chunk
+    def list_of(self, chunk: Chunk) -> EulerList:
+        """Resolve a chunk's list.  Callers resolve occurrences themselves
+        (``occ.chunk``); the old ``isinstance`` dispatch is gone -- this is
+        on the hot path of every query and mutation."""
         return self.registry.list_of_chunk(chunk)
 
     # ------------------------------------------------- short/long transitions
 
     def _transition(self, lst: EulerList) -> None:
-        if not lst.single_chunk:
+        # Inlined ``single_chunk``/``only_chunk``/``n_c`` property walks:
+        # this runs on every fix_chunk and every list-surgery epilogue.
+        root = lst.root
+        if root.height:
             return
-        c = lst.only_chunk
-        if c.id is None and c.n_c >= self.space.K:
-            self._make_long(lst)
-        elif c.id is not None and c.n_c < self.space.K:
+        c: Chunk = root.item
+        n_c = c.count + c.n_edges
+        if c.id is None:
+            if n_c >= self.space.K:
+                self._make_long(lst)
+        elif n_c < self.space.K:
             self._make_short(lst)
 
     def _make_long(self, lst: EulerList) -> None:
@@ -92,12 +108,13 @@ class Fabric:
         lst = self.registry.list_of_chunk(c)
         self._transition(lst)
         K = self.space.K
-        if c.n_c > 3 * K:
+        n_c = c.count + c.n_edges
+        if n_c > 3 * K:
             c1, c2 = self.split_chunk_balanced(c)
             self.fix_chunk(c1)
             self.fix_chunk(c2)
             return
-        if c.n_c < K and not lst.single_chunk:
+        if n_c < K and lst.root.height:
             merged = self._merge_with_neighbor(c)
             self.fix_chunk(merged)
             return
@@ -105,15 +122,20 @@ class Fabric:
 
     def split_chunk_balanced(self, c: Chunk) -> tuple[Chunk, Chunk]:
         """Split an overflowing chunk at its unit midpoint (Lemma 2.2)."""
-        target = c.n_c // 2
+        target = (c.count + c.n_edges) // 2
         acc = 0
+        scanned = 0
         at: Optional[Occurrence] = None
-        for occ in c.occurrences():
+        occ = c.head
+        tail = c.tail
+        while occ is not None:
             acc += 1 + (occ.vertex.degree() if occ.is_principal else 0)
-            self.space.ops.charge("occ_scan")
+            scanned += 1
             at = occ
-            if acc >= target:
+            if acc >= target or occ is tail:
                 break
+            occ = occ.next
+        self.space.ops.charge("occ_scan", scanned)
         assert at is not None
         if at is c.tail:  # keep at least one occurrence on the right
             at = at.prev

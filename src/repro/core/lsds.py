@@ -31,7 +31,8 @@ from ..structures import two_three_tree as tt
 from .chunks import Chunk, ChunkSpace
 from .model import INF_KEY
 
-__all__ = ["EulerList", "ListRegistry", "make_pull", "node_cadj", "node_memb"]
+__all__ = ["EulerList", "ListRegistry", "make_pull", "make_pull_changed",
+           "node_cadj", "node_memb"]
 
 
 def node_cadj(space: ChunkSpace, node: tt.Node) -> np.ndarray:
@@ -52,25 +53,104 @@ def node_memb(space: ChunkSpace, node: tt.Node) -> np.ndarray:
 
 
 def make_pull(space: ChunkSpace) -> Callable[[tt.Node], None]:
-    """Aggregation hook recomputing (CAdj_z, Memb_z) from children."""
+    """Aggregation hook recomputing (CAdj_z, Memb_z) from children.
+
+    Hot-loop hygiene: the matrix, cap, ufuncs and the charge method are
+    bound once in the closure (not re-fetched per pull), and the old
+    ``node_cadj`` / ``node_memb`` helper calls are inlined -- the hook runs
+    on every 2-3-tree vertex every structural mutation touches.
+    """
+    C = space.C
+    Jcap = space.Jcap
+    charge = space.ops.charge
+    np_empty, np_zeros = np.empty, np.zeros
+    np_minimum, np_logical_or = np.minimum, np.logical_or
 
     def pull(node: tt.Node) -> None:
-        if node.is_leaf or not node.kids:
+        kids = node.kids
+        if not kids:
             return
-        if node.agg is None:
-            cadj = np.empty(space.Jcap, dtype=object)
-            memb = np.zeros(space.Jcap, dtype=bool)
-            node.agg = (cadj, memb)
-        cadj, memb = node.agg
-        first = node.kids[0]
-        cadj[:] = node_cadj(space, first)
-        memb[:] = node_memb(space, first)
-        for kid in node.kids[1:]:
-            np.minimum(cadj, node_cadj(space, kid), out=cadj)
-            np.logical_or(memb, node_memb(space, kid), out=memb)
-        space.ops.charge("lsds_pull", space.Jcap * len(node.kids))
+        agg = node.agg
+        if agg is None:
+            agg = node.agg = (np_empty(Jcap, dtype=object),
+                              np_zeros(Jcap, dtype=bool))
+        cadj, memb = agg
+        first = kids[0]
+        if first.height:
+            fc, fm = first.agg
+            cadj[:] = fc
+            memb[:] = fm
+        else:
+            chunk = first.item
+            cadj[:] = C[chunk.id]
+            memb[:] = chunk.memb_row
+        for kid in kids[1:]:
+            if kid.height:
+                kc, km = kid.agg
+            else:
+                chunk = kid.item
+                kc, km = C[chunk.id], chunk.memb_row
+            np_minimum(cadj, kc, out=cadj)
+            np_logical_or(memb, km, out=memb)
+        charge("lsds_pull", Jcap * len(kids))
 
     return pull
+
+
+def make_pull_changed(space: ChunkSpace) -> Callable[[tt.Node], bool]:
+    """Change-detecting pull for :func:`tt.refresh_upward_changed`.
+
+    Recomputes into a pair of *hoisted scratch buffers* (allocated once per
+    space, not per call), compares against the stored aggregate, and only
+    writes back -- returning ``True`` -- when the vectors actually changed.
+    The recompute itself is charged exactly like :func:`make_pull`
+    (``Jcap * len(kids)`` per pulled vertex); vertices the early exit never
+    visits are work genuinely not done, which only tightens the
+    O(J log J) ``UpdateAdj`` bound of Lemma 2.3.
+    """
+    C = space.C
+    Jcap = space.Jcap
+    charge = space.ops.charge
+    np_minimum, np_logical_or = np.minimum, np.logical_or
+    scratch_cadj = np.empty(Jcap, dtype=object)
+    scratch_memb = np.zeros(Jcap, dtype=bool)
+    build = make_pull(space)
+
+    def pull_changed(node: tt.Node) -> bool:
+        kids = node.kids
+        if not kids:
+            return False
+        agg = node.agg
+        if agg is None:  # first pull ever: build in place, always "changed"
+            build(node)
+            return True
+        first = kids[0]
+        if first.height:
+            fc, fm = first.agg
+            scratch_cadj[:] = fc
+            scratch_memb[:] = fm
+        else:
+            chunk = first.item
+            scratch_cadj[:] = C[chunk.id]
+            scratch_memb[:] = chunk.memb_row
+        for kid in kids[1:]:
+            if kid.height:
+                kc, km = kid.agg
+            else:
+                chunk = kid.item
+                kc, km = C[chunk.id], chunk.memb_row
+            np_minimum(scratch_cadj, kc, out=scratch_cadj)
+            np_logical_or(scratch_memb, km, out=scratch_memb)
+        charge("lsds_pull", Jcap * len(kids))
+        cadj, memb = agg
+        if ((scratch_memb == memb).all()
+                and (scratch_cadj == cadj).all()):
+            return False
+        cadj[:] = scratch_cadj
+        memb[:] = scratch_memb
+        return True
+
+    return pull_changed
 
 
 class EulerList:
@@ -121,18 +201,36 @@ class ListRegistry:
         self.by_root: dict[tt.Node, EulerList] = {}
         self.long_lists: set[EulerList] = set()
         self.pull = make_pull(space)
+        self.pull_changed = make_pull_changed(space)
+        # bound once: ``list_of_chunk`` runs a few thousand times per E9
+        # update batch and the ``self.space.ops.charge`` attribute chain
+        # was measurable (the OpCounter's identity survives ``reset``)
+        self._charge = space.ops.charge
+        #: Version stamp for the chunk->list cache.  The chunk->list mapping
+        #: only changes when a list is created or destroyed (every list
+        #: split/join registers and/or retires lists), so bumping here --
+        #: and only here -- invalidates exactly the caches that may be stale.
+        self.version = 1
 
     # -- lifecycle --------------------------------------------------------------
 
     def register(self, lst: EulerList) -> EulerList:
+        self.version += 1
         self.by_root[lst.root] = lst
         if not lst.is_short:
             self.long_lists.add(lst)
         return lst
 
     def retire(self, lst: EulerList) -> None:
+        self.version += 1
         self.by_root.pop(lst.root, None)
         self.long_lists.discard(lst)
+
+    def reset(self) -> None:
+        """Drop every list, keeping the (hoisted) pull closures alive."""
+        self.by_root.clear()
+        self.long_lists.clear()
+        self.version += 1
 
     def set_root(self, lst: EulerList, root: tt.Node) -> None:
         if lst.root is not root:
@@ -149,9 +247,23 @@ class ListRegistry:
     # -- lookups ---------------------------------------------------------------
 
     def list_of_chunk(self, chunk: Chunk) -> EulerList:
+        """Resolve a chunk's list, with a version-stamped cache.
+
+        The cached path charges exactly what the walk would have charged
+        (``max(root.height, 1)`` with ``root`` the list's maintained root),
+        so op counters are bit-identical with and without a warm cache.
+        """
+        if chunk.cache_ver == self.version:
+            lst: EulerList = chunk.cache_lst
+            # `height or 1` == max(height, 1) for the nonnegative heights
+            self._charge("root_walk", lst.root.height or 1)
+            return lst
         root = tt.root_of(chunk.leaf)
-        self.space.ops.charge("root_walk", max(root.height, 1))
-        return self.by_root[root]
+        self._charge("root_walk", root.height or 1)
+        lst = self.by_root[root]
+        chunk.cache_ver = self.version
+        chunk.cache_lst = lst
+        return lst
 
     def lists(self) -> Iterator[EulerList]:
         yield from self.by_root.values()
@@ -162,7 +274,7 @@ class ListRegistry:
         """Refresh aggregates after row/column ``id_c`` of ``C`` changed."""
         if chunk.id is None:
             return
-        tt.refresh_upward(chunk.leaf, self.pull)
+        tt.refresh_upward_changed(chunk.leaf, self.pull_changed)
         self.refresh_column(chunk.id)
 
     def refresh_column(self, j: int) -> None:

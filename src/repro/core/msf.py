@@ -77,6 +77,20 @@ class DynamicMSF:
         else:
             self._impl = DegreeReducer(n, max_edges, K=K)
 
+    def release(self) -> None:
+        """Retire this structure, returning pooled resources to the arena.
+
+        Sparsified facades hand their tree-node engines back to the
+        :class:`repro.core.sparsify.EnginePool` free-list so the next
+        facade of the same shape materializes nodes allocation-free (and
+        bit-identically -- engines are reset on release).  Non-sparsified
+        facades have nothing pooled; ``release`` is a no-op for them.  The
+        facade must not be used after ``release``.
+        """
+        fn = getattr(self._impl, "release", None)
+        if fn is not None:
+            fn()
+
     # ------------------------------------------------------------- updates
 
     def insert_edge(self, u: int, v: int, weight: float) -> int:

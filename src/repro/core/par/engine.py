@@ -158,6 +158,22 @@ class ParallelDynamicMSF(SparseDynamicMSF):
     def _build_fabric(self, n_max, K, flavor, with_bt, ops) -> Fabric:
         return ParFabric(self.machine, n_max, K, ops=ops)
 
+    def _zero_measurements(self) -> None:
+        """Arena reset: also restore the PRAM measurement state.
+
+        The machine's kernel-shape audit caches survive (they are value-
+        keyed and produce bit-identical stats on hits -- the fast-path
+        guarantee), but depth/work totals, history, interned memory and the
+        per-update stats return to the just-constructed state.  The base
+        ``reset`` calls this *before* the eager vertex rebuild, so the
+        rebuild's analytic charges land on the zeroed machine exactly as
+        ``__init__``'s did -- a recycled engine measures bit-identically to
+        a fresh one.
+        """
+        self.machine.reset_stats()
+        self.update_stats.clear()
+        self._measuring = False
+
     # ------------------------------------------------------------- updates
 
     @contextmanager

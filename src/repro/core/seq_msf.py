@@ -93,14 +93,19 @@ class SparseDynamicMSF:
         tour, and interact with nothing until their vertex is used.
     """
 
-    _eid = itertools.count(1)
-
     def __init__(self, n_max: int, K: Optional[int] = None, *,
                  flavor: str = "sequential", with_bt: bool = False,
                  ops: Optional[OpCounter] = None,
                  lazy_vertices: bool = False) -> None:
         self.n_max = n_max
+        # Per-instance edge-id source: a class-level counter (the old code)
+        # made auto-assigned eids depend on every engine ever constructed
+        # in the process, breaking cross-instance determinism.
+        self._eid = itertools.count(1)
         self.ops = ops if ops is not None else OpCounter()
+        # Bound once: the parallel subclass sets ``machine`` before calling
+        # super().__init__; the per-materialization getattr is hoisted here.
+        self._machine = getattr(self, "machine", None)
         self.fabric = self._build_fabric(n_max, K, flavor, with_bt, self.ops)
         self.lct = LinkCutForest()
         self.edges: dict[int, Edge] = {}
@@ -129,6 +134,68 @@ class SparseDynamicMSF:
         """Hook: the parallel engine substitutes kernel-backed components."""
         return Fabric(n_max, K, flavor=flavor, with_bt=with_bt, ops=ops)
 
+    def reset(self) -> None:
+        """Restore the engine to its just-constructed state **in place**.
+
+        The engine arena (``core.sparsify``) recycles retired node engines
+        instead of reconstructing them; ``reset`` must therefore leave the
+        engine *bit-identical* to a fresh build: per-instance eids restart
+        at 1, the change log is empty, and every counter reads exactly what
+        a fresh ``__init__`` would have left behind.  Tear-down runs with
+        accounting paused, counters are zeroed, and then -- for eager
+        engines only -- the vertex pool is rebuilt *with accounting on*,
+        replaying the same construction charges ``__init__`` makes.
+
+        Lazy engines materialize vertices paused on first touch either
+        way; ``reset`` *pre-warms* the vertices the retired op stream had
+        touched (still paused, through the same ``_materialize_vertex``
+        path), so a recycled engine is observably identical to a fresh one
+        whose stream touches those vertices -- same structures, same
+        (zero) charges -- but the rebuild happens at release time, off
+        the update latency path.
+        """
+        machine = self._machine
+        vertices = self.vertices
+        lazy = isinstance(vertices, _VertexTable)
+        touched = ([vid for vid, vx in enumerate(vertices._slots)
+                    if vx is not None] if lazy else None)
+        with self.ops.paused():
+            if machine is not None:
+                with machine.paused():
+                    self._teardown_structures()
+            else:
+                self._teardown_structures()
+        self.ops.reset()
+        self._zero_measurements()
+        if lazy:
+            for vid in touched:  # pre-warm; charges paused inside
+                vertices[vid]
+        else:
+            # eager rebuild, charged exactly like __init__'s construction
+            self.vertices = []
+            for vid in range(self.n_max):
+                vx = Vertex(vid)
+                vx.lct = LCTNode(label=("v", vid))
+                self.fabric.new_singleton_list(vx)
+                self.vertices.append(vx)
+
+    def _teardown_structures(self) -> None:
+        self.fabric.reset()
+        self.lct = LinkCutForest()
+        self.edges.clear()
+        self.tree_edges.clear()
+        self.change_log.clear()
+        self._w_finite = 0.0
+        self._w_ninf = 0
+        self._w_pinf = 0
+        self._eid = itertools.count(1)
+        if isinstance(self.vertices, _VertexTable):
+            self.vertices._slots = [None] * self.n_max
+
+    def _zero_measurements(self) -> None:
+        """Hook: the parallel engine also zeroes its PRAM machine here,
+        *before* the eager rebuild re-applies construction charges."""
+
     def _materialize_vertex(self, vid: int) -> Vertex:
         """Build vertex ``vid`` on first touch (``lazy_vertices`` mode).
 
@@ -136,7 +203,7 @@ class SparseDynamicMSF:
         for the parallel engine) is paused: the eager engines did this work
         in ``__init__``, outside every per-update measurement window.
         """
-        machine = getattr(self, "machine", None)
+        machine = self._machine
         with self.ops.paused():
             if machine is not None:
                 with machine.paused():

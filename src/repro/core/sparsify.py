@@ -37,7 +37,7 @@ from typing import Iterator, Optional, Sequence
 
 from .degree import DegreeReducer
 
-__all__ = ["SparsifiedMSF"]
+__all__ = ["SparsifiedMSF", "EnginePool", "default_pool"]
 
 
 def _split(lo: int, hi: int) -> tuple[tuple[int, int], tuple[int, int]]:
@@ -45,8 +45,90 @@ def _split(lo: int, hi: int) -> tuple[tuple[int, int], tuple[int, int]]:
     return (lo, mid), (mid, hi)
 
 
+def _fold(added: set, removed: set, a, r) -> None:
+    """Fold one engine report into the running MSF delta (module-level so
+    the hot ``apply`` loop does not rebuild a closure per call)."""
+    for x in a:
+        if x in removed:
+            removed.discard(x)
+        else:
+            added.add(x)
+    for x in r:
+        if x in added:
+            added.discard(x)
+        else:
+            removed.add(x)
+
+
+class EnginePool:
+    """Free-list arena of reset node engines, keyed ``(n_local, K, parallel)``.
+
+    Materializing a sparsification-tree node used to construct a full
+    ``DegreeReducer`` (gadget chains, chunk space, LSDS registry) from
+    scratch -- the dominant allocation cost of the E9 churn profile.  The
+    arena instead recycles engines retired by :meth:`SparsifiedMSF.release`:
+    engines are :meth:`DegreeReducer.reset` *at release time* (with
+    accounting paused and counters re-zeroed), so an acquired engine is
+    bit-identical to a freshly constructed one -- same eid streams, empty
+    change logs, zeroed op counters and PRAM stats.  Pooling is therefore
+    measurement-neutral by construction; the arena-determinism tests assert
+    it op-for-op.
+
+    The pool only ever holds engines handed back through ``release`` --
+    trees that never release keep the pool empty, so sharing
+    :data:`default_pool` process-wide is safe.
+    """
+
+    __slots__ = ("_free", "max_per_key", "hits", "misses", "recycled")
+
+    def __init__(self, max_per_key: int = 512) -> None:
+        # The bound is per (n_local, K, parallel) bucket.  A sparsification
+        # tree over n vertices holds ~n/2 engines at its *smallest* n_local
+        # (every level halves the count), so a bound much below n/2 silently
+        # evicts most of a released tree and the next build pays cold
+        # construction again -- 512 covers the E9 sizes end-to-end while
+        # still bounding a pathological release storm.
+        self._free: dict[tuple, list[DegreeReducer]] = {}
+        self.max_per_key = max_per_key
+        self.hits = 0        # acquisitions served from the free-list
+        self.misses = 0      # acquisitions that had to build fresh
+        self.recycled = 0    # engines accepted back into the free-list
+
+    def acquire(self, key: tuple) -> Optional[DegreeReducer]:
+        lst = self._free.get(key)
+        if lst:
+            self.hits += 1
+            return lst.pop()
+        self.misses += 1
+        return None
+
+    def release(self, key: tuple, engine: DegreeReducer) -> bool:
+        lst = self._free.get(key)
+        if lst is None:
+            lst = self._free[key] = []
+        if len(lst) >= self.max_per_key:
+            return False  # bounded: drop overflow engines on the floor
+        engine.reset()
+        lst.append(engine)
+        self.recycled += 1
+        return True
+
+    def size(self) -> int:
+        return sum(len(v) for v in self._free.values())
+
+    def clear(self) -> None:
+        self._free.clear()
+
+
+#: Process-wide default arena.  Empty (hence inert) until some tree calls
+#: :meth:`SparsifiedMSF.release`; bench/serve layers do so between runs.
+default_pool = EnginePool()
+
+
 class _Leaf:
     """Parallel edges of one vertex pair; contributes the lightest."""
+
+    has_engine = False
 
     __slots__ = ("edges",)
 
@@ -74,11 +156,14 @@ class _Leaf:
 class _Node:
     """An internal edge-partition node with a local dynamic-MSF engine."""
 
-    __slots__ = ("level", "arange", "brange", "engine")
+    has_engine = True
+
+    __slots__ = ("level", "arange", "brange", "engine", "pool_key")
 
     def __init__(self, level: int, arange: tuple[int, int],
                  brange: tuple[int, int], K: Optional[int],
-                 parallel: bool = False) -> None:
+                 parallel: bool = False,
+                 pool: Optional[EnginePool] = None) -> None:
         self.level = level
         self.arange = arange
         self.brange = brange
@@ -86,7 +171,11 @@ class _Node:
             n_local = arange[1] - arange[0]
         else:
             n_local = (arange[1] - arange[0]) + (brange[1] - brange[0])
-        if parallel:
+        self.pool_key = (n_local, K, parallel)
+        engine = pool.acquire(self.pool_key) if pool is not None else None
+        if engine is not None:
+            self.engine = engine  # reset-at-release: pristine by invariant
+        elif parallel:
             from .par import ParallelDynamicMSF
             self.engine = DegreeReducer(
                 n_local, max_edges=3 * n_local + 8,
@@ -97,7 +186,7 @@ class _Node:
 
     def depth_total(self) -> int:
         """Measured machine depth accumulated by this node (parallel mode)."""
-        machine = getattr(self.engine.core, "machine", None)
+        machine = self.engine.core._machine  # None for sequential cores
         return machine.total.depth if machine is not None else 0
 
     def procs_max(self) -> int:
@@ -115,19 +204,8 @@ class _Node:
         """Apply updates; return (added eids, removed eids) of the local MSF."""
         added: set[int] = set()
         removed: set[int] = set()
-
-        def fold(a, r):
-            for x in a:
-                if x in removed:
-                    removed.discard(x)
-                else:
-                    added.add(x)
-            for x in r:
-                if x in added:
-                    added.discard(x)
-                else:
-                    removed.add(x)
-
+        engine = self.engine
+        local = self._local
         # Insertions FIRST: if the child evicted f in favour of e, inserting
         # e here expels f from this MSF too (cycle property), so the
         # subsequent deletion of f is a cheap non-tree removal.  Processing
@@ -135,10 +213,11 @@ class _Node:
         # the insertion immediately evicts -- correct but needlessly
         # cascading (Eppstein et al.'s stability argument).
         for eid, u, v, w in ins:
-            fold(*self.engine.insert_reported(self._local(u), self._local(v),
-                                              w, eid))
+            a, r = engine.insert_reported(local(u), local(v), w, eid)
+            _fold(added, removed, a, r)
         for eid in dels:
-            fold(*self.engine.delete_reported(eid))
+            a, r = engine.delete_reported(eid)
+            _fold(added, removed, a, r)
         return list(added), list(removed)
 
 
@@ -192,7 +271,7 @@ class _PropagationPlan:
         owner = self.owner
         key = self.stations[pos]
         node = owner.nodes[key]
-        is_node = isinstance(node, _Node)
+        is_node = node.has_engine  # class attr; no isinstance on the hot path
         mark = owner._node_ops(node)
         dmark = node.depth_total() if is_node else 0
         added_ids, removed_ids = self.carry
@@ -221,7 +300,8 @@ class SparsifiedMSF:
     """
 
     def __init__(self, n: int, K: Optional[int] = None, *,
-                 parallel: bool = False) -> None:
+                 parallel: bool = False,
+                 pool: Optional[EnginePool] = default_pool) -> None:
         assert n >= 2
         # Per-instance edge-id counter (a class-level counter would make
         # assigned ids depend on how many other trees the process built,
@@ -231,6 +311,9 @@ class SparsifiedMSF:
         self.n = n
         self.K = K
         self.parallel = parallel
+        #: engine arena; ``None`` disables pooling entirely.  The shared
+        #: default pool is inert until some tree calls :meth:`release`.
+        self._pool = pool
         self.max_level = max(1, math.ceil(math.log2(n)))
         self.nodes: dict[tuple, object] = {}
         self.edges: dict[int, tuple[int, int, float]] = {}
@@ -294,9 +377,26 @@ class SparsifiedMSF:
         if node is None:
             is_leaf = ra[1] - ra[0] == 1 and rb[1] - rb[0] == 1
             node = (_Leaf() if is_leaf and level > 0
-                    else _Node(level, ra, rb, self.K, parallel=self.parallel))
+                    else _Node(level, ra, rb, self.K, parallel=self.parallel,
+                               pool=self._pool))
             self.nodes[key] = node
         return node
+
+    def release(self) -> None:
+        """Retire this tree, returning every node engine to the arena.
+
+        The tree must not be used afterwards.  Engines are reset on their
+        way into the free-list, so the next :class:`SparsifiedMSF` with the
+        same shape materializes nodes allocation-free and bit-identically
+        to a cold build.
+        """
+        pool = self._pool
+        if pool is not None:
+            for node in self.nodes.values():
+                if node.has_engine:
+                    pool.release(node.pool_key, node.engine)
+        self.nodes.clear()
+        self._path_cache.clear()
 
     # ------------------------------------------------------------ updates
 
@@ -400,9 +500,7 @@ class SparsifiedMSF:
 
     @staticmethod
     def _node_ops(node) -> int:
-        if isinstance(node, _Node):
-            return node.engine.core.ops.total
-        return 0
+        return node.engine.core.ops.total if node.has_engine else 0
 
     # ------------------------------------------------------------ queries
 
@@ -475,7 +573,7 @@ class SparsifiedMSF:
         """
         total = 0
         for node in self.nodes.values():
-            if isinstance(node, _Node):
+            if node.has_engine:
                 machine = getattr(getattr(node.engine, "core", None),
                                   "machine", None)
                 if machine is not None:
@@ -492,7 +590,7 @@ class SparsifiedMSF:
         """
         return {key: node.engine.core.ops.total
                 for key, node in self.nodes.items()
-                if isinstance(node, _Node)}
+                if node.has_engine}
 
     def depth_work_by_node(self) -> dict[tuple, tuple[int, int]]:
         """{node key -> (machine depth, work)} for parallel-mode engines.
@@ -502,7 +600,7 @@ class SparsifiedMSF:
         """
         out: dict[tuple, tuple[int, int]] = {}
         for key, node in self.nodes.items():
-            if isinstance(node, _Node):
+            if node.has_engine:
                 machine = getattr(getattr(node.engine, "core", None),
                                   "machine", None)
                 if machine is not None:

@@ -246,6 +246,27 @@ class KernelStats:
         return out
 
 
+class _PausedMachine:
+    """Cached re-entrant accounting-suspension context manager.
+
+    Module-level for the same reason as ``repro.analysis.counters._Paused``:
+    defining the class inside :meth:`Machine.paused` burned one
+    ``__build_class__`` per lazily-materialized vertex.
+    """
+
+    __slots__ = ("_machine",)
+
+    def __init__(self, machine: "Machine") -> None:
+        self._machine = machine
+
+    def __enter__(self) -> None:
+        self._machine._paused += 1
+
+    def __exit__(self, *exc) -> bool:
+        self._machine._paused -= 1
+        return False
+
+
 class Machine:
     """Lockstep PRAM with EREW/CREW conflict policies.
 
@@ -287,6 +308,7 @@ class Machine:
         self.history: list[KernelStats] = []  # one entry per run/charge
         self._trace: Optional[Callable[[int, int, Any], None]] = None
         self._paused = 0  # suspended analytic accounting (see `paused`)
+        self._paused_cm: Optional[_PausedMachine] = None  # cached CM
         # audit="fast" shape-signature cache:
         #   (label, policy, n_procs) -> list of verified per-step
         #   op-count fingerprints (tuples of packed ints)
@@ -310,19 +332,35 @@ class Machine:
         construction cost the seed attributed to ``__init__`` (outside any
         per-update measurement window): pausing keeps per-update
         depth/work identical whether a vertex was built eagerly or on
-        first touch.
+        first touch.  The context manager is a cached module-level
+        instance (``_PausedMachine``): the old per-call class definition
+        showed up as runtime ``__build_class__`` churn in the E9 profile.
         """
-        machine = self
+        cm = self._paused_cm
+        if cm is None:
+            cm = self._paused_cm = _PausedMachine(self)
+        return cm
 
-        class _Paused:
-            def __enter__(self):
-                machine._paused += 1
+    # -- arena support --------------------------------------------------------
 
-            def __exit__(self, *exc):
-                machine._paused -= 1
-                return False
+    def reset_stats(self) -> None:
+        """Return the machine to its post-construction accounting state.
 
-        return _Paused()
+        Pooled node engines (``repro.core.sparsify`` arena) reuse one
+        machine across engine lifetimes; this clears everything a fresh
+        machine would start without -- totals, history, memory interning
+        (old host objects must not be pinned) -- while *keeping* the
+        audit="fast" shape caches (``_verified`` / ``_relearn`` /
+        ``_shaped``): those are keyed by value shapes, never by host
+        objects, and PR 1's audit-ladder guarantee is exactly that cache
+        hits charge bit-identical stats to a fully-simulated launch.
+        """
+        self.mem = Mem()
+        self.total = KernelStats(label="total")
+        self.history.clear()
+        self._paused = 0
+        self.fast_hits = 0
+        self.fast_misses = 0
 
     # -- kernel execution -----------------------------------------------------
 

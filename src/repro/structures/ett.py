@@ -58,15 +58,33 @@ class EttEdge:
 
 
 def _pull(node: tt.Node) -> None:
+    # Hot-loop hygiene: leaf aggregates are computed inline (no ``agg()``
+    # tuple allocation per kid), and an internal vertex's aggregate is a
+    # mutable list updated in place -- ``_pull`` runs on every 2-3-tree
+    # vertex each structural mutation touches, so the old per-call tuple
+    # allocations dominated ETT-heavy workloads.
     size = 0
     vflag = False
     markers = 0
     for kid in node.kids:
-        s, f, m = kid.agg if not kid.is_leaf else kid.item.agg()
-        size += s
-        vflag = vflag or f
-        markers += m
-    node.agg = (size, vflag, markers)
+        if kid.height:
+            s, f, m = kid.agg
+            size += s
+            vflag = vflag or f
+            markers += m
+        else:
+            occ = kid.item
+            if occ.active:
+                size += 1
+                vflag = vflag or occ.vflag
+            markers += occ.markers
+    agg = node.agg
+    if agg.__class__ is list:
+        agg[0] = size
+        agg[1] = vflag
+        agg[2] = markers
+    else:
+        node.agg = [size, vflag, markers]
 
 
 def _leaf_agg(leaf: tt.Node) -> tuple[int, bool, int]:

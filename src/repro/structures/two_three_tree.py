@@ -48,6 +48,7 @@ __all__ = [
     "join",
     "split_after",
     "refresh_upward",
+    "refresh_upward_changed",
     "validate",
 ]
 
@@ -113,7 +114,7 @@ def height_of(root: Optional[Node]) -> int:
 def first_leaf(root: Optional[Node]) -> Optional[Node]:
     if root is None:
         return None
-    while not root.is_leaf:
+    while root.height:  # hot path: avoid the is_leaf property dispatch
         root = root.kids[0]
     return root
 
@@ -121,18 +122,22 @@ def first_leaf(root: Optional[Node]) -> Optional[Node]:
 def last_leaf(root: Optional[Node]) -> Optional[Node]:
     if root is None:
         return None
-    while not root.is_leaf:
+    while root.height:
         root = root.kids[-1]
     return root
 
 
 def _sibling_step(node: Node, direction: int) -> Optional[Node]:
-    """Next (+1) / previous (-1) leaf in sequence order, O(log n)."""
+    """Next (+1) / previous (-1) leaf in sequence order, O(log n).
+
+    Uses the maintained ``pos`` child index instead of the old
+    ``p.kids.index(cur)`` linear scan (every mutation keeps ``pos`` fresh;
+    ``validate`` asserts it).
+    """
     cur = node
     while cur.parent is not None:
         p = cur.parent
-        i = p.kids.index(cur)
-        j = i + direction
+        j = cur.pos + direction
         if 0 <= j < len(p.kids):
             sub = p.kids[j]
             return first_leaf(sub) if direction > 0 else last_leaf(sub)
@@ -195,6 +200,23 @@ def refresh_upward(node: Node, pull: Pull) -> None:
         cur = cur.parent
 
 
+def refresh_upward_changed(node: Node,
+                           pull_changed: Callable[["Node"], bool]) -> None:
+    """Early-exit variant of :func:`refresh_upward`.
+
+    ``pull_changed(v)`` recomputes ``v.agg`` from its children and returns
+    ``True`` iff the stored aggregate actually changed.  Because every
+    internal aggregate is a pure function of its children's aggregates,
+    an unchanged vertex implies every ancestor is already consistent, so
+    the walk stops -- the worst case stays O(log n) pulls, but localized
+    leaf changes (the common ``UpdateAdj`` after a single matrix-entry
+    update) usually terminate after one or two vertices.
+    """
+    cur = node.parent
+    while cur is not None and pull_changed(cur):
+        cur = cur.parent
+
+
 def _reindex(parent: Node) -> None:
     for i, kid in enumerate(parent.kids):
         kid.pos = i
@@ -218,7 +240,8 @@ def _fix_overflow(node: Node, pull: Pull) -> Node:
     """Split vertices with 4 children, walking to the root; return root."""
     while True:
         if len(node.kids) <= 3:
-            pull(node) if not node.is_leaf else None
+            if node.height:
+                pull(node)
             if node.parent is None:
                 return node
             node = node.parent
@@ -241,7 +264,7 @@ def _fix_overflow(node: Node, pull: Pull) -> Node:
             _attach(new_root, 1, right)
             pull(new_root)
             return new_root
-        _attach(p, p.kids.index(node) + 1, right)
+        _attach(p, node.pos + 1, right)
         node = p
 
 
@@ -259,7 +282,7 @@ def insert_after(after: Node, new_leaf: Node, pull: Pull = _noop_pull) -> Node:
         _attach(root, 1, new_leaf)
         pull(root)
         return root
-    _attach(p, p.kids.index(after) + 1, new_leaf)
+    _attach(p, after.pos + 1, new_leaf)
     return _fix_overflow(p, pull)
 
 
@@ -307,7 +330,7 @@ def _fix_underflow(node: Node, pull: Pull) -> Node:
             only.parent = None
             node.kids = []
             return only
-        i = p.kids.index(node)
+        i = node.pos
         sib = p.kids[i - 1] if i > 0 else p.kids[i + 1]
         if len(sib.kids) == 3:
             # borrow a child from the richer sibling
@@ -394,7 +417,9 @@ def split_after(target: Node, pull: Pull = _noop_pull) -> tuple[Node, Optional[N
     node: Node = target
     while node.parent is not None:
         p = node.parent
-        idx = p.kids.index(node)
+        # `pos` is an int snapshot: dissolving a vertex's children (below)
+        # never touches the vertex's own pos, so the climb stays valid.
+        idx = node.pos
         kids = list(p.kids)
         for c in kids:  # dissolve p
             c.parent = None

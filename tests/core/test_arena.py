@@ -1,0 +1,143 @@
+"""Engine-arena determinism tests (PR 3, tentpole layer 1).
+
+The sparsification tree recycles retired node engines from an
+:class:`~repro.core.sparsify.EnginePool` free-list instead of rebuilding
+them.  Pooling must be *measurement-neutral*: a tree whose nodes were
+materialized from recycled engines must be bit-identical -- forests,
+weights, per-node op counters, change-log-derived deltas and the BENCH
+model quantities -- to a tree built cold.  These tests warm a pool with one
+op stream, release, then replay a second stream through both a pooled and
+a pool-less tree and compare everything observable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.core.sparsify import EnginePool, SparsifiedMSF
+
+
+def _ops_stream(seed: int, n: int, steps: int):
+    rng = random.Random(seed)
+    live = {}
+    eid = itertools.count(1)
+    out = []
+    for _ in range(steps):
+        if not live or rng.random() < 0.65:
+            e = next(eid)
+            u, v = rng.randrange(n), rng.randrange(n)
+            out.append(("ins", e, u, v, round(rng.random(), 6)))
+            live[e] = True
+        else:
+            e = rng.choice(list(live))
+            del live[e]
+            out.append(("del", e))
+    return out
+
+
+def _replay(eng: SparsifiedMSF, ops):
+    costs = []
+    for op in ops:
+        if op[0] == "ins":
+            _t, eid, u, v, w = op
+            eng.insert_edge(u, v, w, eid=eid)
+        else:
+            eng.delete_edge(op[1])
+        costs.append(eng.parallel_cost_of_last_update())
+    return costs
+
+
+def _fingerprint(eng: SparsifiedMSF, costs):
+    return {
+        "msf_ids": eng.msf_ids(),
+        "weight": eng.msf_weight(),
+        "weight_ref": eng.msf_weight_recomputed(),
+        "ops_by_node": eng.ops_by_node(),
+        "depth_work": eng.depth_work_by_node(),
+        "levels": eng._last_levels,
+        "costs": costs,
+    }
+
+
+def test_arena_determinism_sequential():
+    n, steps = 40, 120
+    warm = _ops_stream(7, n, 80)
+    work = _ops_stream(42, n, steps)
+    pool = EnginePool()
+    # warm the arena with a different stream, then retire everything
+    t0 = SparsifiedMSF(n, pool=pool)
+    _replay(t0, warm)
+    t0.release()
+    assert pool.size() > 0
+    # recycled build vs. a build with pooling disabled entirely
+    recycled = SparsifiedMSF(n, pool=pool)
+    fresh = SparsifiedMSF(n, pool=None)
+    fp_r = _fingerprint(recycled, _replay(recycled, work))
+    fp_f = _fingerprint(fresh, _replay(fresh, work))
+    assert fp_r == fp_f
+    assert pool.hits > 0  # the recycled tree actually drew from the arena
+
+
+def test_arena_determinism_parallel_depth_work():
+    n, steps = 16, 24
+    warm = _ops_stream(3, n, 16)
+    work = _ops_stream(11, n, steps)
+    pool = EnginePool()
+    t0 = SparsifiedMSF(n, parallel=True, pool=pool)
+    _replay(t0, warm)
+    t0.release()
+    assert pool.size() > 0
+    recycled = SparsifiedMSF(n, parallel=True, pool=pool)
+    fresh = SparsifiedMSF(n, parallel=True, pool=None)
+    fp_r = _fingerprint(recycled, _replay(recycled, work))
+    fp_f = _fingerprint(fresh, _replay(fresh, work))
+    # PRAM depth/work per node must be bit-identical across arena reuse
+    assert fp_r == fp_f
+    assert pool.hits > 0
+    assert recycled.erew_violations() == fresh.erew_violations() == 0
+
+
+def test_release_resets_engines_bit_identically():
+    """A released-then-acquired engine equals a freshly constructed one."""
+    pool = EnginePool()
+    eng = SparsifiedMSF(24, pool=pool)
+    _replay(eng, _ops_stream(1, 24, 40))
+    eng.release()
+    key = next(iter(pool._free))
+    recycled = pool._free[key][-1]
+    assert recycled.core.ops.total == 0
+    assert recycled.core.change_log == []
+    assert recycled.core.edges == {} and recycled.core.tree_edges == set()
+    assert recycled.real == {} and recycled._chain_edge == {}
+    assert all(len(c.nodes) == 1 and c.nodes[0] == v
+               for v, c in enumerate(recycled.chains))
+    # eid streams restart: fresh counters draw 1 first
+    assert next(recycled._eid) == 1
+    assert next(recycled.core._eid) == 1
+
+
+def test_pool_bound_drops_overflow():
+    pool = EnginePool(max_per_key=1)
+    a = SparsifiedMSF(8, pool=pool)
+    b = SparsifiedMSF(8, pool=pool)
+    a.insert_edge(0, 1, 1.0)
+    b.insert_edge(0, 1, 1.0)
+    a.release()
+    b.release()
+    for key, engines in pool._free.items():
+        assert len(engines) <= 1
+
+
+def test_facade_release_roundtrip():
+    from repro import DynamicMSF
+    m = DynamicMSF(12, sparsify=True)
+    e = m.insert_edge(0, 1, 1.0)
+    m.insert_edge(1, 2, 2.0)
+    m.delete_edge(e)
+    m.release()  # returns engines to the default pool; must not raise
+    m2 = DynamicMSF(12, sparsify=True)
+    m2.insert_edge(0, 1, 1.0)
+    assert m2.connected(0, 1)
+    m2.release()

@@ -1,0 +1,106 @@
+"""Versioned chunk->list root-cache tests (PR 3, tentpole layer 2).
+
+``ListRegistry.list_of_chunk`` caches ``(version, EulerList)`` on the chunk
+and the registry bumps ``version`` on every list ``register``/``retire`` --
+the only events that can move a chunk between lists (all list surgery goes
+through them).  These tests fuzz that invalidation story across the real
+``split_list``/``join_lists`` surgery driven by edge updates, checking the
+cache answer against an uncached parent-pointer walk after every update,
+and assert the charge-parity contract (cached and cold lookups charge the
+same ``root_walk`` amount).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.structures import two_three_tree as tt
+
+
+def _assert_cache_consistent(eng):
+    reg = eng.fabric.registry
+    seen = set()
+    for lst in list(reg.lists()):
+        for chunk in lst.chunks():
+            assert not chunk.dead
+            # cached answer (possibly warming the cache) ...
+            got = reg.list_of_chunk(chunk)
+            # ... must agree with a raw parent-pointer walk
+            root = tt.root_of(chunk.leaf)
+            assert reg.by_root[root] is got is lst
+            assert got.root is root
+            # stamped caches must be exactly the current version
+            assert chunk.cache_ver == reg.version
+            seen.add(id(chunk))
+    return seen
+
+
+def _drive(eng, rng, steps, n):
+    live = {}
+    for step in range(steps):
+        if not live or (rng.random() < 0.6 and len(live) < 3 * n):
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+            while v == u:
+                v = rng.randrange(n)
+            deg_ok = eng.degree(u) < 3 and eng.degree(v) < 3
+            if not deg_ok:
+                continue
+            e = eng.insert_edge(u, v, rng.random())
+            live[e.eid] = e
+        else:
+            eid = rng.choice(list(live))
+            eng.delete_edge(live.pop(eid))
+        if step % 10 == 0:
+            _assert_cache_consistent(eng)
+    _assert_cache_consistent(eng)
+
+
+def test_root_cache_fuzz_split_join_invalidation():
+    rng = random.Random(1234)
+    eng = SparseDynamicMSF(48)
+    _drive(eng, rng, 250, 48)
+
+
+def test_root_cache_fuzz_lazy_engine():
+    rng = random.Random(99)
+    eng = SparseDynamicMSF(64, lazy_vertices=True)
+    _drive(eng, rng, 200, 64)
+
+
+def test_root_cache_charge_parity():
+    """A cached hit charges exactly what the cold walk would have."""
+    eng = SparseDynamicMSF(32)
+    rng = random.Random(5)
+    for _ in range(40):
+        u, v = rng.randrange(32), rng.randrange(32)
+        if u != v and eng.degree(u) < 3 and eng.degree(v) < 3:
+            eng.insert_edge(u, v, rng.random())
+    reg = eng.fabric.registry
+    ops = eng.fabric.space.ops
+    for lst in list(reg.lists()):
+        chunk = lst.first_chunk()
+        # cold: invalidate the stamp, measure the walk's charge
+        chunk.cache_ver = -1
+        ops.mark()
+        got_cold = reg.list_of_chunk(chunk)
+        cold = ops.since_mark()
+        # warm: stamped cache hit, must charge identically
+        assert chunk.cache_ver == reg.version
+        ops.mark()
+        got_warm = reg.list_of_chunk(chunk)
+        warm = ops.since_mark()
+        assert got_cold is got_warm is lst
+        assert warm == cold == max(lst.root.height, 1)
+
+
+def test_version_bumps_on_register_and_retire():
+    eng = SparseDynamicMSF(16)
+    reg = eng.fabric.registry
+    v0 = reg.version
+    e = eng.insert_edge(0, 1, 1.0)  # joins two singleton lists
+    assert reg.version > v0
+    v1 = reg.version
+    eng.delete_edge(e)  # splits the tour back apart
+    assert reg.version > v1

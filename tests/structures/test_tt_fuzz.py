@@ -1,0 +1,170 @@
+"""Randomized differential fuzz for the 2-3-tree fast paths (PR 3).
+
+Drives long random op streams (insert_after / delete_leaf / split_after /
+join / leaf-value refresh) against a plain Python-list reference model,
+with sum aggregates maintained two ways:
+
+* the classic full :func:`tt.refresh_upward`, and
+* the early-exit :func:`tt.refresh_upward_changed` used by ``UpdateAdj``.
+
+After every operation the tree order must match the list model, ``pos``
+child indices must be consistent, and every internal aggregate must equal
+the recomputed reference -- which is exactly the soundness condition the
+early-exit optimization relies on (an unchanged node implies consistent
+ancestors).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.structures import two_three_tree as tt
+
+
+def _pull_sum(node: tt.Node) -> None:
+    node.agg = sum(k.agg for k in node.kids)
+
+
+def _pull_sum_changed(node: tt.Node) -> bool:
+    new = sum(k.agg for k in node.kids)
+    if node.agg == new:
+        return False
+    node.agg = new
+    return True
+
+
+def _check(root, model, leaves):
+    if root is None:
+        assert not model
+        return
+    tt.validate(root)
+    assert [lf.item for lf in tt.iter_leaves(root)] == model
+    # pos indices: every kid knows its slot
+    for node in tt.iter_nodes(root):
+        for i, kid in enumerate(node.kids):
+            assert kid.pos == i and kid.parent is node
+    # aggregates: every internal node sums its subtree's leaf values
+    def ref(node):
+        if node.height == 0:
+            return node.agg
+        total = sum(ref(k) for k in node.kids)
+        assert node.agg == total, (node.agg, total)
+        return total
+    ref(root)
+
+
+def test_fuzz_insert_delete_refresh_vs_list_reference():
+    rng = random.Random(0xC0FFEE)
+    root = None
+    model: list[int] = []
+    leaves: list[tt.Node] = []
+    next_val = 0
+    for step in range(1200):
+        op = rng.random()
+        if root is None or (op < 0.45 and len(model) < 150):
+            # insert at a random position
+            lf = tt.leaf(next_val, agg=next_val)
+            if root is None:
+                root = lf
+                model.append(next_val)
+                leaves.append(lf)
+            elif rng.random() < 0.1:
+                root = tt.insert_first(root, lf, _pull_sum)
+                model.insert(0, next_val)
+                leaves.insert(0, lf)
+            else:
+                i = rng.randrange(len(leaves))
+                root = tt.insert_after(leaves[i], lf, _pull_sum)
+                model.insert(i + 1, next_val)
+                leaves.insert(i + 1, lf)
+            next_val += 1
+        elif op < 0.75 and model:
+            i = rng.randrange(len(leaves))
+            root = tt.delete_leaf(leaves.pop(i), _pull_sum)
+            model.pop(i)
+        elif model:
+            # leaf-value change refreshed via the early-exit path; writing
+            # the *same* value must also leave aggregates consistent
+            i = rng.randrange(len(leaves))
+            lf = leaves[i]
+            if rng.random() < 0.3:
+                new = lf.item  # no-op rewrite: pure early-exit exercise
+            else:
+                new = rng.randrange(1000)
+            lf.item = new
+            lf.agg = new
+            model[i] = new
+            tt.refresh_upward_changed(lf, _pull_sum_changed)
+        if step % 37 == 0 or not model:
+            _check(root, model, leaves)
+    _check(root, model, leaves)
+
+
+def test_fuzz_split_join_vs_list_reference():
+    rng = random.Random(0xBADF00D)
+    # maintain a *set of sequences*, each a (root, model-list, leaves-list)
+    seqs = []
+    next_val = 0
+    for _ in range(6):
+        items = list(range(next_val, next_val + rng.randrange(1, 25)))
+        next_val = items[-1] + 1
+        lvs = [tt.leaf(v, agg=v) for v in items]
+        root = lvs[0]
+        for prev, lf in zip(lvs, lvs[1:]):
+            root = tt.insert_after(prev, lf, _pull_sum)
+        seqs.append([root, items[:], lvs])
+    for step in range(500):
+        op = rng.random()
+        if op < 0.4 and len(seqs) >= 2:
+            a = seqs.pop(rng.randrange(len(seqs)))
+            b = seqs.pop(rng.randrange(len(seqs)))
+            root = tt.join(a[0], b[0], _pull_sum)
+            seqs.append([root, a[1] + b[1], a[2] + b[2]])
+        elif op < 0.8:
+            si = rng.randrange(len(seqs))
+            s = seqs[si]
+            if len(s[1]) < 2:
+                continue
+            i = rng.randrange(len(s[1]) - 1)  # split after position i
+            left, right = tt.split_after(s[2][i], _pull_sum)
+            assert right is not None
+            del seqs[si]
+            seqs.append([left, s[1][:i + 1], s[2][:i + 1]])
+            seqs.append([right, s[1][i + 1:], s[2][i + 1:]])
+        else:
+            s = seqs[rng.randrange(len(seqs))]
+            i = rng.randrange(len(s[1]))
+            new = rng.randrange(1000)
+            s[2][i].item = new
+            s[2][i].agg = new
+            s[1][i] = new
+            tt.refresh_upward_changed(s[2][i], _pull_sum_changed)
+        if step % 23 == 0:
+            for root, model, lvs in seqs:
+                _check(root, model, lvs)
+    for root, model, lvs in seqs:
+        _check(root, model, lvs)
+
+
+def test_refresh_upward_changed_matches_full_refresh():
+    """Early-exit refresh leaves aggregates identical to the full walk."""
+    rng = random.Random(7)
+    vals = [rng.randrange(100) for _ in range(64)]
+    def grow(pull):
+        lvs = [tt.leaf(v, agg=v) for v in vals]
+        root = lvs[0]
+        for prev, lf in zip(lvs, lvs[1:]):
+            root = tt.insert_after(prev, lf, pull)
+        return root, lvs
+    r1, l1 = grow(_pull_sum)
+    r2, l2 = grow(_pull_sum)
+    for _ in range(200):
+        i = rng.randrange(len(vals))
+        new = rng.randrange(100)
+        for lf in (l1[i], l2[i]):
+            lf.item = new
+            lf.agg = new
+        tt.refresh_upward(l1[i], _pull_sum)
+        tt.refresh_upward_changed(l2[i], _pull_sum_changed)
+        assert tt.root_of(l1[i]).agg == tt.root_of(l2[i]).agg == sum(
+            lf.agg for lf in tt.iter_leaves(tt.root_of(l2[i])))

@@ -24,6 +24,9 @@ def collect(ns, rounds: int = 12):
     out = []
     for n in ns:
         eng = ParallelDynamicMSF(n)
+        # per-label work breakdown slices the whole run's launch log:
+        # opt out of the bounded history ring before the workload runs
+        eng.machine.history.set_cap(None)
         mark = len(eng.machine.history)
         handles = {}
         idx = 0

@@ -20,6 +20,10 @@ from repro.workloads import adversarial_cuts, churn
 
 def audit_run(n: int = 512, rounds: int = 15, seed: int = 3) -> dict:
     engines = [ParallelDynamicMSF(n), ParallelDynamicMSF(n)]  # strict mode
+    for eng in engines:
+        # whole-run label attribution reads the full launch log: opt out
+        # of the default bounded history ring before driving any workload
+        eng.machine.history.set_cap(None)
     drive_parallel_measured(engines[0], adversarial_cuts(n, rounds))
     handles = {}
     idx = 0

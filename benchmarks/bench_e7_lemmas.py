@@ -66,6 +66,10 @@ def seq_costs(n: int) -> dict:
 
 def par_depths(n: int) -> dict:
     eng = build_long_list(ParallelDynamicMSF, n)
+    # unbounded log from here on: the per-label depth attribution below
+    # must see every launch of the deletion (mark-based slicing would be
+    # silently wrong if the ring dropped post-mark entries)
+    eng.machine.history.set_cap(None)
     mark = len(eng.machine.history)
     mid_edge = eng.edges[10_000 + n // 2]
     eng.delete_edge(mid_edge)

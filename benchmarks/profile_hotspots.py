@@ -8,10 +8,14 @@ Usage:
                                           [--json FILE] [--cold]
 
 engine: seq | par | par-fast | sparsify   (default seq, n=1024, steps=300)
+(also accepted flag-style: ``--engine par-fast``, the CI spelling)
 
 ``par-fast`` profiles the parallel engine with ``audit="fast"`` so the
 shape-keyed kernel bypass shows up in the profile instead of the lockstep
-simulator.  Prints the top functions by the chosen sort key so optimization
+simulator; like ``sparsify`` it gets an untimed warm-up pass by default
+(recording every kernel shape's ``TracePlan``, then rebuilding on the
+same machine) so the profiled loop is the replay steady state --
+``--cold`` attributes the recording pass instead.  Prints the top functions by the chosen sort key so optimization
 work targets the real bottlenecks (for the sequential engine these are the
 numpy vector pulls and the chunk rescans -- already the
 algorithmically-charged costs).  ``-o FILE`` additionally dumps the raw
@@ -47,7 +51,7 @@ ENGINES = ("seq", "par", "par-fast", "sparsify")
 JSON_SCHEMA = "hotspot-attribution/v1"
 
 
-def build(engine: str, n: int):
+def build(engine: str, n: int, machine=None):
     if engine == "seq":
         from repro.core.seq_msf import SparseDynamicMSF
         return SparseDynamicMSF(n), True
@@ -56,6 +60,12 @@ def build(engine: str, n: int):
         return ParallelDynamicMSF(n), True
     if engine == "par-fast":
         from repro.core.par import ParallelDynamicMSF
+        if machine is not None:
+            # warm rebuild on a recycled machine: the replay/shape caches
+            # survive reset_stats(), so the profiled loop below shows the
+            # trace-replay steady state rather than the recording pass
+            machine.reset_stats()
+            return ParallelDynamicMSF(n, machine=machine), True
         return ParallelDynamicMSF(n, audit="fast"), True
     if engine == "sparsify":
         from repro.core.sparsify import SparsifiedMSF
@@ -63,11 +73,23 @@ def build(engine: str, n: int):
     raise ValueError(f"unknown engine {engine!r}")
 
 
-def workload(eng, core_style: bool, n: int, steps: int) -> None:
-    from repro.workloads import churn
+def workload(eng, core_style: bool, n: int, steps: int,
+             adversarial: bool = False) -> None:
+    """Drive ``steps`` churn updates -- or, for the parallel engines, the
+    kernel-bound adversarial profile (one long path cut and reconnected
+    per round, ~44 updates each at n=512), matching the bench harness's
+    ``parallel-core*`` rows.  Churn at degree <= 3 stays on the short-list
+    analytic paths and would never launch a kernel, so profiling the
+    simulator (or its replay tier) requires the adversarial stream."""
+    if adversarial:
+        from repro.workloads import adversarial_cuts
+        ops = adversarial_cuts(n, rounds=max(1, round(steps / 44)), seed=3)
+    else:
+        from repro.workloads import churn
+        ops = churn(n, steps, seed=11, max_degree=3 if core_style else None)
     handles = {}
     idx = 0
-    for op in churn(n, steps, seed=11, max_degree=3 if core_style else None):
+    for op in ops:
         if op[0] == "ins":
             _t, u, v, w = op
             if core_style:
@@ -121,10 +143,22 @@ def parse_args(argv=None) -> argparse.Namespace:
         description="Profile an engine's hot paths under the churn workload.")
     parser.add_argument("engine", nargs="?", default="seq", choices=ENGINES,
                         help="engine to profile (default: seq)")
+    parser.add_argument("--engine", dest="engine_flag", choices=ENGINES,
+                        default=None, metavar="ENGINE",
+                        help="flag-style alias for the positional engine "
+                             "argument (CI invocations use --engine "
+                             "par-fast --json ...); overrides the "
+                             "positional when both are given")
     parser.add_argument("n", nargs="?", type=int, default=1024,
                         help="vertex-set size (default: 1024)")
     parser.add_argument("steps", nargs="?", type=int, default=300,
                         help="number of updates (default: 300)")
+    parser.add_argument("--n", dest="n_flag", type=int, default=None,
+                        help="flag-style alias for the positional n "
+                             "(needed alongside --engine, which leaves "
+                             "no positional engine slot to anchor n)")
+    parser.add_argument("--steps", dest="steps_flag", type=int, default=None,
+                        help="flag-style alias for the positional steps")
     parser.add_argument("--sort", choices=("cumulative", "tottime"),
                         default="cumulative",
                         help="pstats sort key (default: cumulative)")
@@ -144,6 +178,12 @@ def parse_args(argv=None) -> argparse.Namespace:
 
 def main(argv=None) -> int:
     args = parse_args(argv)
+    if args.engine_flag is not None:
+        args.engine = args.engine_flag
+    if args.n_flag is not None:
+        args.n = args.n_flag
+    if args.steps_flag is not None:
+        args.steps = args.steps_flag
     # Validate *everything* that can fail before the profiler starts, so a
     # typo never burns a multi-minute workload first.
     if args.n < 2:
@@ -158,6 +198,7 @@ def main(argv=None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     arena = "cold"
+    adversarial = args.engine in ("par", "par-fast")
     if not args.cold and getattr(eng, "release", None) is not None:
         # Warm the engine arena: drive the workload once untimed, return the
         # node engines to the pool, rebuild.  The profiled loop below then
@@ -168,9 +209,21 @@ def main(argv=None) -> int:
         eng.release()
         eng, core_style = build(args.engine, args.n)
         arena = "warm"
+    elif (not args.cold
+          and getattr(getattr(eng, "machine", None), "audit", None) == "fast"):
+        # Warm the replay tier (PR 4 parity with the bench harness): drive
+        # the workload once untimed so every kernel shape records its
+        # TracePlan, then rebuild on the *same* machine --
+        # ``reset_stats()`` keeps the value-keyed shape caches, so the
+        # profiled loop shows the all-warm replay steady state instead of
+        # the recording pass.  ``--cold`` still attributes recording cost.
+        workload(eng, core_style, args.n, args.steps,
+                 adversarial=adversarial)
+        eng, core_style = build(args.engine, args.n, machine=eng.machine)
+        arena = "warm"
     prof = cProfile.Profile()
     prof.enable()
-    workload(eng, core_style, args.n, args.steps)
+    workload(eng, core_style, args.n, args.steps, adversarial=adversarial)
     prof.disable()
     stats = pstats.Stats(prof)
     stats.sort_stats(args.sort)
@@ -187,9 +240,16 @@ def main(argv=None) -> int:
             "engine": args.engine,
             "n": args.n,
             "steps": args.steps,
+            "workload": "adversarial" if adversarial else "churn",
             "arena": arena,
             **attribution(stats, args.limit),
         }
+        cache_info = getattr(getattr(eng, "machine", None),
+                             "cache_info", None)
+        if cache_info is not None:
+            # replay-tier telemetry (PR 4): lets CI artifacts show cache
+            # pressure and warm hit rate next to the attribution rows
+            record["pram_cache_info"] = cache_info()
         with open(args.json, "w") as fh:
             json.dump(record, fh, indent=2)
             fh.write("\n")

@@ -131,6 +131,11 @@ class ChunkSpace:
         self._free_ids = list(range(self.Jcap - 1, -1, -1))
         self.with_bt = with_bt
         self.ops = ops if ops is not None else OpCounter()
+        #: Per-column snapshots of ``C[:, j]`` as of the last column sweep
+        #: that absorbed column ``j`` (trace-replay fast path only; see
+        #: ``repro.core.par.kernels.column_sweep_kernel``).  Lazily
+        #: populated -- sequential/strict engines never touch it.
+        self.col_snap: dict[int, np.ndarray] = {}
 
     def reset(self) -> None:
         """Restore the space to its just-constructed state **in place**.
@@ -145,6 +150,7 @@ class ChunkSpace:
         self.C.fill(INF_KEY)
         self.chunk_of_id = [None] * self.Jcap
         self._free_ids = list(range(self.Jcap - 1, -1, -1))
+        self.col_snap.clear()
 
     # -- id management ---------------------------------------------------------
 
@@ -265,8 +271,14 @@ class ChunkSpace:
                     break
                 occ = occ.next
         else:
-            prev_leaf: Optional[tt.Node] = None
-            tt_leaf, insert_after = tt.leaf, tt.insert_after
+            # Bulk O(K) construction: ``tt.build_rightmost`` produces the
+            # exact shape (and aggregates) of the old insert-after loop
+            # without the O(log K) root walk per occurrence.  Shape
+            # equality is load-bearing -- ``getEdge`` descends BT_c, so its
+            # measured depth/work depend on the tree structure.
+            tt_leaf = tt.leaf
+            bt_leaves: list[tt.Node] = []
+            append = bt_leaves.append
             occ = c.head
             while occ is not None:
                 occ.chunk = c
@@ -276,14 +288,11 @@ class ChunkSpace:
                 n_edges += deg
                 lf = tt_leaf(occ, agg=(1 + deg, deg))
                 occ.bt_leaf = lf
-                if bt_root is None:
-                    bt_root = lf
-                else:
-                    bt_root = insert_after(prev_leaf, lf, _bt_pull)
-                prev_leaf = lf
+                append(lf)
                 if occ is tail:
                     break
                 occ = occ.next
+            bt_root = tt.build_rightmost(bt_leaves, _bt_pull)
         charge("occ_scan", count)
         c.count = count
         c.n_edges = n_edges

@@ -135,6 +135,23 @@ class DynamicMSF:
         machine = getattr(getattr(impl, "core", None), "machine", None)
         return machine.total.violations if machine is not None else 0
 
+    def pram_cache_info(self) -> dict:
+        """Replay/shape cache counters of the backing engines.
+
+        Mirrors the ``erew_violations`` guard ladder: sparsified engines
+        report a ``{level_key: cache_info}`` mapping across materialized
+        tree nodes, the non-sparsified parallel engine reports its single
+        machine's counters, and unmeasured (sequential) backends report
+        ``{}``.
+        """
+        impl = self._impl
+        fn = getattr(impl, "pram_cache_info", None)
+        if fn is not None:
+            return fn()
+        machine = getattr(getattr(impl, "core", None), "machine", None)
+        info = getattr(machine, "cache_info", None) if machine is not None else None
+        return info() if info is not None else {}
+
     def parallel_cost_of_last_update(self) -> dict:
         """Section 5.3 cost composition (sparsified engines), or an
         explicit zero-cost report when no level accounting exists."""

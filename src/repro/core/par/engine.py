@@ -182,17 +182,19 @@ class ParallelDynamicMSF(SparseDynamicMSF):
             yield
             return
         self._measuring = True
-        mark = len(self.machine.history)
+        # Window-based accounting: every launch/charge folds into the open
+        # window as it happens (Machine._account), so per-update
+        # aggregation no longer reads Machine.history -- which lets the
+        # history be a bounded ring by default without losing stats.
+        window = self.machine.window_begin(label)
         try:
             yield
         finally:
             # glue: LCT query/link/cut and the O(1) surgery decisions by p_1
             self.machine.charge(depth=3 * kn.log2c(self.n_max),
                                 work=3 * kn.log2c(self.n_max), label="glue")
-            agg = KernelStats(label=label)
-            for st in self.machine.history[mark:]:
-                agg.add(st)
-            self.update_stats.append(agg)
+            self.machine.window_end(window)
+            self.update_stats.append(window)
             self._measuring = False
 
     def insert_edge(self, u: int, v: int, weight: float,

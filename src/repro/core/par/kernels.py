@@ -27,6 +27,8 @@ import itertools
 import math
 from typing import Optional
 
+import numpy as np
+
 from ...pram.machine import KernelStats, Machine, Nop, Read, Write
 from ...structures import two_three_tree as tt
 from ..chunks import Chunk, ChunkSpace
@@ -56,31 +58,148 @@ def _attr(obj, name: str) -> tuple:
 
 
 # ---------------------------------------------------------------------------
-# shape keys for the audit="fast" kernel bypass.
+# shape keys for the audit="fast" trace-replay tier.
 #
 # Several kernels' op streams have per-step (live, read, write) counts that
 # are a pure function of a cheap structural key -- never of the *values* in
-# memory.  Under ``audit="fast"`` those kernels ask the machine whether the
-# key was already verified by a fully-checked launch (`Machine.shaped_hit`);
-# on a hit they run a host-speed direct equivalent with identical memory
-# effects and charge the recorded stats (`Machine.charge_shaped`), on a miss
-# they simulate fully checked and record the shape (`Machine.run_recorded`).
-# The differential test in tests/pram/test_machine_fastpath.py pins the
-# "equal key => equal stats and equal effects" contract on real workloads.
+# memory.  Under ``audit="fast"`` those kernels ask the machine for the
+# compiled plan of their key (`Machine.replay_plan`); on a hit they run a
+# host-speed direct equivalent with identical memory effects and charge the
+# plan's recorded stats (`Machine.replay`), on a miss they simulate fully
+# checked and compile the plan (`Machine.run_recorded`).  The differential
+# suites in tests/pram/ pin the "equal key => equal stats and equal
+# effects" contract on real workloads.
+#
+# Shape-key computation is O(changed path), not O(tree): the recursive
+# walks below memoize per 2-3-tree vertex in ``Node.scache`` (a
+# ``(tag, shape)`` pair), and every structural mutation / leaf-aggregate
+# refresh in ``repro.structures.two_three_tree`` invalidates exactly the
+# vertices it touches (see ``Node.scache``'s invariant), so a steady-state
+# launch recomputes only the vertices the last update changed.
 # ---------------------------------------------------------------------------
+
+#: ``Node.scache`` tags (BT_c and LSDS trees are disjoint node sets, but
+#: the tag keeps a mixed-up cache read from ever being wrong)
+_BT_TAG = 1
+_LSDS_TAG = 2
+
 
 def _bt_shape(node: tt.Node):
     """Structural fingerprint of a BT_c subtree: nested kid tuples with
-    per-leaf edge counts (the quantities steering getEdge's branches)."""
-    if node.is_leaf:
-        return node.agg[1]
-    return tuple(_bt_shape(kid) for kid in node.kids)
+    per-leaf edge counts (the quantities steering getEdge's branches).
+    Memoized in ``node.scache``; leaf-aggregate changes invalidate via
+    ``tt.refresh_upward``."""
+    sc = node.scache
+    if sc is not None and sc[0] == _BT_TAG:
+        return sc[1]
+    if node.height:
+        shape = tuple(_bt_shape(kid) for kid in node.kids)
+    else:
+        shape = node.agg[1]
+    node.scache = (_BT_TAG, shape)
+    return shape
 
 
 def _tree_shape(node: tt.Node) -> tuple:
     """Structural fingerprint of an LSDS subtree (pure nested kid tuples,
-    leaves are ``()``), which fixes every branch of the column sweep."""
-    return tuple(_tree_shape(kid) for kid in node.kids)
+    leaves are ``()``), which fixes every branch of the column sweep.
+    Memoized in ``node.scache`` (structure-only: in-place aggregate
+    refreshes keep the cache valid)."""
+    sc = node.scache
+    if sc is not None and sc[0] == _LSDS_TAG:
+        return sc[1]
+    shape = tuple(_tree_shape(kid) for kid in node.kids)
+    node.scache = (_LSDS_TAG, shape)
+    return shape
+
+
+# ---------------------------------------------------------------------------
+# host bracket simulator for the tournament family.
+#
+# The 4-phase tournament programs (Lemma 3.1 and the MWR argmins) branch on
+# *values*, so no purely structural key covers them -- but their per-step
+# op counts are a pure function of the bracket *outcome*: which player
+# survives each match, and as which child (a losing left child plays a full
+# 4-op phase, a losing right child exits after the phase's read).  The
+# simulator below replays the exact comparison semantics of the kernel
+# programs on the host -- right child wins iff ``rkey < lkey`` strictly,
+# ties keep the left child, a lone child propagates -- producing (a) the
+# outcome profile, which together with ``leaves`` (fixing every player's
+# node path, hence its left/right parity per level) determines the complete
+# per-step (live, reads, writes) fingerprint, and (b) the per-target
+# winners, which are the kernel's visible memory effects.  Keying the
+# replay tier by the outcome profile is therefore exactly as fine as the
+# machine's own fingerprint -- and no finer.
+# ---------------------------------------------------------------------------
+
+#: value-keyed memo for :func:`_bracket_plan`.  The plan is a *pure
+#: function* of the entry list (adversarial streams replay the same
+#: tournaments round after round), so a module-level bounded FIFO memo is
+#: safe across machines; callers never mutate the returned ``winners``.
+_bracket_memo: dict = {}
+_BRACKET_MEMO_CAP = 8192
+
+
+def _bracket_plan(entries, min_leaves: int = 1):
+    """Simulate the 4-phase bracket; ``entries`` is the full (key, target)
+    list (``None``-target entries field no program).
+
+    Returns ``(leaves, outcome, winners)``: ``outcome`` is a sorted tuple
+    of per-player ``(k, exit_level, kind)`` records with ``kind`` 0 = lost
+    as left child, 1 = lost as right child, 2 = winner (level counted from
+    the leaves; winners exit at ``log2(leaves)``); ``winners`` maps each
+    target to its winning key.
+    """
+    try:
+        ck = (min_leaves, tuple(entries))
+        memo = _bracket_memo.get(ck)
+        if memo is not None:
+            return memo
+    except TypeError:  # unhashable key component: compute without memoizing
+        ck = None
+    n = len(entries)
+    leaves = min_leaves
+    while leaves < n:
+        leaves *= 2
+    state: dict[tuple, tuple] = {}
+    for k, (key, tgt) in enumerate(entries):
+        if tgt is not None:
+            state[(tgt, leaves + k)] = (key, k)
+    exits: list[tuple[int, int, int]] = []
+    winners: dict = {}
+    level = 0
+    while state:
+        nxt: dict[tuple, tuple] = {}
+        groups: dict[tuple, list] = {}
+        for (tgt, node), (key, k) in state.items():
+            if node == 1:
+                winners[tgt] = key
+                exits.append((k, level, 2))
+            else:
+                groups.setdefault((tgt, node >> 1), []).append((node, key, k))
+        level += 1
+        for (tgt, parent), members in groups.items():
+            if len(members) == 2:
+                members.sort(key=lambda m: m[0])
+                _ln, lkey, lk = members[0]
+                _rn, rkey, rk = members[1]
+                if rkey < lkey:   # strict win by the right child
+                    exits.append((lk, level, 0))
+                    nxt[(tgt, parent)] = (rkey, rk)
+                else:             # ties and lkey <= rkey: left survives
+                    exits.append((rk, level, 1))
+                    nxt[(tgt, parent)] = (lkey, lk)
+            else:                 # lone child propagates (full 4-op phase)
+                _n, key, k = members[0]
+                nxt[(tgt, parent)] = (key, k)
+        state = nxt
+    exits.sort()
+    result = (leaves, tuple(exits), winners)
+    if ck is not None:
+        if len(_bracket_memo) >= _BRACKET_MEMO_CAP:
+            _bracket_memo.pop(next(iter(_bracket_memo)))
+        _bracket_memo[ck] = result
+    return result
 
 
 # ---------------------------------------------------------------------------
@@ -103,15 +222,17 @@ def get_edge_assignments(
     if n_edges == 0:
         return [], KernelStats(label="getEdge", launches=1)
     key = ("getEdge", _bt_shape(root)) if machine.audit == "fast" else None
-    if key is not None and machine.shaped_hit(key):
-        # direct equivalent: ranks are assigned in BT leaf order, and
-        # within one principal copy the slots ascend with the rank (the
-        # probe phase resolves rank r - d to slot e_cnt - 1 - d)
-        out: list = []
-        for lf in tt.iter_leaves(root):
-            for slot in range(lf.agg[1]):
-                out.append((lf.item, slot))
-        return out, machine.charge_shaped(key, "getEdge")
+    if key is not None:
+        plan = machine.replay_plan(key)
+        if plan is not None:
+            # direct equivalent: ranks are assigned in BT leaf order, and
+            # within one principal copy the slots ascend with the rank (the
+            # probe phase resolves rank r - d to slot e_cnt - 1 - d)
+            out: list = []
+            for lf in tt.iter_leaves(root):
+                for slot in range(lf.agg[1]):
+                    out.append((lf.item, slot))
+            return out, machine.replay(plan, "getEdge", n_effects=n_edges)
     height = root.height
     # `vertex` scratch array, 1-based ranks, +3 slack for the probe phase
     scratch: list = [None] * (n_edges + 4)
@@ -173,7 +294,8 @@ def get_edge_assignments(
 
     progs = [prog(k) for k in range(1, n_edges + 1)]
     if key is not None:
-        stats = machine.run_recorded(key, progs, label="getEdge")
+        stats = machine.run_recorded(key, progs, label="getEdge",
+                                     n_effects=n_edges)
     else:
         stats = machine.run(progs, label="getEdge")
     assert all(r is not None for r in results), "getEdge left ranks unassigned"
@@ -206,8 +328,10 @@ def _gather_targets(
             far_h[srec.slot_far] += 1
             direct.append((srec.key, srec.far.pc.chunk_id, srec.edge))
         key = ("gather", tuple(near), tuple(far_h))
-        if machine.shaped_hit(key):
-            return direct, machine.charge_shaped(key, "gather")
+        plan = machine.replay_plan(key)
+        if plan is not None:
+            return direct, machine.replay(plan, "gather",
+                                          n_effects=len(assignments))
     out: list = [None] * len(assignments)
     oid = machine.mem.register(out)
 
@@ -245,7 +369,8 @@ def _gather_targets(
 
     progs = [prog(k, occ, slot) for k, (occ, slot) in enumerate(assignments)]
     if key is not None:
-        stats = machine.run_recorded(key, progs, label="gather")
+        stats = machine.run_recorded(key, progs, label="gather",
+                                     n_effects=len(assignments))
     else:
         stats = machine.run(progs, label="gather")
     return list(out), stats
@@ -261,14 +386,35 @@ def _tournament_forest(
     sink,  # callable target_id -> address receiving the winning key
     label: str,
 ) -> KernelStats:
-    """Run the paper's per-target tournaments; winners write to ``sink``."""
-    run = next(_run_ids)
+    """Run the paper's per-target tournaments; winners write to ``sink``.
+
+    Under ``audit="fast"`` the bracket is first simulated on the host
+    (:func:`_bracket_plan`); the outcome profile keys the machine's
+    trace-replay tier, and on a plan hit only the winners' sink writes --
+    the kernel's semantically visible effects -- are applied (the
+    per-match scratch registers carry a fresh run id and are never read
+    after the launch).
+    """
     n = len(entries)
     if n == 0:
         return KernelStats(label=label, launches=1)
-    leaves = 1
-    while leaves < n:
-        leaves *= 2
+    key = None
+    if machine.audit == "fast":
+        leaves, outcome, winners = _bracket_plan(entries)
+        if not outcome:  # every target was None: no programs, no launch
+            return KernelStats(label=label, launches=1)
+        key = (label, leaves, outcome)
+        plan = machine.replay_plan(key)
+        if plan is not None:
+            write = machine.mem.write
+            for tgt, wkey in winners.items():
+                write(sink(tgt), wkey)
+            return machine.replay(plan, label, n_effects=len(winners))
+    else:
+        leaves = 1
+        while leaves < n:
+            leaves *= 2
+    run = next(_run_ids)
 
     def cell(target: int, node: int) -> tuple:
         return machine.mem.reg(("tf", run, target, node))
@@ -295,10 +441,13 @@ def _tournament_forest(
             node = parent
         yield Write(sink(target), key)
 
-    programs = [prog(k, key, tgt) for k, (key, tgt) in enumerate(entries)
+    programs = [prog(k, ekey, tgt) for k, (ekey, tgt) in enumerate(entries)
                 if tgt is not None]
     if not programs:
         return KernelStats(label=label, launches=1)
+    if key is not None:
+        return machine.run_recorded(key, programs, label=label,
+                                    n_effects=len(winners))
     return machine.run(programs, label=label)
 
 
@@ -319,16 +468,17 @@ def rebuild_row_kernel(machine: Machine, space: ChunkSpace,
 
     # 1. clear the row: J processors, one step
     fkey = ("fill", J) if fast else None
-    if fkey is not None and machine.shaped_hit(fkey):
-        for j in range(J):
-            row[j] = INF_KEY
-        total.add(machine.charge_shaped(fkey, "fill"))
+    fplan = machine.replay_plan(fkey) if fkey is not None else None
+    if fplan is not None:
+        row[:] = space.inf_row  # one vectorized fill, same INF_KEY cells
+        total.add(machine.replay(fplan, "fill", n_effects=J))
     else:
         def clear(j: int):
             yield Write(("idx", rid, j), INF_KEY)
 
         progs = [clear(j) for j in range(J)]
-        total.add(machine.run_recorded(fkey, progs, label="fill")
+        total.add(machine.run_recorded(fkey, progs, label="fill",
+                                       n_effects=J)
                   if fkey is not None else machine.run(progs, label="fill"))
 
     # 2. getEdge + gather + tournament forest
@@ -344,11 +494,11 @@ def rebuild_row_kernel(machine: Machine, space: ChunkSpace,
 
     # 3. mirror the row into column cid: p_j copies C[cid, j] -> C[j, cid]
     mkey = ("mirror", J) if fast else None
-    if mkey is not None and machine.shaped_hit(mkey):
-        rows = space.row_views
-        for j in range(J):
-            rows[j][cid] = row[j]
-        total.add(machine.charge_shaped(mkey, "mirror"))
+    mplan = machine.replay_plan(mkey) if mkey is not None else None
+    if mplan is not None:
+        # vectorized column store; the (cid, cid) overlap copies itself
+        space.C[:, cid] = row
+        total.add(machine.replay(mplan, "mirror", n_effects=J))
         return total
 
     def mirror(j: int):
@@ -356,7 +506,8 @@ def rebuild_row_kernel(machine: Machine, space: ChunkSpace,
         yield Write(("idx", machine.mem.register(space.row_views[j]), cid), val)
 
     progs = [mirror(j) for j in range(J)]
-    total.add(machine.run_recorded(mkey, progs, label="mirror")
+    total.add(machine.run_recorded(mkey, progs, label="mirror",
+                                   n_effects=J)
               if mkey is not None else machine.run(progs, label="mirror"))
     return total
 
@@ -369,15 +520,29 @@ def entry_pair_kernel(machine: Machine, space: ChunkSpace,
     assert c1.id is not None and c2.id is not None
     total = KernelStats(label="entry_pair")
     i1, i2 = c1.id, c2.id
-    r1 = machine.mem.register(space.row_views[i1])
-    r2 = machine.mem.register(space.row_views[i2])
+    fast = machine.audit == "fast"
+    row1, row2 = space.row_views[i1], space.row_views[i2]
+    r1 = machine.mem.register(row1)
+    r2 = machine.mem.register(row2)
 
-    def preset():
-        yield Write(("idx", r1, i2), INF_KEY)
+    pkey = ("preset", i1 == i2) if fast else None
+    pplan = machine.replay_plan(pkey) if pkey is not None else None
+    if pplan is not None:
+        row1[i2] = INF_KEY
         if i1 != i2:
-            yield Write(("idx", r2, i1), INF_KEY)
+            row2[i1] = INF_KEY
+        total.add(machine.replay(pplan, "preset",
+                                 n_effects=1 if i1 == i2 else 2))
+    else:
+        def preset():
+            yield Write(("idx", r1, i2), INF_KEY)
+            if i1 != i2:
+                yield Write(("idx", r2, i1), INF_KEY)
 
-    total.add(machine.run([preset()], label="preset"))
+        total.add(machine.run_recorded(pkey, [preset()], label="preset",
+                                       n_effects=1 if i1 == i2 else 2)
+                  if pkey is not None
+                  else machine.run([preset()], label="preset"))
     if c1.n_edges:
         assign, s1 = get_edge_assignments(machine, c1)
         total.add(s1)
@@ -389,12 +554,24 @@ def entry_pair_kernel(machine: Machine, space: ChunkSpace,
                                 lambda tgt: ("idx", r1, tgt), "pair_tournament")
         total.add(s3)
 
-        def mirror_back():
-            val = yield Read(("idx", r1, i2))
+        mkey = ("pair_mirror", i1 == i2) if fast else None
+        mplan = machine.replay_plan(mkey) if mkey is not None else None
+        if mplan is not None:
             if i1 != i2:
-                yield Write(("idx", r2, i1), val)
+                row2[i1] = row1[i2]
+            total.add(machine.replay(mplan, "pair_mirror",
+                                     n_effects=0 if i1 == i2 else 1))
+        else:
+            def mirror_back():
+                val = yield Read(("idx", r1, i2))
+                if i1 != i2:
+                    yield Write(("idx", r2, i1), val)
 
-        total.add(machine.run([mirror_back()], label="pair_mirror"))
+            total.add(machine.run_recorded(
+                mkey, [mirror_back()], label="pair_mirror",
+                n_effects=0 if i1 == i2 else 1)
+                if mkey is not None
+                else machine.run([mirror_back()], label="pair_mirror"))
     return total
 
 
@@ -423,39 +600,33 @@ def path_refresh_kernel(machine: Machine, space: ChunkSpace,
         # shape = (J, kid count per path node): every processor runs the
         # identical 8-steps-per-node program, values never steer branches
         key = ("path_refresh", J, tuple(len(nd.kids) for nd in path))
-        if machine.shaped_hit(key):
+        plan = machine.replay_plan(key)
+        if plan is not None:
             for nd in path:
                 cadj, memb = nd.agg
-                rows: list = []
-                mrows: list = []
-                for kid in nd.kids:
-                    if kid.is_leaf:
-                        ch: Chunk = kid.item
-                        rows.append(space.row_views[ch.id])
-                        mrows.append(ch.memb_row)
+                kids = nd.kids
+                first = kids[0]
+                if first.height:
+                    r0, m0 = first.agg
+                else:
+                    ch: Chunk = first.item
+                    r0, m0 = space.row_views[ch.id], ch.memb_row
+                if len(kids) == 1:  # transient single-kid rebalancing node
+                    cadj[:] = r0
+                    memb[:] = m0
+                    continue
+                cadj[:] = r0
+                memb[:] = m0
+                for kid in kids[1:]:
+                    if kid.height:
+                        rk, mk = kid.agg
                     else:
-                        rows.append(kid.agg[0])
-                        mrows.append(kid.agg[1])
-                if len(rows) == 2:
-                    a, b = rows
-                    cadj[:] = [y if y < x else x for x, y in zip(a, b)]
-                    ma, mb = mrows
-                    memb[:] = [bool(x) or bool(y) for x, y in zip(ma, mb)]
-                elif len(rows) == 3:
-                    a, b, c = rows
-                    best: list = []
-                    append = best.append
-                    for x, y, z in zip(a, b, c):
-                        w = y if y < x else x
-                        append(z if z < w else w)
-                    cadj[:] = best
-                    ma, mb, mc = mrows
-                    memb[:] = [bool(x) or bool(y) or bool(z)
-                               for x, y, z in zip(ma, mb, mc)]
-                else:  # transient single-kid node during rebalancing
-                    cadj[:] = list(rows[0])
-                    memb[:] = [bool(x) for x in mrows[0]]
-            stats = machine.charge_shaped(key, "path_refresh")
+                        ch = kid.item
+                        rk, mk = space.row_views[ch.id], ch.memb_row
+                    np.minimum(cadj, rk, out=cadj)
+                    np.logical_or(memb, mk, out=memb)
+            stats = machine.replay(plan, "path_refresh",
+                                   n_effects=2 * len(path))
             stats.add(machine.charge(depth=2 * log2c(J), work=J,
                                      processors=J, label="descr_bcast"))
             return stats
@@ -493,7 +664,8 @@ def path_refresh_kernel(machine: Machine, space: ChunkSpace,
 
     progs = [prog(j) for j in range(J)]
     if key is not None:
-        stats = machine.run_recorded(key, progs, label="path_refresh")
+        stats = machine.run_recorded(key, progs, label="path_refresh",
+                                     n_effects=2 * len(path))
     else:
         stats = machine.run(progs, label="path_refresh")
     # structure-descriptor broadcast (standard EREW doubling)
@@ -511,29 +683,27 @@ def column_sweep_kernel(machine: Machine, space: ChunkSpace,
     own ``pos`` cell), exactly the paper's iterative process.  Depth
     ``O(log J)``, ``O(J)`` processors across all LSDSes simultaneously.
     """
-    run = next(_run_ids)
-    leaves: list[tt.Node] = []
-    max_h = 0
-    for root in roots:
-        if root.is_leaf:
-            continue  # nothing to aggregate in a single-leaf LSDS
-        max_h = max(max_h, root.height)
-        leaves.extend(tt.iter_leaves(root))
-    if not leaves:
+    tall = [root for root in roots if root.height]
+    if not tall:  # nothing to aggregate in single-leaf LSDSes
         return KernelStats(label="col_sweep", launches=1)
+    max_h = max(root.height for root in tall)
     key = None
     if machine.audit == "fast":
         # per-leaf branching is fixed by tree structure alone (pos / kid
         # counts / heights); sorted so the set-iteration order of the
-        # registry's long-list roots cannot split equivalent shapes
+        # registry's long-list roots cannot split equivalent shapes.
+        # Key computed *before* any leaf collection: `_tree_shape` is
+        # scache-memoized, so the hot hit path never walks the trees.
         key = ("col_sweep", max_h,
-               tuple(sorted(_tree_shape(r) for r in roots
-                            if not r.is_leaf)))
-        if machine.shaped_hit(key):
-            for root in roots:
-                if not root.is_leaf:
-                    _sweep_direct(space, root, j)
-            return machine.charge_shaped(key, "col_sweep")
+               tuple(sorted(_tree_shape(r) for r in tall)))
+        plan = machine.replay_plan(key)
+        if plan is not None:
+            _sweep_incremental(space, tall, j)
+            return machine.replay(plan, "col_sweep")
+    run = next(_run_ids)
+    leaves: list[tt.Node] = []
+    for root in tall:
+        leaves.extend(tt.iter_leaves(root))
 
     def sweep_cell(node: tt.Node) -> tuple:
         return machine.mem.reg(("sweep", run, id(node)))
@@ -569,7 +739,16 @@ def column_sweep_kernel(machine: Machine, space: ChunkSpace,
 
     progs = [prog(leaf) for leaf in leaves]
     if key is not None:
-        return machine.run_recorded(key, progs, label="col_sweep")
+        stats = machine.run_recorded(key, progs, label="col_sweep")
+        # the kernel just absorbed the whole column into the swept trees:
+        # refresh the dirty-tracking snapshot so the next replay hit can
+        # propagate only genuinely-changed entries
+        snap = space.col_snap.get(j)
+        if snap is None:
+            space.col_snap[j] = space.C[:, j].copy()
+        else:
+            snap[:] = space.C[:, j]
+        return stats
     return machine.run(progs, label="col_sweep")
 
 
@@ -591,6 +770,81 @@ def _sweep_direct(space: ChunkSpace, node: tt.Node, j: int):
     return val, memb
 
 
+def _sweep_incremental(space: ChunkSpace, tall: list[tt.Node], j: int) -> None:
+    """State-equivalent of the full column sweep on the replay hit path.
+
+    The full sweep recomputes entry ``j`` of *every* internal vertex of the
+    swept trees from the leaf inputs ``C[chunk.id][j]``.  Internal
+    aggregates are pure functions of those inputs, and every structural
+    LSDS mutation re-pulls the vertices it touches with full-row pulls --
+    so between sweeps of column ``j``, a vertex can only go stale in
+    column ``j`` if some leaf input in its subtree changed.  The space
+    keeps a per-column snapshot of ``C[:, j]`` as of the last absorb;
+    diffing against it yields exactly the changed leaves, and one
+    bottom-up recompute walk per changed leaf (leaf -> root, the kernel's
+    leftmost-wins tie handling) restores every stale vertex.  Walks run to
+    the root unconditionally: with several dirty leaves per tree, a shared
+    ancestor is recomputed again by each later walk, and the last walk
+    through any vertex sees all of its children already updated.
+
+    Typical updates dirty O(1) entries, so the hit path does O(changed *
+    height) vertex recomputes instead of O(total tree size) -- the measured
+    stats are unaffected either way (the replay plan charges the recorded
+    kernel cost).
+    """
+    col = space.C[:, j]
+    snap = space.col_snap.get(j)
+    if snap is None:
+        # first absorb of this column: full recompute, then snapshot
+        for root in tall:
+            _sweep_direct(space, root, j)
+        space.col_snap[j] = col.copy()
+        return
+    neq = col != snap
+    if not neq.any():
+        return
+    tall_ids = {id(r) for r in tall}
+    row_views = space.row_views
+    chunk_of_id = space.chunk_of_id
+    for i in np.nonzero(neq)[0]:
+        ch = chunk_of_id[i]
+        if ch is not None and ch.leaf is not None and \
+                ch.leaf.parent is not None:
+            path: list[tt.Node] = []
+            node = ch.leaf.parent
+            while node is not None:
+                path.append(node)
+                node = node.parent
+            if id(path[-1]) not in tall_ids:
+                # defensively mirror the kernel: a tree outside the swept
+                # set is left stale *and* keeps its dirty-snapshot entry
+                continue  # pragma: no cover - tall lists are always swept
+            for node in path:
+                kids = node.kids
+                k0 = kids[0]
+                if k0.kids:
+                    val = k0.agg[0][j]
+                    memb = bool(k0.agg[1][j])
+                else:
+                    cid = k0.item.id
+                    val = row_views[cid][j]
+                    memb = cid == j
+                for kid in kids[1:]:
+                    if kid.kids:
+                        sval = kid.agg[0][j]
+                        smemb = kid.agg[1][j]
+                    else:
+                        cid = kid.item.id
+                        sval = row_views[cid][j]
+                        smemb = cid == j
+                    if sval < val:
+                        val = sval
+                    memb = memb or bool(smemb)
+                node.agg[0][j] = val
+                node.agg[1][j] = memb
+        snap[i] = col[i]
+
+
 # ---------------------------------------------------------------------------
 # parallel MWR (Lemma 3.3)
 # ---------------------------------------------------------------------------
@@ -600,13 +854,13 @@ def gamma_argmin_kernel(
     cadj1_arr, memb2_arr,
 ) -> tuple[Optional[tuple[Key, int]], KernelStats]:
     """Build gamma (p_j computes gamma[j]) and tournament its argmin."""
-    run = next(_run_ids)
     total = KernelStats(label="gamma")
     J = space.Jcap
+    fast = machine.audit == "fast"
     gamma: list = [None] * J
     gid = machine.mem.register(gamma, name="gamma")
     bkey = None
-    if machine.audit == "fast":
+    if fast:
         # fixed 3-step program; only the membership count moves the
         # second step's read tally
         direct: list = []
@@ -618,9 +872,10 @@ def gamma_argmin_kernel(
             else:
                 direct.append((INF_KEY, j))
         bkey = ("gamma_build", J, ntrue)
-    if bkey is not None and machine.shaped_hit(bkey):
+    bplan = machine.replay_plan(bkey) if bkey is not None else None
+    if bplan is not None:
         gamma[:] = direct
-        total.add(machine.charge_shaped(bkey, "gamma_build"))
+        total.add(machine.replay(bplan, "gamma_build", n_effects=J))
     else:
         a1 = machine.mem.register(cadj1_arr)
         m2 = machine.mem.register(memb2_arr)
@@ -635,13 +890,31 @@ def gamma_argmin_kernel(
             yield Write(("idx", gid, j), (val, j))
 
         progs = [build(j) for j in range(J)]
-        total.add(machine.run_recorded(bkey, progs, label="gamma_build")
+        total.add(machine.run_recorded(bkey, progs, label="gamma_build",
+                                       n_effects=J)
                   if bkey is not None
                   else machine.run(progs, label="gamma_build"))
-    # tournament argmin over (key, j) pairs -- ties impossible (j distinct)
-    leaves = 1
-    while leaves < space.Jcap:
-        leaves *= 2
+    # tournament argmin over (key, j) pairs -- ties impossible (j distinct).
+    # Every pair plays (one target group), so the bracket outcome fully
+    # fixes the op stream incl. the extra leading gamma[j] read.
+    tkey = None
+    if fast:
+        leaves, outcome, winners = _bracket_plan([(p, 0) for p in gamma])
+        tkey = ("gamma_argmin", leaves, outcome)
+        tplan = machine.replay_plan(tkey)
+        if tplan is not None:
+            # sink is a fresh-run-id scratch register, read back only by
+            # the host below: the winner is taken from the simulation
+            total.add(machine.replay(tplan, "gamma_argmin", n_effects=1))
+            winner = winners[0]
+            if winner[0] == INF_KEY:
+                return None, total
+            return (winner[0], winner[1]), total
+    else:
+        leaves = 1
+        while leaves < J:
+            leaves *= 2
+    run = next(_run_ids)
     result_reg = machine.mem.reg(("gamma_min", run))
 
     def cell(node: int) -> tuple:
@@ -670,8 +943,11 @@ def gamma_argmin_kernel(
             node = parent
         yield Write(result_reg, pair)
 
-    total.add(machine.run([tourney(j) for j in range(space.Jcap)],
-                          label="gamma_argmin"))
+    progs_t = [tourney(j) for j in range(J)]
+    total.add(machine.run_recorded(tkey, progs_t, label="gamma_argmin",
+                                   n_effects=1)
+              if tkey is not None
+              else machine.run(progs_t, label="gamma_argmin"))
     winner = machine.mem.read(result_reg)
     if winner is None or winner[0] == INF_KEY:
         return None, total
@@ -709,11 +985,12 @@ def verify_candidates_kernel(
                 if memb1_arr[tgt]:
                     n_ok += 1
         vkey = ("verify", len(targets), n_nonnull, n_ok)
-    if vkey is not None and machine.shaped_hit(vkey):
+    vplan = machine.replay_plan(vkey) if vkey is not None else None
+    if vplan is not None:
         for k, (key, tgt, _e) in enumerate(targets):
             if tgt is not None and memb1_arr[tgt]:
                 verdicts[k] = key
-        total.add(machine.charge_shaped(vkey, "verify"))
+        total.add(machine.replay(vplan, "verify", n_effects=n_ok))
     else:
         def verify(k: int, key: Key, tgt: Optional[int]):
             if tgt is None:
@@ -727,19 +1004,41 @@ def verify_candidates_kernel(
 
         progs = [verify(k, key, tgt)
                  for k, (key, tgt, _e) in enumerate(targets)]
-        s3 = machine.run_recorded(vkey, progs, label="verify", mode="crew") \
-            if vkey is not None \
-            else machine.run(progs, label="verify", mode="crew")
+        if vkey is not None:
+            s3 = machine.run_recorded(vkey, progs, label="verify",
+                                      mode="crew", n_effects=n_ok)
+        else:
+            s3 = machine.run(progs, label="verify", mode="crew")
         total.add(s3)
     # CREW->EREW conversion charge for the shared-read step
     total.add(machine.charge(depth=log2c(3 * space.K), work=len(targets),
                              processors=len(targets), label="crew2erew"))
-    # final tournament among verified candidates
+    # final tournament among verified candidates.  Null-verdict players
+    # exit after the one leading read; the bracket over the rest is
+    # outcome-keyed exactly like the Lemma 3.1 tournaments (the sink is a
+    # fresh-run-id scratch register read back only by the host).
+    tkey = None
+    if machine.audit == "fast":
+        leaves, outcome, winners = _bracket_plan(
+            [(v, 0 if v is not None else None) for v in verdicts],
+            min_leaves=2)
+        tkey = ("mwr_final", len(targets), leaves, outcome)
+        tplan = machine.replay_plan(tkey)
+        if tplan is not None:
+            total.add(machine.replay(tplan, "mwr_final",
+                                     n_effects=len(winners)))
+            best_key = winners.get(0)
+            if best_key is None:
+                return None, total
+            best_edge = next(e for (key, _t, e) in targets
+                             if key == best_key)
+            return best_edge, total
+    else:
+        leaves = 1
+        while leaves < max(len(targets), 2):
+            leaves *= 2
     run = next(_run_ids)
     result_reg = machine.mem.reg(("mwr_min", run))
-    leaves = 1
-    while leaves < max(len(targets), 2):
-        leaves *= 2
 
     def cell(node: int) -> tuple:
         return machine.mem.reg(("mwrt", run, node))
@@ -769,8 +1068,12 @@ def verify_candidates_kernel(
             node = parent
         yield Write(result_reg, key)
 
-    total.add(machine.run([tourney(k) for k in range(len(targets))],
-                          label="mwr_final"))
+    progs_t = [tourney(k) for k in range(len(targets))]
+    if tkey is not None:
+        total.add(machine.run_recorded(tkey, progs_t, label="mwr_final",
+                                       n_effects=len(winners)))
+    else:
+        total.add(machine.run(progs_t, label="mwr_final"))
     best_key = machine.mem.read(result_reg)
     if best_key is None:
         return None, total

@@ -580,6 +580,25 @@ class SparsifiedMSF:
                     total += machine.total.violations
         return total
 
+    def pram_cache_info(self) -> dict:
+        """{node key -> ``Machine.cache_info()``} over materialized engines.
+
+        Guarded exactly like :meth:`erew_violations` (empty for
+        ``parallel=False`` trees and ``_Leaf`` nodes), so a serving run can
+        always watch replay-cache pressure and interned-memory growth per
+        level machine.
+        """
+        out: dict[tuple, dict] = {}
+        for key, node in self.nodes.items():
+            if node.has_engine:
+                machine = getattr(getattr(node.engine, "core", None),
+                                  "machine", None)
+                info = getattr(machine, "cache_info", None) \
+                    if machine is not None else None
+                if info is not None:
+                    out[key] = info()
+        return out
+
     # ---------------------------------------------------- determinism aids
 
     def ops_by_node(self) -> dict[tuple, int]:

@@ -79,12 +79,46 @@ owes the invariant "equal key => equal per-step op counts and equal memory
 effects"; ``tests/pram/test_machine_fastpath.py`` checks it differentially
 on real workloads.  Like fingerprint streaming this is measurement-only:
 E4's legality verdict never runs under ``audit="fast"``.
+
+Trace-replay tier (``audit="fast"`` only)
+-----------------------------------------
+:meth:`Machine.run_recorded` now *compiles* each clean launch into a
+:class:`TracePlan`: the measured (depth, work, processors), the per-step
+op-count fingerprint, and the kernel-declared number of semantically
+visible memory effects -- with the EREW-exclusivity proof established once,
+at record time, by the fully checked simulation.  Subsequent launches of
+the same shape call :meth:`Machine.replay_plan` and, on a hit,
+:meth:`Machine.replay`: the kernel applies its direct host equivalent
+(only data-dependent values and buffered writes are evaluated -- no
+generator resumption, no per-op conflict re-checking) and the machine
+charges the recorded stats **bit-identically** to strict simulation.
+``replay`` cross-checks the kernel's declared effect count against the
+plan, so a key collision between launches with different write sets is
+caught rather than silently mis-charged.
+
+The record/verify/replay contract:
+
+* **record** -- first launch of a key simulates fully checked (strict;
+  violations raise regardless of the audit level) and compiles the plan;
+* **verify** -- the plan carries the EREW legality proof of that one
+  launch; the kernel author owes "equal key => equal per-step op counts
+  and equal memory effects" for every later launch of the key;
+* **replay** -- later launches charge the plan's stats and skip
+  simulation entirely.
+
+All replay-tier caches are bounded LRUs (:class:`_LRU`) with
+hit/miss/eviction counters surfaced by :meth:`Machine.cache_info`;
+evicting a plan merely forces a clean re-record on next sighting.
+:attr:`Machine.history` is a bounded ring buffer by default
+(:class:`KernelHistory`); analysis scripts that need the full launch log
+opt in via ``machine.history.set_cap(None)``.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Iterator, Optional
 
 from .memory import Mem
 
@@ -94,6 +128,8 @@ __all__ = [
     "Nop",
     "Machine",
     "KernelStats",
+    "KernelHistory",
+    "TracePlan",
     "ErewViolation",
 ]
 
@@ -194,9 +230,15 @@ def _short_addr(addr: tuple) -> str:
     return repr(addr)
 
 
-@dataclass
+@dataclass(slots=True)
 class KernelStats:
-    """Cost of one kernel launch (or an aggregate of several)."""
+    """Cost of one kernel launch (or an aggregate of several).
+
+    Slotted: tens of thousands of instances flow through
+    :meth:`Machine._account` per benchmark run, and the replay fast path
+    makes their construction + field access a measurable share of the
+    host work.
+    """
 
     depth: int = 0
     work: int = 0
@@ -246,6 +288,159 @@ class KernelStats:
         return out
 
 
+class TracePlan:
+    """A compiled replay plan for one verified kernel shape.
+
+    Produced by :meth:`Machine.run_recorded` from a clean fully-checked
+    launch; consumed by :meth:`Machine.replay`.  Carries the measured
+    stats, the per-step op-count fingerprint of the recording launch
+    (diagnostic / differential material), and the kernel-declared count of
+    semantically visible memory effects, which :meth:`Machine.replay`
+    cross-checks on every hit.
+    """
+
+    __slots__ = ("key", "label", "depth", "work", "processors",
+                 "fingerprint", "n_effects")
+
+    def __init__(self, key: tuple, label: str, depth: int, work: int,
+                 processors: int, fingerprint: tuple[int, ...],
+                 n_effects: Optional[int]) -> None:
+        self.key = key
+        self.label = label
+        self.depth = depth
+        self.work = work
+        self.processors = processors
+        self.fingerprint = fingerprint
+        self.n_effects = n_effects
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (f"TracePlan(label={self.label!r}, depth={self.depth}, "
+                f"work={self.work}, processors={self.processors}, "
+                f"n_effects={self.n_effects})")
+
+
+class _LRU:
+    """A bounded mapping with move-to-end recency and telemetry counters.
+
+    The replay-tier caches must be production-shaped: bounded (a long
+    serving run must not grow them without limit), with hit/miss/eviction
+    counters surfaced via :meth:`Machine.cache_info`.  Eviction is safe by
+    construction -- losing an entry only forces a clean re-record of the
+    shape on its next sighting, never a wrong answer.
+
+    ``get`` counts hits/misses (the hot-path probe); ``peek`` does not
+    (used by assertions and the legacy ``charge_shaped`` accessor after
+    the probe already counted).
+    """
+
+    __slots__ = ("data", "cap", "hits", "misses", "evictions")
+
+    def __init__(self, cap: Optional[int]) -> None:
+        assert cap is None or cap > 0
+        self.data: dict = {}
+        self.cap = cap
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key):
+        """Counted probe: move-to-end on hit, ``None`` on miss."""
+        data = self.data
+        val = data.get(key)
+        if val is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        del data[key]          # move-to-end: re-insertion refreshes recency
+        data[key] = val
+        return val
+
+    def peek(self, key):
+        """Uncounted, recency-neutral lookup."""
+        return self.data.get(key)
+
+    def put(self, key, value) -> None:
+        data = self.data
+        if key in data:
+            del data[key]
+        elif self.cap is not None and len(data) >= self.cap:
+            del data[next(iter(data))]   # least recently used
+            self.evictions += 1
+        data[key] = value
+
+    # dict-style conveniences (tests and the fingerprint cache use them)
+    def __setitem__(self, key, value) -> None:
+        self.put(key, value)
+
+    def __contains__(self, key) -> bool:
+        return key in self.data
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def clear(self) -> None:
+        self.data.clear()
+
+    def info(self) -> dict:
+        return {"size": len(self.data), "cap": self.cap,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+class KernelHistory:
+    """Bounded ring buffer of per-launch :class:`KernelStats`.
+
+    ``Machine.history`` used to be an unbounded list -- a memory leak on
+    long-lived serving runs (the E9 adversarial workload appends ~47
+    entries per update).  The ring keeps the most recent ``cap`` entries
+    and counts what it dropped; per-update aggregation no longer reads the
+    history at all (see :meth:`Machine.window_begin`), so the default cap
+    only affects diagnostics.  Analysis scripts that attribute work by
+    label over a whole run opt in to an unbounded log via
+    ``set_cap(None)`` *before* running their workload.
+    """
+
+    __slots__ = ("_data", "dropped")
+
+    def __init__(self, cap: Optional[int] = 512) -> None:
+        self._data: deque = deque(maxlen=cap)
+        self.dropped = 0
+
+    @property
+    def cap(self) -> Optional[int]:
+        return self._data.maxlen
+
+    def set_cap(self, cap: Optional[int]) -> None:
+        """Re-bound the ring (``None`` = unbounded opt-in), keeping the
+        newest entries that fit."""
+        self._data = deque(self._data, maxlen=cap)
+
+    def append(self, stats: "KernelStats") -> None:
+        data = self._data
+        if data.maxlen is not None and len(data) == data.maxlen:
+            self.dropped += 1
+        data.append(stats)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator["KernelStats"]:
+        return iter(self._data)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return list(self._data)[i]
+        return self._data[i]
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (f"<KernelHistory len={len(self._data)} cap={self.cap} "
+                f"dropped={self.dropped}>")
+
+
 class _PausedMachine:
     """Cached re-entrant accounting-suspension context manager.
 
@@ -288,11 +483,21 @@ class Machine:
         step-loop implementation: ``"onepass"`` (default, fused
         interned-address loop) or ``"reference"`` (the retained four-pass
         oracle loop; always fully checked, ignores ``audit="fast"``).
+    history_cap:
+        ring-buffer capacity of :attr:`history` (``None`` = unbounded,
+        the legacy behaviour; the default bounds a long serving run's
+        memory).  Adjustable later via ``machine.history.set_cap``.
+    shaped_cache_cap / fingerprint_cache_cap:
+        LRU bounds of the trace-plan and shape-signature caches (see
+        :meth:`cache_info`).
     """
 
     def __init__(self, mode: str = "erew", strict: bool = True,
                  audit: Optional[str] = None,
-                 impl: str = "onepass") -> None:
+                 impl: str = "onepass", *,
+                 history_cap: Optional[int] = 512,
+                 shaped_cache_cap: Optional[int] = 4096,
+                 fingerprint_cache_cap: Optional[int] = 1024) -> None:
         assert mode in ("erew", "crew")
         if audit is None:
             audit = "strict" if strict else "count"
@@ -305,20 +510,25 @@ class Machine:
         #: violations raise (strict and fast's checked portions raise)
         self.strict = audit != "count"
         self.total = KernelStats(label="total")
-        self.history: list[KernelStats] = []  # one entry per run/charge
+        #: bounded ring of per-launch/charge stats (diagnostics only --
+        #: per-update aggregation uses the window API below)
+        self.history = KernelHistory(history_cap)
+        #: open measurement window (see `window_begin`); accounted charges
+        #: also fold into it so per-update aggregation is O(1) per charge
+        self._window: Optional[KernelStats] = None
         self._trace: Optional[Callable[[int, int, Any], None]] = None
         self._paused = 0  # suspended analytic accounting (see `paused`)
         self._paused_cm: Optional[_PausedMachine] = None  # cached CM
-        # audit="fast" shape-signature cache:
+        # audit="fast" shape-signature cache (bounded LRU):
         #   (label, policy, n_procs) -> list of verified per-step
         #   op-count fingerprints (tuples of packed ints)
-        self._verified: dict[tuple, list[tuple[int, ...]]] = {}
+        self._verified = _LRU(fingerprint_cache_cap)
         #: signatures that missed recently; the next launch of such a
         #: signature runs fully checked so its fingerprint can be learned
         self._relearn: dict[tuple, int] = {}
-        #: kernel-supplied shape key -> measured (depth, work, processors)
-        #: of a fully-checked clean launch (see `run_recorded`)
-        self._shaped: dict[tuple, tuple[int, int, int]] = {}
+        #: kernel-supplied shape key -> :class:`TracePlan` of a
+        #: fully-checked clean launch (bounded LRU; see `run_recorded`)
+        self._shaped = _LRU(shaped_cache_cap)
         self.fast_hits = 0    # launches that skipped conflict bookkeeping
         self.fast_misses = 0  # signature misses (fell back to checking)
 
@@ -358,9 +568,79 @@ class Machine:
         self.mem = Mem()
         self.total = KernelStats(label="total")
         self.history.clear()
+        self._window = None
         self._paused = 0
         self.fast_hits = 0
         self.fast_misses = 0
+
+    # -- accounting ----------------------------------------------------------
+
+    def _account(self, stats: KernelStats) -> None:
+        """Single funnel for every charge: totals, open window, history.
+
+        Folding into the open window here (sequential composition, exactly
+        like :attr:`total`) is what lets per-update measurement drop its
+        dependence on an unbounded history: the engine no longer slices
+        ``history[mark:]`` -- it opens a window, and every launch/charge
+        lands in it as it happens.  The :meth:`KernelStats.add` arithmetic
+        is inlined: this funnel runs for every charge and every replay hit.
+        """
+        depth, work = stats.depth, stats.work
+        procs = stats.processors
+        launches, violations = stats.launches, stats.violations
+        t = self.total
+        t.depth += depth
+        t.work += work
+        if procs > t.processors:
+            t.processors = procs
+        t.launches += launches
+        t.violations += violations
+        w = self._window
+        if w is not None:
+            w.depth += depth
+            w.work += work
+            if procs > w.processors:
+                w.processors = procs
+            w.launches += launches
+            w.violations += violations
+        self.history.append(stats)
+
+    def window_begin(self, label: str = "") -> KernelStats:
+        """Open a measurement window; subsequent charges fold into it.
+
+        Windows exist because ``processors`` composes by *max*, so a
+        window's stats cannot be recovered by diffing totals.  One window
+        is open at a time (the engines measure at the top-level public
+        call only).
+        """
+        w = KernelStats(label=label)
+        self._window = w
+        return w
+
+    def window_end(self, window: KernelStats) -> KernelStats:
+        """Close ``window`` (a no-op if another window replaced it)."""
+        if self._window is window:
+            self._window = None
+        return window
+
+    def cache_info(self) -> dict:
+        """Telemetry snapshot of every replay-tier cache and the history.
+
+        Production-shaped observability for long-lived serving runs:
+        bounded-cache pressure (hit/miss/eviction), history-ring drops,
+        and interned-memory size, in one dict.
+        """
+        return {
+            "shaped": self._shaped.info(),
+            "fingerprint": self._verified.info(),
+            "relearn_pending": len(self._relearn),
+            "history": {"len": len(self.history),
+                        "cap": self.history.cap,
+                        "dropped": self.history.dropped},
+            "memory": self.mem.stats(),
+            "fast_hits": self.fast_hits,
+            "fast_misses": self.fast_misses,
+        }
 
     # -- kernel execution -----------------------------------------------------
 
@@ -391,33 +671,49 @@ class Machine:
         else:
             self._run_checked(live, pending, policy, stats,
                               raise_on_conflict=self.audit == "strict")
-        self.total.add(stats)
-        self.history.append(stats)
+        self._account(stats)
         return stats
 
-    # -- shape-keyed kernel bypass (audit = "fast" only) ----------------------
+    # -- trace-replay tier (audit = "fast" only) ------------------------------
 
     def shaped_hit(self, key: tuple) -> bool:
         """True iff ``key`` was verified by a clean :meth:`run_recorded`.
 
-        Kernels whose op-stream shape is a pure function of a cheap
-        structural key test this before building their generator programs:
-        on a hit they execute a host-speed direct equivalent and charge the
-        recorded stats via :meth:`charge_shaped` instead of simulating.
+        Uncounted probe (compat shim over :meth:`replay_plan`); kernels on
+        the replay tier use :meth:`replay_plan` + :meth:`replay`, which
+        also maintain the LRU hit/miss telemetry.
         """
         return self.audit == "fast" and key in self._shaped
 
+    def replay_plan(self, key: tuple) -> Optional[TracePlan]:
+        """The compiled :class:`TracePlan` for ``key``, or ``None``.
+
+        ``None`` outside ``audit="fast"`` (the replay tier never engages
+        for strict/count machines -- they simulate every launch) and on a
+        cache miss (the caller then records via :meth:`run_recorded`).
+        Counts an LRU hit or miss on the plan cache.
+        """
+        if self.audit != "fast":
+            return None
+        plan = self._shaped.get(key)
+        if plan is None or type(plan) is TracePlan:
+            return plan
+        # legacy tuple entry (tests may seed the cache directly)
+        d, w, p = plan
+        return TracePlan(key, "", d, w, p, (), None)
+
     def run_recorded(self, key: tuple, programs: Iterable[Program],
-                     label: str = "", mode: Optional[str] = None
-                     ) -> KernelStats:
-        """Fully checked launch that records its cost under a shape key.
+                     label: str = "", mode: Optional[str] = None,
+                     n_effects: Optional[int] = None) -> KernelStats:
+        """Fully checked launch that *compiles a replay plan* under a key.
 
         Runs ``programs`` with strict conflict checking (violations raise,
         regardless of the audit level) and, when the launch is clean,
-        caches the measured (depth, work, processors) under ``key`` so
-        later launches of the same shape can take the
-        :meth:`shaped_hit` / :meth:`charge_shaped` bypass.  Counts as a
-        ``fast_miss``.
+        caches a :class:`TracePlan` -- measured stats, per-step op-count
+        fingerprint, and the kernel-declared number of semantically
+        visible effects -- under ``key`` so later launches of the same
+        shape can take the :meth:`replay_plan` / :meth:`replay` bypass.
+        Counts as a ``fast_miss``.
         """
         policy = self.mode if mode is None else mode
         assert policy in ("erew", "crew")
@@ -430,30 +726,61 @@ class Machine:
             except StopIteration:
                 pass
         stats = KernelStats(label=label, launches=1)
+        fingerprint: list[int] = []
         self._run_checked(live, pending, policy, stats,
-                          raise_on_conflict=True)
+                          raise_on_conflict=True, fingerprint=fingerprint)
         if stats.violations == 0:
-            self._shaped[key] = (stats.depth, stats.work, stats.processors)
+            self._shaped.put(key, TracePlan(
+                key, label, stats.depth, stats.work, stats.processors,
+                tuple(fingerprint), n_effects))
         self.fast_misses += 1
-        self.total.add(stats)
-        self.history.append(stats)
+        self._account(stats)
+        return stats
+
+    def replay(self, plan: TracePlan, label: str = "",
+               n_effects: Optional[int] = None) -> KernelStats:
+        """Charge a compiled plan's stats (a verified replay hit).
+
+        The caller must have applied the kernel's direct host equivalent
+        -- only data-dependent values and buffered writes were evaluated;
+        no generator resumption, no per-op conflict re-checking.  The
+        stats charged are exactly those measured by the plan's recording
+        launch, so depth / work / processors are bit-identical to what
+        strict simulation would report -- the invariant the differential
+        suite pins down.  ``n_effects`` (when both sides declare one) is
+        cross-checked against the recording launch to catch shape-key
+        collisions between launches with different write sets.
+        """
+        if (n_effects is not None and plan.n_effects is not None
+                and n_effects != plan.n_effects):
+            raise RuntimeError(
+                f"replay effect-count mismatch for key {plan.key!r}: "
+                f"plan recorded {plan.n_effects}, kernel applied "
+                f"{n_effects} -- shape key is not a pure function of the "
+                f"memory effects")
+        stats = KernelStats(depth=plan.depth, work=plan.work,
+                            processors=plan.processors,
+                            launches=1, label=label or plan.label)
+        self.fast_hits += 1
+        self._account(stats)
         return stats
 
     def charge_shaped(self, key: tuple, label: str = "") -> KernelStats:
-        """Charge the recorded cost of shape ``key`` (a verified hit).
+        """Charge the recorded cost of shape ``key`` (compat shim).
 
-        The caller must have executed the kernel's direct host equivalent;
-        this only accounts for it.  The stats are exactly those measured by
-        the fully checked first launch of the shape, so depth / work /
-        processors are identical to what simulation would report -- the
-        invariant the differential tests pin down.
+        Retained for kernels/tests predating :meth:`replay`; accepts both
+        compiled :class:`TracePlan` entries and legacy
+        ``(depth, work, processors)`` tuples.
         """
-        depth, work, procs = self._shaped[key]
+        plan = self._shaped.peek(key)
+        if type(plan) is TracePlan:
+            depth, work, procs = plan.depth, plan.work, plan.processors
+        else:
+            depth, work, procs = plan
         stats = KernelStats(depth=depth, work=work, processors=procs,
                             launches=1, label=label)
         self.fast_hits += 1
-        self.total.add(stats)
-        self.history.append(stats)
+        self._account(stats)
         return stats
 
     # -- one-pass checked loop (audit = strict / count) -----------------------
@@ -567,11 +894,18 @@ class Machine:
                               fingerprint=fingerprint)
             if stats.violations == 0:
                 fp = tuple(fingerprint)
-                known = self._verified.setdefault(key, [])
+                known = self._verified.peek(key)
+                if known is None:
+                    known = []
+                    self._verified.put(key, known)
                 if fp not in known and len(known) < 16:
                     known.append(fp)
             if verified is not None:
-                self._relearn[key] -= 1
+                remaining = self._relearn[key] - 1
+                if remaining > 0:
+                    self._relearn[key] = remaining
+                else:
+                    del self._relearn[key]  # fully relearned: drop the entry
             self.fast_misses += 1
             return
         mem = self.mem
@@ -744,8 +1078,7 @@ class Machine:
             return KernelStats(label=label)
         stats = KernelStats(depth=steps, work=steps, processors=1,
                             launches=0, label=label)
-        self.total.add(stats)
-        self.history.append(stats)
+        self._account(stats)
         return stats
 
     def charge(self, depth: int, work: int, processors: int = 1,
@@ -764,8 +1097,7 @@ class Machine:
             return KernelStats(label=label)
         stats = KernelStats(depth=depth, work=work, processors=processors,
                             launches=0, label=label)
-        self.total.add(stats)
-        self.history.append(stats)
+        self._account(stats)
         return stats
 
 

@@ -165,6 +165,18 @@ class Mem:
 
     # -- diagnostics ---------------------------------------------------------
 
+    def stats(self) -> dict:
+        """Size telemetry for :meth:`Machine.cache_info`.
+
+        Interned cells and registered sequences pin host objects; a
+        serving run watching these stay flat (the arena's ``reset_stats``
+        replaces the whole :class:`Mem`) is how the no-leak contract is
+        observed in production.
+        """
+        return {"interned_cells": len(self._cells),
+                "registered_seqs": len(self._seqs),
+                "registers": len(self._regs)}
+
     def describe(self, address: tuple) -> str:
         """Human-readable cell name for violation reports."""
         kind = address[0]

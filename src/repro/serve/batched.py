@@ -230,6 +230,19 @@ class BatchedMSF:
         machine = getattr(getattr(impl, "core", None), "machine", None)
         return machine.total.violations if machine is not None else 0
 
+    def pram_cache_info(self) -> dict:
+        """Replay/shape cache counters of the backing engines; ``{}``
+        when not measured.  Guarded like ``erew_violations`` and synced
+        first so pending ops are reflected in the counters."""
+        self._sync()
+        impl = self._impl
+        fn = getattr(impl, "pram_cache_info", None)
+        if fn is not None:
+            return fn()
+        machine = getattr(getattr(impl, "core", None), "machine", None)
+        info = getattr(machine, "cache_info", None) if machine is not None else None
+        return info() if info is not None else {}
+
     def parallel_cost_of_last_update(self) -> dict:
         """Section 5.3 cost composition of the last applied batch.
 

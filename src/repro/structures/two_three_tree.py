@@ -44,6 +44,7 @@ __all__ = [
     "count_leaves",
     "insert_after",
     "insert_first",
+    "build_rightmost",
     "delete_leaf",
     "join",
     "split_after",
@@ -67,7 +68,7 @@ class Node:
     payload in ``item``.  ``agg`` is caller-owned aggregate storage.
     """
 
-    __slots__ = ("parent", "kids", "item", "agg", "height", "pos")
+    __slots__ = ("parent", "kids", "item", "agg", "height", "pos", "scache")
 
     def __init__(self, item: Any = None, height: int = 0) -> None:
         self.parent: Optional[Node] = None
@@ -79,6 +80,19 @@ class Node:
         # EREW PRAM kernels can test "am I the leftmost child?" by reading a
         # cell only *they* touch (the paper's column-sweep survivor rule).
         self.pos = 0
+        # Caller-owned *structural shape cache* for this subtree (used by
+        # ``repro.core.par.kernels`` as a ``(tag, shape)`` pair).  The
+        # invariant maintained here: every mutation that changes the
+        # structure of a subtree -- or a leaf aggregate reported via
+        # :func:`refresh_upward` -- sets ``scache = None`` on the changed
+        # vertex and on every vertex the rebalancing/refresh walk visits
+        # above it.  All mutation paths already walk changed-vertex ->
+        # root (``_fix_overflow`` / ``_fix_underflow`` / ``split_after``'s
+        # dissolve / ``refresh_upward``), so invalidation is O(1) per
+        # vertex the operation touches anyway, and an untouched subtree
+        # keeps its cached shape valid: shape-key computation becomes
+        # O(changed path) amortized instead of O(tree).
+        self.scache: Any = None
 
     @property
     def is_leaf(self) -> bool:
@@ -158,13 +172,15 @@ def iter_leaves(root: Optional[Node]) -> Iterator[Node]:
         return
     stack = [root]
     out: list[Node] = []
-    # explicit stack, reversed-push DFS keeps sequence order
+    # explicit stack, reversed-push DFS keeps sequence order; the inline
+    # ``not kids`` test avoids the is_leaf property dispatch in this hot path
     while stack:
         node = stack.pop()
-        if node.is_leaf:
+        kids = node.kids
+        if not kids:
             out.append(node)
         else:
-            stack.extend(reversed(node.kids))
+            stack.extend(reversed(kids))
     yield from out
 
 
@@ -194,8 +210,10 @@ def refresh_upward(node: Node, pull: Pull) -> None:
     vertices -- with LSDS vector pulls this is the O(J log J) path-refresh
     of operation ``UpdateAdj`` (Lemma 2.3).
     """
+    node.scache = None  # leaf aggregates feed BT_c shape keys
     cur = node.parent
     while cur is not None:
+        cur.scache = None
         pull(cur)
         cur = cur.parent
 
@@ -218,27 +236,42 @@ def refresh_upward_changed(node: Node,
 
 
 def _reindex(parent: Node) -> None:
-    for i, kid in enumerate(parent.kids):
+    i = 0
+    for kid in parent.kids:
         kid.pos = i
+        i += 1
 
 
 def _attach(parent: Node, pos: int, child: Node) -> None:
-    parent.kids.insert(pos, child)
+    kids = parent.kids
+    kids.insert(pos, child)
+    parent.scache = None
     child.parent = parent
-    _reindex(parent)
+    # only children at index >= pos moved; reindex the suffix
+    for i in range(pos, len(kids)):
+        kids[i].pos = i
 
 
 def _detach_from_parent(node: Node) -> None:
     p = node.parent
     if p is not None:
-        p.kids.remove(node)
+        kids = p.kids
+        i = node.pos
+        if 0 <= i < len(kids) and kids[i] is node:  # pos is maintained hot
+            del kids[i]
+        else:  # defensive: fall back to a scan
+            kids.remove(node)
+            i = 0
+        p.scache = None
         node.parent = None
-        _reindex(p)
+        for k in range(i, len(kids)):
+            kids[k].pos = k
 
 
 def _fix_overflow(node: Node, pull: Pull) -> Node:
     """Split vertices with 4 children, walking to the root; return root."""
     while True:
+        node.scache = None
         if len(node.kids) <= 3:
             if node.height:
                 pull(node)
@@ -304,6 +337,85 @@ def insert_first(root: Optional[Node], new_leaf: Node, pull: Pull = _noop_pull) 
     return _fix_overflow(p, pull)
 
 
+def build_rightmost(leaves: list[Node], pull: Pull = _noop_pull) -> Optional[Node]:
+    """Build, in O(n), the exact tree that inserting ``leaves`` left to
+    right with :func:`insert_after` (each after the current last leaf)
+    would produce.
+
+    Repeated rightmost insertion is deterministic: every overflow happens
+    on the rightmost spine and splits 4 children into 2+2 exactly like
+    ``_fix_overflow``, so the resulting shape is a pure function of
+    ``len(leaves)``.  This builder simulates that evolution with a spine
+    stack (O(1) amortized per leaf) and then runs **one** bottom-up
+    ``pull`` pass -- internal aggregates are pure functions of child
+    aggregates, so the final aggregates match the incremental
+    construction's.  ``tests/structures`` pins shape *and* aggregate
+    equality against the incremental build.
+
+    The bulk path matters because ``ChunkSpace.adopt_occurrences``
+    rebuilds each chunk's ``BT_c`` from scratch on every chunk surgery:
+    the incremental loop costs O(K log K) with a root walk per leaf,
+    the builder O(K).  Measured kernels (``getEdge``) read the BT
+    structure, so shape equality is load-bearing: it keeps the PRAM
+    depth/work of every engine bit-identical to the incremental build.
+    """
+    n = len(leaves)
+    if n == 0:
+        return None
+    if n == 1:
+        return leaves[0]
+    level = leaves
+    h = 1
+    for sizes in _rightmost_template(n):
+        nxt: list[Node] = []
+        i = 0
+        for sz in sizes:
+            node = Node(height=h)
+            kids = level[i:i + sz]
+            i += sz
+            node.kids = kids
+            p = 0
+            for c in kids:
+                c.parent = node
+                c.pos = p
+                p += 1
+            pull(node)
+            nxt.append(node)
+        level = nxt
+        h += 1
+    return level[0]
+
+
+#: memoized kid-count templates for :func:`build_rightmost`: the shape of
+#: a rightmost-insertion tree is a pure function of the leaf count
+_rightmost_templates: dict[int, tuple[tuple[int, ...], ...]] = {}
+
+
+def _rightmost_template(n: int) -> tuple[tuple[int, ...], ...]:
+    """Kid counts per level (height 1 first, left to right) of the tree
+    produced by ``n`` rightmost insertions; derived by simulating the
+    overflow cascade of ``_fix_overflow`` on integer counts."""
+    tpl = _rightmost_templates.get(n)
+    if tpl is not None:
+        return tpl
+    levels: list[list[int]] = [[2]]  # after the second leaf
+    for _ in range(n - 2):
+        levels[0][-1] += 1
+        h = 0
+        while levels[h][-1] == 4:  # split 4 kids into 2 + 2
+            levels[h][-1] = 2
+            levels[h].append(2)
+            h += 1
+            if h < len(levels):
+                levels[h][-1] += 1  # right sibling joins the parent
+            else:
+                levels.append([2])  # root split: grow a level
+                break
+    tpl = tuple(tuple(lv) for lv in levels)
+    _rightmost_templates[n] = tpl
+    return tpl
+
+
 def delete_leaf(target: Node, pull: Pull = _noop_pull) -> Optional[Node]:
     """Remove leaf ``target``; return the (possibly new / None) root."""
     assert target.is_leaf
@@ -317,6 +429,7 @@ def delete_leaf(target: Node, pull: Pull = _noop_pull) -> Optional[Node]:
 def _fix_underflow(node: Node, pull: Pull) -> Node:
     """Repair vertices with a single child, walking to the root."""
     while True:
+        node.scache = None
         if len(node.kids) >= 2:
             pull(node)
             if node.parent is None:
@@ -341,6 +454,7 @@ def _fix_underflow(node: Node, pull: Pull) -> Node:
                 moved = sib.kids.pop(0)
                 node.kids.append(moved)
             moved.parent = node
+            sib.scache = None
             _reindex(sib)
             _reindex(node)
             pull(sib)
@@ -354,6 +468,7 @@ def _fix_underflow(node: Node, pull: Pull) -> Node:
             else:
                 sib.kids.insert(0, donor)
             donor.parent = sib
+            sib.scache = None
             _reindex(sib)
             _detach_from_parent(node)
             pull(sib)
@@ -424,6 +539,7 @@ def split_after(target: Node, pull: Pull = _noop_pull) -> tuple[Node, Optional[N
         for c in kids:  # dissolve p
             c.parent = None
         p.kids = []
+        p.scache = None
         left_sibs = kids[:idx]
         right_sibs = kids[idx + 1:]
         if left_sibs:

@@ -1,0 +1,93 @@
+"""Shape-equality tests for ``two_three_tree.build_rightmost``.
+
+``build_rightmost`` is the O(K) bulk constructor the chunk layer uses to
+assemble BT_c after ``adopt_occurrences``.  Its contract is *stronger*
+than "a valid 2-3 tree over these leaves": the resulting tree must be
+**bit-identical in shape** (kid counts, heights, positions) to repeated
+rightmost ``insert_after`` -- because the ``getEdge`` kernel descends the
+BT structure, so measured depth/work are functions of the internal shape.
+A merely-balanced bulk build would silently shift the repo's pinned model
+quantities.  These tests pin the equivalence exhaustively for small n and
+on spot sizes for larger n.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.structures import two_three_tree as tt
+
+
+def sum_pull(node):
+    node.agg = 0
+    for k in node.kids:
+        node.agg += k.item if k.is_leaf else k.agg
+
+
+def incremental(items, pull):
+    """Reference construction: repeated rightmost insert_after."""
+    root = None
+    prev = None
+    for it in items:
+        lf = tt.leaf(it, agg=it)
+        if root is None:
+            root = lf
+        else:
+            root = tt.insert_after(prev, lf, pull)
+        prev = lf
+    return root
+
+
+def shape(node):
+    """Full recursive shape+agg+index signature of a tree."""
+    if not node.kids:
+        return ("leaf", node.item, node.agg, node.pos, node.height)
+    return ("node", node.agg, node.pos, node.height,
+            tuple(shape(k) for k in node.kids))
+
+
+@pytest.mark.parametrize("n", list(range(0, 41)) + [64, 100, 243, 512])
+def test_build_rightmost_matches_insert_after_shape(n):
+    items = list(range(n))
+    ref = incremental(items, sum_pull)
+    bulk = tt.build_rightmost([tt.leaf(i, agg=i) for i in items], sum_pull)
+    if n == 0:
+        assert ref is None and bulk is None
+        return
+    tt.validate(bulk)
+    assert shape(bulk) == shape(ref)
+    # root shape signatures (the kernel-visible quantity) agree too
+    assert tt.height_of(bulk) == tt.height_of(ref)
+    assert [lf.item for lf in tt.iter_leaves(bulk)] == items
+
+
+def test_build_rightmost_parent_pointers_and_positions():
+    leaves = [tt.leaf(i) for i in range(37)]
+    root = tt.build_rightmost(leaves)
+    tt.validate(root)
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for i, kid in enumerate(node.kids):
+            assert kid.parent is node
+            assert kid.pos == i
+            stack.append(kid)
+
+
+def test_build_rightmost_template_is_memoized_and_pure():
+    a = tt._rightmost_template(257)
+    b = tt._rightmost_template(257)
+    assert a is b                     # memoized
+    # template row sizes are all 2 or 3 and sum telescopes to n
+    total = 257
+    for sizes in a:
+        assert all(2 <= s <= 3 for s in sizes)
+        assert sum(sizes) == total
+        total = len(sizes)
+    assert total == 1                 # single root
+
+
+def test_build_rightmost_trivial_sizes():
+    assert tt.build_rightmost([]) is None
+    lf = tt.leaf("x")
+    assert tt.build_rightmost([lf]) is lf

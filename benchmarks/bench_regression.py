@@ -29,6 +29,14 @@ the best-of-N timing runs, so runs 2..N measure the warm engine-arena
 path (``repro.core.sparsify.EnginePool``) -- the steady state a serving
 deployment actually sits in -- while run 1 still covers the cold build.
 
+PR 5 adds the ``resilience-overhead`` section: a paired A/B measurement
+on the ``facade-sparsified`` and ``parallel-core-fast`` rows asserting
+that the deployed resilience configuration -- fault-injection sites
+compiled into the hot paths but *disarmed*, plus cheap-tier self-checks
+every :data:`RES_CHECK_EVERY` ops -- costs less than 2% over the plain
+replay.  The bar is enforced in both measure and ``--check`` modes (it
+is a property of the current code, not of any committed baseline).
+
 ``--check`` re-measures and compares against the most recent committed
 ``BENCH_*.json``: ``updates_per_s`` may not drop more than ``--tolerance``
 (default 15%), and the model quantities ``depth``/``work`` -- which are
@@ -269,7 +277,9 @@ def _build(spec: dict, machine=None):
     raise ValueError(f"unknown engine kind {kind!r}")
 
 
-def _replay(engine, ops, core_style: bool) -> None:
+def _replay(engine, ops, core_style: bool, *, check_every: int = 0) -> None:
+    """Drive one op stream; ``check_every > 0`` interleaves cheap
+    self-checks every that many ops (the resilience-overhead B arm)."""
     run_ops = getattr(engine, "run_ops", None)
     if run_ops is not None:  # substrate drivers interpret their own stream
         run_ops(ops)
@@ -291,9 +301,26 @@ def _replay(engine, ops, core_style: bool) -> None:
         elif tag == "weight":
             engine.msf_weight()
         idx += 1
+        if check_every and idx % check_every == 0:
+            _cheap_check(engine)
     flush = getattr(engine, "flush", None)
     if flush is not None:  # batched fronts: include the final batch apply
         flush()
+    if check_every:
+        _cheap_check(engine)
+
+
+def _cheap_check(engine) -> None:
+    """One cheap-tier self-audit; a dirty engine voids the measurement."""
+    if hasattr(engine, "self_check"):
+        findings = engine.self_check("cheap")
+    else:  # bare core engines (par-core rows)
+        from repro.resilience import checks
+        findings = checks.check_engine(engine, "cheap")
+    if findings:
+        raise RuntimeError(
+            f"cheap self-check found problems mid-benchmark: "
+            f"{[str(f) for f in findings[:3]]}")
 
 
 def _release(engine) -> None:
@@ -363,6 +390,104 @@ def measure_profile(specs: dict, engines=None) -> dict:
         print(f"  {name:<22} n={spec['n']:<5} {len(ops):>4} updates  "
               f"{dt:8.3f}s  {len(ops) / dt:10.1f} upd/s")
     return rows
+
+
+# ---------------------------------------------------------------------------
+# resilience overhead (PR 5)
+# ---------------------------------------------------------------------------
+
+#: rows whose hot paths carry compiled-in (but disarmed) fault-injection
+#: sites; the overhead row measures them with cheap self-checks on top
+RESILIENCE_ROWS = ("facade-sparsified", "parallel-core-fast")
+#: cheap self-check cadence in the checked arm (ops between audits); one
+#: final check always runs after the stream
+RES_CHECK_EVERY = 32
+#: allowed relative cost of disarmed sites + cheap checks (the PR 5 bar)
+RES_OVERHEAD_TOL = 0.02
+
+
+def measure_resilience_overhead(specs: dict, engines=None) -> dict:
+    """Paired A/B cost of the resilience layer on the two gated rows.
+
+    Arm A replays the row's exact workload on a fresh engine -- with the
+    fault-injection registry *disarmed*, which is the deployed
+    configuration: every site compiled into the hot paths still executes
+    its ``if _faults.armed`` guard.  Arm B replays the identical stream
+    plus a cheap-tier self-check every :data:`RES_CHECK_EVERY` ops (and
+    once at the end).  Both arms run after a warm-up pass and recycle
+    the PRAM machine / engine arena exactly as ``measure_profile`` does,
+    so they compare warm steady states; each arm keeps its best-of-N
+    minimum and ``overhead_pct`` is the relative slowdown of B over A.
+
+    The *absolute* cost of the disarmed sites is gated end-to-end by the
+    ordinary ``facade-sparsified`` / ``parallel-core-fast`` rows against
+    the committed ``BENCH_PR4.json`` (recorded before the sites
+    existed); this row isolates the incremental audit cost with an
+    in-process pair, where a 2% bar is meaningful -- against a committed
+    number it would gate runner noise, not code.
+    """
+    from repro.resilience import faults
+    if faults.armed:  # pragma: no cover - defensive; nothing arms here
+        raise RuntimeError("fault registry must be disarmed for the "
+                           "overhead measurement")
+    rows: dict[str, dict] = {}
+    for name in RESILIENCE_ROWS:
+        spec = specs.get(name)
+        if spec is None or (engines and name not in engines):
+            continue
+        ops = _ops_for(spec)
+        # warm-up: populate the trace-replay caches / engine arena so both
+        # arms measure the steady state (fast-audit run 1 is the recording
+        # pass and would swamp a 2% comparison)
+        engine, core_style, machine = _build(spec)
+        _replay(engine, ops, core_style)
+        _release(engine)
+        plain = checked = None
+        spent, pairs = 0.0, 0
+        while (spent < 0.8 or pairs < 2) and pairs < 20:
+            fresh = _build(spec, machine=machine)[0]
+            t0 = time.perf_counter()
+            _replay(fresh, ops, core_style)
+            d_plain = time.perf_counter() - t0
+            _release(fresh)
+            fresh = _build(spec, machine=machine)[0]
+            t0 = time.perf_counter()
+            _replay(fresh, ops, core_style, check_every=RES_CHECK_EVERY)
+            d_checked = time.perf_counter() - t0
+            _release(fresh)
+            plain = d_plain if plain is None else min(plain, d_plain)
+            checked = (d_checked if checked is None
+                       else min(checked, d_checked))
+            spent += d_plain + d_checked
+            pairs += 1
+        overhead = checked / plain - 1.0
+        rows[name] = {
+            "n": spec["n"],
+            "workload": spec["workload"],
+            "updates": len(ops),
+            "check_every": RES_CHECK_EVERY,
+            "pairs": pairs,
+            "plain_updates_per_s": round(len(ops) / plain, 2),
+            "checked_updates_per_s": round(len(ops) / checked, 2),
+            "overhead_pct": round(100.0 * overhead, 3),
+        }
+        print(f"  {name:<22} n={spec['n']:<5} plain "
+              f"{len(ops) / plain:10.1f} upd/s  checked "
+              f"{len(ops) / checked:10.1f} upd/s  "
+              f"overhead {100.0 * overhead:+6.2f}%")
+    return rows
+
+
+def overhead_failures(rows: dict, tolerance: float = RES_OVERHEAD_TOL
+                      ) -> list[str]:
+    """Gate messages for :func:`measure_resilience_overhead` output."""
+    return [
+        f"{name}: resilience overhead {row['overhead_pct']:.2f}% > "
+        f"{tolerance:.0%} (disarmed sites + cheap self-checks every "
+        f"{row['check_every']} ops must stay near-free)"
+        for name, row in rows.items()
+        if row["overhead_pct"] > 100.0 * tolerance
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -438,15 +563,19 @@ def main(argv=None) -> int:
         result["engines"] = measure_profile(FULL, args.engines)
     print("== quick profile ==")
     result["quick_engines"] = measure_profile(QUICK, args.engines)
+    print("== resilience overhead (disarmed sites + cheap self-checks) ==")
+    result["resilience_overhead"] = measure_resilience_overhead(
+        QUICK if args.quick else FULL, args.engines)
+    over = overhead_failures(result["resilience_overhead"])
 
     if args.check:
         base_path = latest_baseline()
         if base_path is None:
             print("no committed BENCH_*.json baseline; nothing to check "
                   "(pass)")
-            return 0
+            return 1 if over else 0
         baseline = json.loads(base_path.read_text())
-        failures: list[str] = []
+        failures: list[str] = list(over)
         for section in ("engines", "quick_engines"):
             if section in result and section in baseline:
                 failures += compare(result[section], baseline[section],
@@ -457,8 +586,14 @@ def main(argv=None) -> int:
                 print(f"  FAIL {f}")
             return 1
         print(f"\nOK: no regression vs {base_path.name} "
-              f"(tolerance {args.tolerance:.0%})")
+              f"(tolerance {args.tolerance:.0%}); resilience overhead "
+              f"within {RES_OVERHEAD_TOL:.0%}")
         return 0
+
+    if over:  # the overhead bar also gates the measure-and-write mode
+        for f in over:
+            print(f"  FAIL {f}")
+        return 1
 
     out_path.write_text(json.dumps(result, indent=2) + "\n")
     print(f"\nwrote {out_path}")

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Fault-injection soak campaigns (experiment E11).
+
+Runs seeded :func:`repro.resilience.soak.run_campaign` campaigns across
+the engine configurations, aggregates the per-campaign JSON reports, and
+exits nonzero if any campaign fails its end-to-end contract -- an
+injected fault that is neither detected-and-recovered nor provably
+masked, a wrong answer surviving recovery, a dirty final audit, or a
+recovered state that is not bit-identical (by
+:func:`repro.resilience.checks.state_fingerprint`) to a never-faulted
+twin.
+
+The CI job runs ``--quick --seed 0`` (~1 min) and uploads the JSON
+report as an artifact; the full profile sweeps more seeds and larger
+streams.
+
+Usage:
+    python benchmarks/bench_soak.py                    # full profile
+    python benchmarks/bench_soak.py --quick --seed 0
+    python benchmarks/bench_soak.py --out soak.json
+    python benchmarks/bench_soak.py --engine parallel --sparsify
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.resilience.soak import run_campaign  # noqa: E402
+
+#: (engine, sparsify) configurations; parallel streams are shorter (the
+#: lockstep simulator is the cost driver) but flip machines to the
+#: ``fast`` audit tier so the pram.* sites are reachable.
+CONFIGS = [
+    ("sequential", True),
+    ("sequential", False),
+    ("parallel", True),
+    ("parallel", False),
+]
+
+PROFILES = {
+    "full": dict(seeds=3, seq=dict(n=48, n_ops=320, n_faults=6),
+                 par=dict(n=24, n_ops=160, n_faults=6)),
+    "quick": dict(seeds=1, seq=dict(n=40, n_ops=240, n_faults=5),
+                  par=dict(n=20, n_ops=100, n_faults=4)),
+}
+
+
+def run_soak(profile: str, base_seed: int, *, engines=None,
+             sparsify=None) -> dict:
+    prof = PROFILES[profile]
+    campaigns = []
+    t0 = time.perf_counter()
+    for engine, sp in CONFIGS:
+        if engines is not None and engine not in engines:
+            continue
+        if sparsify is not None and sp != sparsify:
+            continue
+        kw = prof["par"] if engine == "parallel" else prof["seq"]
+        for s in range(prof["seeds"]):
+            report = run_campaign(base_seed + s, engine=engine,
+                                  sparsify=sp, **kw)
+            campaigns.append(report)
+            tag = f"{engine}/{'sparse' if sp else 'flat'}"
+            verdict = "ok" if report["ok"] else "FAIL"
+            print(f"  {tag:20s} seed={base_seed + s}: {verdict}  "
+                  f"injected={report['n_injected']} "
+                  f"detected={report['n_detected']} "
+                  f"masked={report['n_masked']} "
+                  f"wrong={report['wrong_answers']} "
+                  f"sites={report['sites_hit']}")
+    elapsed = time.perf_counter() - t0
+    n_ok = sum(1 for c in campaigns if c["ok"])
+    agg = {
+        "profile": profile,
+        "base_seed": base_seed,
+        "campaigns": len(campaigns),
+        "campaigns_ok": n_ok,
+        "injected": sum(c["n_injected"] for c in campaigns),
+        "detected": sum(c["n_detected"] for c in campaigns),
+        "masked": sum(c["n_masked"] for c in campaigns),
+        "wrong_answers": sum(c["wrong_answers"] for c in campaigns),
+        "unexpected_rejections": sum(c["unexpected_rejections"]
+                                     for c in campaigns),
+        "sites_hit": sorted({s for c in campaigns for s in c["sites_hit"]}),
+        "mean_recovery_work": (
+            sum(c["recovery_work"]["mean"] for c in campaigns
+                if c["recovery_work"]["events"]) /
+            max(1, sum(1 for c in campaigns
+                       if c["recovery_work"]["events"]))),
+        "elapsed_s": round(elapsed, 2),
+        "ok": n_ok == len(campaigns) and len(campaigns) > 0,
+        "reports": campaigns,
+    }
+    return agg
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="CI-sized profile (~1 min)")
+    ap.add_argument("--seed", type=int, default=0, help="base seed")
+    ap.add_argument("--out", type=Path, default=None,
+                    help="write the aggregate JSON report here")
+    ap.add_argument("--engine", choices=["sequential", "parallel"],
+                    default=None, help="restrict to one engine kind")
+    ap.add_argument("--sparsify", action="store_true", default=None,
+                    help="restrict to sparsified backends")
+    args = ap.parse_args(argv)
+
+    profile = "quick" if args.quick else "full"
+    print(f"soak profile={profile} base_seed={args.seed}")
+    agg = run_soak(profile, args.seed,
+                   engines={args.engine} if args.engine else None,
+                   sparsify=args.sparsify)
+    print(f"\ncampaigns: {agg['campaigns_ok']}/{agg['campaigns']} ok; "
+          f"injected={agg['injected']} detected={agg['detected']} "
+          f"masked={agg['masked']} wrong_answers={agg['wrong_answers']} "
+          f"mean_recovery_work={agg['mean_recovery_work']:.0f} "
+          f"({agg['elapsed_s']}s)")
+    print(f"sites hit: {agg['sites_hit']}")
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(agg, indent=1, default=repr))
+        print(f"report -> {args.out}")
+    if not agg["ok"]:
+        print("FAIL: undetected corruption or unrecovered fault", flush=True)
+        return 1
+    print("OK: every fault detected-and-recovered or provably masked")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -162,6 +162,16 @@ class ChunkSpace:
         assert c.id is None
         if not self._free_ids:
             raise RuntimeError("chunk-id space exhausted; Jcap undersized")
+        # Column-snapshot invalidation (trace-replay fast path): the dirty
+        # diff in ``_sweep_incremental`` compares *values*, so a snapshot
+        # recorded under one id tenure must never be diffed against the
+        # next tenant's column -- a value coincidence across tenures (the
+        # classic ABA) would mask a genuine ownership change and leave
+        # LSDS aggregates stale.  Id churn is restructuring-rate (not
+        # per-update), so dropping the snapshots here keeps the common
+        # incremental path exact while forcing a full host recompute on
+        # the first sweep after any id reuse.
+        self.col_snap.clear()
         c.id = self._free_ids.pop()
         self.chunk_of_id[c.id] = c
         c.memb_row = np.zeros(self.Jcap, dtype=bool)
@@ -174,6 +184,8 @@ class ChunkSpace:
     def release_id(self, c: Chunk) -> int:
         assert c.id is not None
         cid = c.id
+        # see assign_id: snapshots must not survive an id-tenure boundary
+        self.col_snap.clear()
         self.C[cid, :].fill(INF_KEY)
         self.C[:, cid].fill(INF_KEY)
         self.ops.charge("id_release", 2 * self.Jcap)

@@ -28,6 +28,7 @@ import math
 from typing import Iterator, Optional
 
 from ..analysis.counters import OpCounter
+from ..resilience.errors import UnknownEdgeError
 from .model import Edge
 from .seq_msf import SparseDynamicMSF
 
@@ -166,10 +167,16 @@ class DegreeReducer:
                     eid: Optional[int] = None) -> int:
         """Insert a real edge; returns its id.  O(1) core updates."""
         eid = next(self._eid) if eid is None else eid
-        assert eid > 0, "non-positive ids are reserved for gadget chain edges"
-        assert eid not in self.real and eid not in self.self_loops, \
-            f"duplicate real edge id {eid}"
-        assert not math.isinf(w), "infinite weights are reserved for gadgets"
+        # raised (not asserted): these guards are load-bearing on public
+        # entry points -- the serving layer's per-op rejection depends on
+        # duplicate ids raising even under `python -O`
+        if eid <= 0:
+            raise ValueError(
+                "non-positive ids are reserved for gadget chain edges")
+        if eid in self.real or eid in self.self_loops:
+            raise ValueError(f"duplicate real edge id {eid}")
+        if math.isinf(w):
+            raise ValueError("infinite weights are reserved for gadgets")
         if u == v:
             self.self_loops[eid] = (u, w)
             return eid
@@ -183,7 +190,10 @@ class DegreeReducer:
         if eid in self.self_loops:
             del self.self_loops[eid]
             return
-        u, v, _w, core_edge, hu, hv = self.real.pop(eid)
+        rec = self.real.pop(eid, None)
+        if rec is None:
+            raise UnknownEdgeError(eid)
+        u, v, _w, core_edge, hu, hv = rec
         self.core.delete_edge(core_edge)
         self._release_slot(u, hu, eid)
         self._release_slot(v, hv, eid)

@@ -62,7 +62,11 @@ class DynamicMSF:
     def __init__(self, n: int, *, engine: str = "sequential",
                  sparsify: bool = False, max_edges: Optional[int] = None,
                  K: Optional[int] = None) -> None:
-        assert engine in ("sequential", "parallel")
+        # raised (not asserted): public entry-point validation must survive
+        # `python -O`, where bare asserts vanish
+        if engine not in ("sequential", "parallel"):
+            raise ValueError(
+                f"engine must be 'sequential' or 'parallel', got {engine!r}")
         self.n = n
         self.engine_kind = engine
         self.sparsified = sparsify
@@ -90,6 +94,20 @@ class DynamicMSF:
         fn = getattr(self._impl, "release", None)
         if fn is not None:
             fn()
+
+    def self_check(self, level: str = "cheap") -> list:
+        """Tiered structural self-audit; returns a list of findings.
+
+        ``level`` is ``"cheap"`` (O(|MSF|) consistency: registries, the
+        incremental-vs-recomputed weight pair), ``"structural"`` (every
+        per-structure invariant: chunk DLLs, Euler tours, 2-3-tree shapes
+        *and* aggregate recomputation, arena reset completeness) or
+        ``"full"`` (everything, including matrix-C brute force and the
+        Kruskal forest equality).  Empty list = clean; findings are
+        :class:`repro.resilience.checks.Finding` records.
+        """
+        from ..resilience import checks
+        return checks.check_engine(self._impl, level=level)
 
     # ------------------------------------------------------------- updates
 
@@ -166,13 +184,19 @@ class DynamicMSF:
         """The PRAM machine (non-sparsified parallel engine only; the
         sparsified-parallel combination has one machine per tree node --
         use ``_impl.erew_violations()`` / ``parallel_cost_of_last_update``)."""
-        assert self.engine_kind == "parallel" and not self.sparsified
+        if self.engine_kind != "parallel" or self.sparsified:
+            raise ValueError(
+                "machine is only exposed by the non-sparsified parallel "
+                "engine; sparsified trees run one machine per tree node")
         return self._impl.core.machine
 
     @property
     def update_stats(self):
         """Per-core-update KernelStats (non-sparsified parallel engine)."""
-        assert self.engine_kind == "parallel" and not self.sparsified
+        if self.engine_kind != "parallel" or self.sparsified:
+            raise ValueError(
+                "update_stats is only exposed by the non-sparsified "
+                "parallel engine")
         return self._impl.core.update_stats
 
     @property

@@ -272,13 +272,18 @@ class SparseDynamicMSF:
     def insert_edge(self, u: int, v: int, weight: float,
                     eid: Optional[int] = None) -> Edge:
         """Insert edge ``{u, v}``; returns its handle.  O(sqrt(n log n))."""
-        assert u != v, "self-loops never join an MSF; filter them above"
+        # raised (not asserted): load-bearing guards on a public entry
+        # point; they must survive `python -O`
+        if u == v:
+            raise ValueError("self-loops never join an MSF; filter them above")
         vu, vv = self.vertices[u], self.vertices[v]
-        assert vu.degree() < MAX_DEGREE and vv.degree() < MAX_DEGREE, \
-            "degree bound exceeded; route through core.degree.DegreeReducer"
+        if vu.degree() >= MAX_DEGREE or vv.degree() >= MAX_DEGREE:
+            raise ValueError("degree bound exceeded; route through "
+                             "core.degree.DegreeReducer")
         e = Edge(vu, vv, weight, next(self._eid) if eid is None else eid)
-        assert e.eid not in self.edges, \
-            f"duplicate edge id {e.eid}; (weight, eid) keys must be unique"
+        if e.eid in self.edges:
+            raise ValueError(f"duplicate edge id {e.eid}; (weight, eid) "
+                             f"keys must be unique")
         adj_add(vu, e)
         adj_add(vv, e)
         self.edges[e.eid] = e
@@ -296,7 +301,12 @@ class SparseDynamicMSF:
 
     def delete_edge(self, e: Edge) -> Optional[Edge]:
         """Delete edge ``e``; returns the replacement tree edge, if any."""
-        assert self.edges.pop(e.eid, None) is e, "unknown edge handle"
+        # NOT an assert: the old `assert self.edges.pop(...) is e` form
+        # performed the registry removal inside the assert statement, so
+        # `python -O` would have skipped the pop entirely -- the textbook
+        # load-bearing assert this PR's audit hunts for.
+        if self.edges.pop(e.eid, None) is not e:
+            raise ValueError(f"unknown edge handle (eid {e.eid})")
         adj_remove(e.u, e)
         adj_remove(e.v, e)
         self.fabric.unregister_edge(e)
@@ -318,7 +328,8 @@ class SparseDynamicMSF:
         """Delete one (the lightest) edge between ``u`` and ``v``."""
         vu = self.vertices[u]
         cands = [e for e in vu.edges if e.other(vu) is self.vertices[v]]
-        assert cands, f"no edge {u}-{v}"
+        if not cands:
+            raise ValueError(f"no edge {u}-{v}")
         return self.delete_edge(min(cands, key=lambda e: e.key))
 
     # ------------------------------------------------------------- internal

@@ -35,6 +35,8 @@ import itertools
 import math
 from typing import Iterator, Optional, Sequence
 
+from ..resilience import faults as _faults
+from ..resilience.errors import UnknownEdgeError
 from .degree import DegreeReducer
 
 __all__ = ["SparsifiedMSF", "EnginePool", "default_pool"]
@@ -79,7 +81,8 @@ class EnginePool:
     :data:`default_pool` process-wide is safe.
     """
 
-    __slots__ = ("_free", "max_per_key", "hits", "misses", "recycled")
+    __slots__ = ("_free", "max_per_key", "hits", "misses", "recycled",
+                 "_quarantined")
 
     def __init__(self, max_per_key: int = 512) -> None:
         # The bound is per (n_local, K, parallel) bucket.  A sparsification
@@ -93,6 +96,13 @@ class EnginePool:
         self.hits = 0        # acquisitions served from the free-list
         self.misses = 0      # acquisitions that had to build fresh
         self.recycled = 0    # engines accepted back into the free-list
+        #: engines evicted by the recovery ladder: id -> engine.  Strong
+        #: refs on purpose -- a quarantined engine must never be garbage
+        #: collected into an ``id()`` that could later alias a healthy
+        #: engine, and ``release`` refuses quarantined instances so they
+        #: can never re-enter the free-list (the acceptance invariant of
+        #: the resilience layer).
+        self._quarantined: dict[int, DegreeReducer] = {}
 
     def acquire(self, key: tuple) -> Optional[DegreeReducer]:
         lst = self._free.get(key)
@@ -103,15 +113,46 @@ class EnginePool:
         return None
 
     def release(self, key: tuple, engine: DegreeReducer) -> bool:
+        if id(engine) in self._quarantined:
+            return False  # quarantined engines never rejoin the free-list
         lst = self._free.get(key)
         if lst is None:
             lst = self._free[key] = []
         if len(lst) >= self.max_per_key:
             return False  # bounded: drop overflow engines on the floor
         engine.reset()
+        if _faults.armed:  # reset-completeness corruption site
+            _faults.fire("arena.reset", engine=engine, key=key)
         lst.append(engine)
         self.recycled += 1
         return True
+
+    def quarantine(self, engine: DegreeReducer) -> None:
+        """Permanently bar ``engine`` from the free-list.
+
+        Called by the recovery ladder on engines found (or suspected)
+        structurally corrupted.  Also evicts the engine if it is currently
+        sitting *in* the free-list (the ``arena.reset`` detection path).
+        """
+        self._quarantined[id(engine)] = engine
+        for lst in self._free.values():
+            for i, cand in enumerate(lst):
+                if cand is engine:
+                    del lst[i]
+                    break
+
+    @property
+    def quarantined_count(self) -> int:
+        return len(self._quarantined)
+
+    def is_quarantined(self, engine: DegreeReducer) -> bool:
+        return id(engine) in self._quarantined
+
+    def free_engines(self) -> Iterator[tuple[tuple, DegreeReducer]]:
+        """(key, engine) over the free-list (the pool self-audit walks it)."""
+        for key, lst in self._free.items():
+            for engine in lst:
+                yield key, engine
 
     def size(self) -> int:
         return sum(len(v) for v in self._free.values())
@@ -302,7 +343,8 @@ class SparsifiedMSF:
     def __init__(self, n: int, K: Optional[int] = None, *,
                  parallel: bool = False,
                  pool: Optional[EnginePool] = default_pool) -> None:
-        assert n >= 2
+        if n < 2:  # raised, not asserted: survives `python -O`
+            raise ValueError(f"need at least 2 vertices, got n={n}")
         # Per-instance edge-id counter (a class-level counter would make
         # assigned ids depend on how many other trees the process built,
         # breaking the bit-identical gates between serving fronts and the
@@ -398,16 +440,45 @@ class SparsifiedMSF:
         self.nodes.clear()
         self._path_cache.clear()
 
+    def quarantine(self) -> None:
+        """Retire this tree *without* returning any engine to the arena.
+
+        The recovery ladder's alternative to :meth:`release` for trees
+        found structurally corrupted: every materialized node engine is
+        registered as quarantined with the pool (so even an accidental
+        later ``release`` of the same object is refused) and the tree is
+        dismantled.  The tree must not be used afterwards.
+        """
+        pool = self._pool
+        if pool is not None:
+            for node in self.nodes.values():
+                if node.has_engine:
+                    pool.quarantine(node.engine)
+        self.nodes.clear()
+        self._path_cache.clear()
+        self._pool = None
+
+    def self_check(self, level: str = "cheap") -> "list":
+        """Tiered structural self-audit; returns a list of findings.
+
+        See :func:`repro.resilience.checks.check_tree` for what each
+        level covers.  Empty list = clean.
+        """
+        from ..resilience import checks
+        return checks.check_tree(self, level=level)
+
     # ------------------------------------------------------------ updates
 
     def insert_edge(self, u: int, v: int, w: float,
                     eid: Optional[int] = None) -> int:
         eid = next(self._eid) if eid is None else eid
-        assert 0 <= u < self.n and 0 <= v < self.n
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(f"endpoints ({u}, {v}) out of range 0..{self.n - 1}")
         if u == v:
             self.self_loops[eid] = (u, w)
             return eid
-        assert eid not in self.edges
+        if eid in self.edges:
+            raise ValueError(f"duplicate edge id {eid}")
         self.edges[eid] = (u, v, w)
         self._propagate(u, v, ins=[(eid, u, v, w)], dels=[])
         return eid
@@ -416,7 +487,10 @@ class SparsifiedMSF:
         if eid in self.self_loops:
             del self.self_loops[eid]
             return
-        u, v, w = self.edges.pop(eid)
+        info = self.edges.pop(eid, None)
+        if info is None:
+            raise UnknownEdgeError(eid)
+        u, v, w = info
         self._propagate(u, v, ins=[], dels=[eid],
                         winfo={eid: (u, v, w)})
 
@@ -434,6 +508,8 @@ class SparsifiedMSF:
         self._msf_weight += (
             sum(plan.edge_info(eid)[2] for eid in added)
             - sum(plan.edge_info(eid)[2] for eid in removed))
+        if _faults.armed:  # incremental-weight corruption site
+            _faults.fire("sparsify.weight", tree=self)
 
     # ------------------------------------------------------------ batching
 
@@ -462,11 +538,14 @@ class SparsifiedMSF:
         for op in ops:
             if op[0] == "ins":
                 _t, eid, u, v, w = op
-                assert 0 <= u < self.n and 0 <= v < self.n
+                if not (0 <= u < self.n and 0 <= v < self.n):
+                    raise ValueError(
+                        f"endpoints ({u}, {v}) out of range 0..{self.n - 1}")
                 if u == v:
                     self.self_loops[eid] = (u, w)
                     continue
-                assert eid not in self.edges, f"duplicate edge id {eid}"
+                if eid in self.edges:
+                    raise ValueError(f"duplicate edge id {eid}")
                 self.edges[eid] = (u, v, w)
                 plans.append(_PropagationPlan(
                     self, u, v, [(eid, u, v, w)], [], removed_info))
@@ -475,7 +554,10 @@ class SparsifiedMSF:
                 if eid in self.self_loops:
                     del self.self_loops[eid]
                     continue
-                u, v, w = self.edges.pop(eid)
+                info = self.edges.pop(eid, None)
+                if info is None:
+                    raise UnknownEdgeError(eid)
+                u, v, w = info
                 removed_info[eid] = (u, v, w)
                 plans.append(_PropagationPlan(
                     self, u, v, [], [eid], removed_info))

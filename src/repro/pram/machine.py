@@ -120,6 +120,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Iterator, Optional
 
+from ..resilience import faults as _faults
 from .memory import Mem
 
 __all__ = [
@@ -498,11 +499,18 @@ class Machine:
                  history_cap: Optional[int] = 512,
                  shaped_cache_cap: Optional[int] = 4096,
                  fingerprint_cache_cap: Optional[int] = 1024) -> None:
-        assert mode in ("erew", "crew")
+        # raised (not asserted): public entry-point validation must survive
+        # `python -O`
+        if mode not in ("erew", "crew"):
+            raise ValueError(f"mode must be 'erew' or 'crew', got {mode!r}")
         if audit is None:
             audit = "strict" if strict else "count"
-        assert audit in ("strict", "count", "fast")
-        assert impl in ("onepass", "reference")
+        if audit not in ("strict", "count", "fast"):
+            raise ValueError(
+                f"audit must be 'strict', 'count' or 'fast', got {audit!r}")
+        if impl not in ("onepass", "reference"):
+            raise ValueError(
+                f"impl must be 'onepass' or 'reference', got {impl!r}")
         self.mem = Mem()
         self.mode = mode
         self.audit = audit
@@ -531,6 +539,44 @@ class Machine:
         self._shaped = _LRU(shaped_cache_cap)
         self.fast_hits = 0    # launches that skipped conflict bookkeeping
         self.fast_misses = 0  # signature misses (fell back to checking)
+
+    # -- audit ladder ---------------------------------------------------------
+
+    def set_audit(self, audit: str) -> None:
+        """Switch the audit level in place (the recovery degrade ladder).
+
+        ``repro.resilience.recover`` demotes a machine whose replay-tier
+        caches were found corrupted -- ``fast`` -> ``count`` -> ``strict``
+        -- so subsequent launches pay progressively more per-launch
+        verification instead of trusting poisoned caches.  Also usable to
+        re-promote after the caches were purged and re-recorded.
+        """
+        if audit not in ("strict", "count", "fast"):
+            raise ValueError(
+                f"audit must be 'strict', 'count' or 'fast', got {audit!r}")
+        self.audit = audit
+        self.strict = audit != "count"
+
+    def purge_replay_caches(self) -> dict:
+        """Drop every compiled plan and verified fingerprint.
+
+        The recovery ladder's evict-and-re-record primitive: after a purge
+        the next sighting of each shape runs fully checked and re-records
+        from scratch.  Returns how much was evicted.
+        """
+        dropped = {"plans": len(self._shaped), "fingerprints":
+                   len(self._verified), "relearn": len(self._relearn)}
+        self._shaped.clear()
+        self._verified.clear()
+        self._relearn.clear()
+        return dropped
+
+    def evict_plan(self, key: tuple) -> bool:
+        """Evict one compiled plan (forces a clean re-record of ``key``)."""
+        if key in self._shaped:
+            del self._shaped.data[key]
+            return True
+        return False
 
     # -- accounting suspension ------------------------------------------------
 
@@ -696,6 +742,8 @@ class Machine:
         if self.audit != "fast":
             return None
         plan = self._shaped.get(key)
+        if _faults.armed and plan is not None:
+            _faults.fire("pram.plan", plan=plan, key=key, machine=self)
         if plan is None or type(plan) is TracePlan:
             return plan
         # legacy tuple entry (tests may seed the cache directly)
@@ -862,6 +910,8 @@ class Machine:
                 fingerprint.append((nlive << 42) | (nr << 21) | nw)
             for aid, value in writes:
                 write_interned(aid, value)
+            if _faults.armed:  # between-steps memory corruption site
+                _faults.fire("pram.cell", mem=mem, step=step)
             self._resume(step, live, pending, results)
         stats.depth = step
         stats.work = work
@@ -885,6 +935,9 @@ class Machine:
         """
         key = (label, policy, len(live))
         verified = self._verified.get(key)
+        if _faults.armed and verified is not None:
+            _faults.fire("pram.fingerprint", fps=verified, key=key,
+                         machine=self)
         if verified is None or self._relearn.get(key, 0) > 0:
             # first sighting of this shape (or a relearn launch scheduled
             # by an earlier miss): full strict check + fingerprint record

@@ -165,6 +165,48 @@ class Mem:
 
     # -- diagnostics ---------------------------------------------------------
 
+    def check_interning(self) -> list[str]:
+        """Structural integrity of the interning tables (resilience tier).
+
+        Verifies the three tables stay aligned: every interned address maps
+        to an in-range cell id, the reverse ``_addr_of`` mapping round-trips,
+        and ``idx`` cells still dispatch onto the registered sequence object
+        (a registration pins the sequence, so a mismatch means corruption,
+        not ``id()`` reuse).  Returns a list of problem strings (empty =
+        clean) -- the convention of :mod:`repro.resilience.checks`.
+        """
+        problems: list[str] = []
+        if len(self._cells) != len(self._addr_of):
+            problems.append(
+                f"mem: {len(self._cells)} cells vs {len(self._addr_of)} "
+                f"reverse addresses")
+        for address, aid in self._intern.items():
+            if not 0 <= aid < len(self._cells):
+                problems.append(f"mem: interned id {aid} out of range for "
+                                f"{self.describe(address)}")
+                continue
+            if self._addr_of[aid] != address:
+                problems.append(f"mem: reverse map of id {aid} disagrees "
+                                f"with {self.describe(address)}")
+            kind, obj, key = self._cells[aid]
+            if address[0] == "idx":
+                if kind != _KIND_IDX or obj is not self._seqs.get(address[1]):
+                    problems.append(
+                        f"mem: idx cell {self.describe(address)} no longer "
+                        f"dispatches onto its registered sequence")
+            elif address[0] == "attr":
+                if kind != _KIND_ATTR or obj is not address[1] \
+                        or key != address[2]:
+                    problems.append(
+                        f"mem: attr cell {self.describe(address)} dispatch "
+                        f"target mismatch")
+            elif address[0] == "reg":
+                if kind != _KIND_REG or obj is not self._regs:
+                    problems.append(
+                        f"mem: reg cell {self.describe(address)} detached "
+                        f"from the register file")
+        return problems
+
     def stats(self) -> dict:
         """Size telemetry for :meth:`Machine.cache_info`.
 

@@ -1,0 +1,478 @@
+"""Tiered invariant checkers -- the *detection* half of the resilience layer.
+
+Every public entry point returns a list of :class:`Finding` records
+(empty = clean) instead of raising, so callers can decide between
+"log and recover" and "fail loudly".  Three tiers:
+
+``"cheap"``
+    O(|MSF| + registries) consistency: the incremental-vs-recomputed
+    weight pair, registry cross-counts, serve-layer live-set agreement.
+    Safe to run after every batch.
+``"structural"``
+    every per-structure invariant: chunk DLL contiguity, Euler-tour
+    validity, 2-3-tree shape *and* aggregate recomputation, LSDS
+    aggregates, replay-plan fingerprint revalidation, interned-memory
+    table consistency, engine-arena reset completeness.
+``"full"``
+    everything, plus the brute-force matrix-``C`` recomputation and the
+    Kruskal forest-equality oracle (the strongest, slowest verdict).
+
+The checkers never mutate the structures they inspect, and they never
+raise on a *corrupted* structure -- unexpected exceptions inside a check
+are themselves converted into findings (a poisoned structure must not be
+able to crash its own auditor).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = [
+    "Finding", "check_engine", "check_tree", "check_reducer",
+    "check_machine", "check_pool", "check_batched", "check_core",
+    "state_fingerprint",
+]
+
+_LEVELS = ("cheap", "structural", "full")
+_MASK21 = (1 << 21) - 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected invariant violation."""
+
+    component: str   # "machine" | "reducer" | "tree" | "pool" | "serve"
+    message: str
+    level: str       # the tier that caught it
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"[{self.level}/{self.component}] {self.message}"
+
+
+def _rank(level: str) -> int:
+    if level not in _LEVELS:
+        raise ValueError(
+            f"level must be one of {_LEVELS}, got {level!r}")
+    return _LEVELS.index(level)
+
+
+def _guard(out: list, component: str, level: str, fn) -> None:
+    """Run one check body; unexpected exceptions become findings."""
+    try:
+        fn()
+    except Exception as exc:  # noqa: BLE001 - corrupted structures may
+        # raise anything; the auditor reports instead of crashing
+        out.append(Finding(component, f"checker crashed: {exc!r}", level))
+
+
+# --------------------------------------------------------------- machine
+
+
+def check_machine(machine, level: str = "structural") -> list[Finding]:
+    """Replay-tier cache revalidation for one PRAM :class:`Machine`.
+
+    Structural tier and up: every compiled :class:`TracePlan` must be
+    internally consistent with its own recorded fingerprint (depth =
+    number of steps, work = sum of per-step reads+writes, processors =
+    max per-step live count, and no step issues more ops than it has
+    live processors), every verified shape-signature fingerprint must
+    satisfy the same per-step arithmetic, and the interned-address table
+    must round-trip (:meth:`Mem.check_interning`).
+    """
+    rank = _rank(level)
+    out: list[Finding] = []
+    if rank < 1:
+        return out
+
+    def plans() -> None:
+        for key, plan in machine._shaped.data.items():
+            if type(plan) is not _trace_plan_type(machine):
+                continue  # legacy (depth, work, procs) tuples: nothing to do
+            fp = plan.fingerprint
+            if not fp:
+                continue  # plans may legitimately carry no fingerprint
+            bad = _fingerprint_problem(fp)
+            if bad is not None:
+                out.append(Finding(
+                    "machine", f"plan {key!r}: {bad}", level))
+                continue
+            depth = len(fp)
+            work = sum(((p >> 21) & _MASK21) + (p & _MASK21) for p in fp)
+            procs = max(p >> 42 for p in fp)
+            if plan.depth != depth or plan.work != work \
+                    or plan.processors != procs:
+                out.append(Finding(
+                    "machine",
+                    f"plan {key!r}: recorded stats (depth={plan.depth}, "
+                    f"work={plan.work}, procs={plan.processors}) disagree "
+                    f"with its own fingerprint (depth={depth}, work={work}, "
+                    f"procs={procs})", level))
+            if plan.n_effects is not None and plan.n_effects < 0:
+                out.append(Finding(
+                    "machine", f"plan {key!r}: negative effect count "
+                    f"{plan.n_effects}", level))
+
+    def signatures() -> None:
+        for key, fps in machine._verified.data.items():
+            for fp in fps:
+                bad = _fingerprint_problem(fp)
+                if bad is not None:
+                    out.append(Finding(
+                        "machine", f"signature {key!r}: {bad}", level))
+
+    def interning() -> None:
+        for problem in machine.mem.check_interning():
+            out.append(Finding("machine", f"interning: {problem}", level))
+
+    _guard(out, "machine", level, plans)
+    _guard(out, "machine", level, signatures)
+    _guard(out, "machine", level, interning)
+    return out
+
+
+def _trace_plan_type(machine):
+    from ..pram.machine import TracePlan
+    return TracePlan
+
+
+def _fingerprint_problem(fp) -> Optional[str]:
+    """Per-step arithmetic sanity of one packed fingerprint tuple."""
+    for i, p in enumerate(fp):
+        if not isinstance(p, int) or p < 0:
+            return f"step {i}: non-integer packed entry {p!r}"
+        nlive = p >> 42
+        nr = (p >> 21) & _MASK21
+        nw = p & _MASK21
+        if nr + nw > nlive:
+            return (f"step {i}: {nr} reads + {nw} writes exceed "
+                    f"{nlive} live processors")
+        if nlive == 0:
+            return f"step {i}: zero live processors recorded"
+    return None
+
+
+# --------------------------------------------------------------- reducer
+
+
+def check_reducer(red, level: str = "cheap") -> list[Finding]:
+    """Checks for one :class:`~repro.core.degree.DegreeReducer`."""
+    rank = _rank(level)
+    out: list[Finding] = []
+    core = red.core
+
+    def weight_pair() -> None:
+        inc = core.msf_weight()
+        ref = core.msf_weight_recomputed()
+        if not _weights_agree(inc, ref):
+            out.append(Finding(
+                "reducer",
+                f"incremental core MSF weight {inc!r} != recomputed "
+                f"{ref!r}", "cheap"))
+
+    def registries() -> None:
+        for eid, (u, v, _w, _e, hu, hv) in red.real.items():
+            if red.chains[u].hosted.get(hu) != eid:
+                out.append(Finding(
+                    "reducer", f"edge {eid}: host slot {hu} of vertex {u} "
+                    f"does not host it", "cheap"))
+            if red.chains[v].hosted.get(hv) != eid:
+                out.append(Finding(
+                    "reducer", f"edge {eid}: host slot {hv} of vertex {v} "
+                    f"does not host it", "cheap"))
+
+    _guard(out, "reducer", "cheap", weight_pair)
+    _guard(out, "reducer", "cheap", registries)
+    if rank < 1:
+        return out
+
+    def accounting() -> None:
+        n_core = red.n + 2 * red.max_edges
+        in_chains = sum(len(c.nodes) for c in red.chains)
+        if in_chains - red.n + len(red._pool) != 2 * red.max_edges:
+            out.append(Finding(
+                "reducer",
+                f"gadget accounting broken: {in_chains} chain nodes + "
+                f"{len(red._pool)} pooled != {n_core} total", level))
+        hosted = sum(len(c.hosted) for c in red.chains)
+        if hosted != 2 * len(red.real):
+            out.append(Finding(
+                "reducer", f"{hosted} hosted slots for {len(red.real)} "
+                f"real edges", level))
+
+    _guard(out, "reducer", level, accounting)
+    if getattr(core, "fabric", None) is not None:
+        out.extend(_audit_core(core, level))
+    machine = getattr(core, "machine", None)
+    if machine is not None:
+        out.extend(check_machine(machine, level))
+    return out
+
+
+def _audit_core(core, level: str) -> list[Finding]:
+    """Deep structural audit of one sparse engine, as findings."""
+    from ..core.audit import audit
+    out: list[Finding] = []
+    full = _rank(level) >= 2
+    try:
+        audit(core, matrix=full, forest=full)
+    except AssertionError as exc:
+        out.append(Finding("reducer", f"structural audit: {exc}", level))
+    except Exception as exc:  # noqa: BLE001 - corrupted structures
+        out.append(Finding(
+            "reducer", f"structural audit crashed: {exc!r}", level))
+    return out
+
+
+def _weights_agree(a: float, b: float) -> bool:
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    if math.isnan(a) or math.isnan(b):
+        return False
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-6)
+
+
+# ------------------------------------------------------------------ pool
+
+
+def check_pool(pool, level: str = "cheap") -> list[Finding]:
+    """Checks for an :class:`~repro.core.sparsify.EnginePool` arena.
+
+    Cheap: no quarantined engine sits in the free-list.  Structural and
+    up: every free-listed engine is *pristine* -- reset really completed
+    (empty registries, full gadget pool, singleton chains, zero weight,
+    empty change log), which is the invariant ``acquire`` relies on.
+    """
+    rank = _rank(level)
+    out: list[Finding] = []
+
+    def no_quarantined() -> None:
+        for key, engine in pool.free_engines():
+            if pool.is_quarantined(engine):
+                out.append(Finding(
+                    "pool", f"quarantined engine in free-list under "
+                    f"{key!r}", "cheap"))
+
+    _guard(out, "pool", "cheap", no_quarantined)
+    if rank < 1:
+        return out
+
+    def pristine() -> None:
+        for key, engine in pool.free_engines():
+            problems = _reset_problems(engine)
+            for msg in problems:
+                out.append(Finding(
+                    "pool", f"free-listed engine under {key!r} not "
+                    f"pristine: {msg}", level))
+
+    _guard(out, "pool", level, pristine)
+    return out
+
+
+def _reset_problems(engine) -> list[str]:
+    """Why ``engine`` is not bit-identical to a freshly built reducer."""
+    msgs: list[str] = []
+    if engine.real:
+        msgs.append(f"{len(engine.real)} stale real edges")
+    if engine.self_loops:
+        msgs.append(f"{len(engine.self_loops)} stale self-loops")
+    if engine._chain_edge:
+        msgs.append(f"{len(engine._chain_edge)} stale chain edges")
+    if len(engine._pool) != 2 * engine.max_edges:
+        msgs.append(f"gadget pool holds {len(engine._pool)} ids, expected "
+                    f"{2 * engine.max_edges}")
+    for v, chain in enumerate(engine.chains):
+        if len(chain.nodes) != 1 or chain.hosted or chain.nodes[0] != v:
+            msgs.append(f"chain of vertex {v} not reset")
+            break
+    core = engine.core
+    if getattr(core, "change_log", None):
+        msgs.append(f"core change log holds {len(core.change_log)} entries")
+    if getattr(core, "edges", None):
+        msgs.append(f"core still registers {len(core.edges)} edges")
+    w = core.msf_weight()
+    if w != 0.0:
+        msgs.append(f"core incremental weight {w!r} != 0.0")
+    return msgs
+
+
+# ------------------------------------------------------------------ tree
+
+
+def check_tree(tree, level: str = "cheap") -> list[Finding]:
+    """Checks for one :class:`~repro.core.sparsify.SparsifiedMSF`.
+
+    Cheap: the delta-maintained ``msf_weight`` against a full
+    recomputation, and the root MSF ids against the edge registry.
+    Structural: recurse into every materialized node engine (and the
+    engine arena, when pooling is on).  Full: additionally the Kruskal
+    oracle over the *global* edge set against the root forest.
+    """
+    rank = _rank(level)
+    out: list[Finding] = []
+
+    def weight_pair() -> None:
+        ids = tree.msf_ids()
+        missing = [eid for eid in ids if eid not in tree.edges]
+        if missing:
+            out.append(Finding(
+                "tree", f"root MSF ids {missing[:5]} absent from the edge "
+                f"registry", "cheap"))
+            return
+        inc = tree.msf_weight()
+        ref = tree.msf_weight_recomputed()
+        if not _weights_agree(inc, ref):
+            out.append(Finding(
+                "tree", f"incremental MSF weight {inc!r} != recomputed "
+                f"{ref!r}", "cheap"))
+
+    _guard(out, "tree", "cheap", weight_pair)
+    if rank >= 1:
+        for key, node in sorted(tree.nodes.items()):
+            if node.has_engine:
+                for f in check_reducer(node.engine, level):
+                    out.append(Finding(
+                        f.component, f"node {key!r}: {f.message}", f.level))
+        if tree._pool is not None:
+            out.extend(check_pool(tree._pool, level))
+    if rank >= 2:
+        def forest() -> None:
+            from ..reference.oracle import kruskal
+            want = kruskal((u, v, w, eid)
+                           for eid, (u, v, w) in tree.edges.items())
+            got = tree.msf_ids()
+            if got != want:
+                out.append(Finding(
+                    "tree", f"root forest != Kruskal MSF: extra="
+                    f"{sorted(got - want)[:5]} missing="
+                    f"{sorted(want - got)[:5]}", level))
+        _guard(out, "tree", level, forest)
+    return out
+
+
+# ------------------------------------------------------------------ core
+
+
+def check_core(core, level: str = "cheap") -> list[Finding]:
+    """Checks for a *bare* core engine (``SparseDynamicMSF`` or its
+    parallel subclass), outside any facade.
+
+    Cheap: the delta-maintained ``msf_weight`` against a full
+    recomputation over the registered edge set.  Structural and up: the
+    exhaustive :func:`repro.core.audit.audit` pass (tours, LSDS
+    aggregates, matrix ``C``) plus :func:`check_machine` when the engine
+    carries a PRAM machine.
+    """
+    rank = _rank(level)
+    out: list[Finding] = []
+
+    def weight_pair() -> None:
+        inc = core.msf_weight()
+        ref = core.msf_weight_recomputed()
+        if not _weights_agree(inc, ref):
+            out.append(Finding(
+                "core", f"incremental MSF weight {inc!r} != recomputed "
+                f"{ref!r}", "cheap"))
+
+    _guard(out, "core", "cheap", weight_pair)
+    if rank < 1:
+        return out
+
+    def full_audit() -> None:
+        from ..core.audit import audit
+        audit(core)
+
+    _guard(out, "core", level, full_audit)
+    machine = getattr(core, "machine", None)
+    if machine is not None:
+        out.extend(check_machine(machine, level))
+    return out
+
+
+# ----------------------------------------------------------------- serve
+
+
+def check_batched(front, level: str = "cheap") -> list[Finding]:
+    """Checks for one :class:`~repro.serve.batched.BatchedMSF` front.
+
+    Audits the serving layer's own bookkeeping (the ``_live`` id set vs
+    the authoritative ``_edges`` registry vs the backend's edge count;
+    pending ops excluded -- they have not been applied) and recurses
+    into the backend at the same tier.
+    """
+    out: list[Finding] = []
+
+    def registries() -> None:
+        live = front._live
+        edges = front._edges
+        if live != set(edges):
+            extra = sorted(live - set(edges))[:5]
+            missing = sorted(set(edges) - live)[:5]
+            out.append(Finding(
+                "serve", f"_live does not match the edge registry: "
+                f"extra={extra} missing={missing}", "cheap"))
+        got = front._impl.edge_count()
+        if got != len(edges):
+            out.append(Finding(
+                "serve", f"backend reports {got} edges, registry holds "
+                f"{len(edges)}", "cheap"))
+
+    _guard(out, "serve", "cheap", registries)
+    out.extend(check_engine(front._impl, level))
+    return out
+
+
+# ------------------------------------------------------------ dispatcher
+
+
+def check_engine(impl, level: str = "cheap") -> list[Finding]:
+    """Dispatch on the backend kind (the facade's ``self_check`` body)."""
+    _rank(level)  # validate early
+    if hasattr(impl, "nodes") and hasattr(impl, "root"):
+        return check_tree(impl, level)
+    if hasattr(impl, "chains"):
+        return check_reducer(impl, level)
+    if hasattr(impl, "_impl"):
+        return check_engine(impl._impl, level)
+    if hasattr(impl, "fabric"):
+        return check_core(impl, level)
+    raise TypeError(f"no checker for backend {type(impl).__name__}")
+
+
+# ----------------------------------------------------------- fingerprint
+
+
+def state_fingerprint(obj) -> tuple:
+    """A comparable digest of the *logical* state of any MSF front.
+
+    ``(sorted live edges, sorted MSF ids, MSF weight re-summed in eid
+    order)`` -- deliberately excluding op counters, machine stats and
+    incrementally-maintained floats, all of which recovery legitimately
+    perturbs (a rebuilt engine re-charges its work).  Because the MSF
+    under the strict ``(weight, eid)`` order is unique, two structures
+    with equal fingerprints hold the same forest.
+
+    Accepts :class:`~repro.core.msf.DynamicMSF`,
+    :class:`~repro.serve.batched.BatchedMSF` (flush first for an exact
+    read), :class:`~repro.core.sparsify.SparsifiedMSF` and
+    :class:`~repro.core.degree.DegreeReducer`.
+    """
+    edges = tuple(sorted(_edge_list(obj)))
+    by_eid = {eid: w for eid, _u, _v, w in edges}
+    msf = tuple(sorted(obj.msf_ids()))
+    weight = math.fsum(by_eid[eid] for eid in msf)
+    return (edges, msf, weight)
+
+
+def _edge_list(obj) -> Iterable[tuple[int, int, int, float]]:
+    if hasattr(obj, "_edges") and hasattr(obj, "_pending"):  # BatchedMSF
+        return ((eid, u, v, w) for eid, (u, v, w) in obj._edges.items())
+    if hasattr(obj, "_impl"):                                # DynamicMSF
+        return _edge_list(obj._impl)
+    if hasattr(obj, "nodes") and hasattr(obj, "root"):       # SparsifiedMSF
+        return ((eid, u, v, w) for eid, (u, v, w) in obj.edges.items())
+    if hasattr(obj, "chains"):                               # DegreeReducer
+        return ((eid, u, v, w)
+                for eid, (u, v, w, _e, _hu, _hv) in obj.real.items())
+    raise TypeError(f"no edge listing for {type(obj).__name__}")

@@ -1,0 +1,81 @@
+"""Structured error hierarchy for the resilience layer.
+
+All errors raised by the resilience subsystem (and by the serving layer's
+per-op rejection path) derive from :class:`ReproError`, so callers can
+catch one base class and still discriminate:
+
+``ReproError``
+    root of the hierarchy.
+``CorruptionError``
+    a structural self-audit (or a differential check) found state that
+    violates a deterministic invariant.  Carries the machine-readable
+    :attr:`findings` list produced by :mod:`repro.resilience.checks`.
+``UnknownEdgeError``
+    an operation referenced an edge id that is not live.  Subclasses
+    ``KeyError`` as well, so pre-existing ``except KeyError`` /
+    ``pytest.raises(KeyError)`` call sites keep working unchanged.
+``QuarantineExhausted``
+    the recovery ladder ran out of options (e.g. a rebuilt engine failed
+    its differential verification again, or the bisection could not
+    isolate a poisoned op).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "CorruptionError",
+    "UnknownEdgeError",
+    "QuarantineExhausted",
+]
+
+
+class ReproError(Exception):
+    """Base class for structured errors raised by the repro library."""
+
+
+class CorruptionError(ReproError):
+    """A deterministic invariant was found violated.
+
+    Parameters
+    ----------
+    message:
+        human-readable summary.
+    findings:
+        optional list of :class:`repro.resilience.checks.Finding`
+        (or plain strings) describing each violated invariant.
+    site:
+        optional injection-site name when the corruption is attributable
+        to a specific component (``"pram.cell"``, ``"tt.agg"``, ...).
+    """
+
+    def __init__(self, message: str, *, findings=None, site=None):
+        super().__init__(message)
+        self.findings = list(findings) if findings else []
+        self.site = site
+
+
+class UnknownEdgeError(ReproError, KeyError):
+    """An operation referenced an unknown or already-deleted edge id.
+
+    Inherits from ``KeyError`` for backwards compatibility with callers
+    that predate the structured hierarchy.
+    """
+
+    def __init__(self, eid, message=None):
+        msg = message or f"unknown or already-deleted edge id {eid}"
+        # KeyError renders its first arg with repr(); pass the message
+        # once so str(exc) stays readable.
+        super().__init__(msg)
+        self.eid = eid
+
+    def __str__(self):  # KeyError would quote the message
+        return self.args[0] if self.args else ""
+
+
+class QuarantineExhausted(ReproError):
+    """Recovery could not restore a verified-clean state."""
+
+    def __init__(self, message: str, *, attempts: int = 0):
+        super().__init__(message)
+        self.attempts = attempts

@@ -1,0 +1,319 @@
+"""Seeded fault-injection soak campaigns (experiment E11).
+
+A campaign deterministically interleaves a serving workload with a
+scheduled :class:`~repro.resilience.faults.FaultPlan` and checks the
+resilience layer's end-to-end contract:
+
+* every injected fault is **detected** (engine exception, wrong answer
+  against the Kruskal oracle, or a tiered ``self_check`` finding) and
+  **recovered** (the ladder in :mod:`repro.resilience.recover`), or it
+  is **provably masked** -- the final full-tier audit is clean, the
+  final forest matches the oracle edge-for-edge, and the recovered
+  structure's :func:`~repro.resilience.checks.state_fingerprint` is
+  bit-identical to a never-faulted twin replaying the same op stream;
+* **zero wrong answers** survive recovery: any read that disagreed with
+  the oracle must agree after the recovery that it triggered;
+* recovery work is *charged* through the normal counters -- the report
+  includes the mean per-recovery charged work so the cost of the ladder
+  is a measured quantity, not a hand-wave.
+
+Everything derives from the campaign seed: the op stream, the fault
+schedule, and the check cadence -- replaying a seed reproduces the run
+bit-for-bit (``pool_size=1`` keeps the batch executor on the serial
+path, so scheduling cannot perturb the comparison).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..reference.oracle import KruskalOracle
+from ..serve.batched import BatchedMSF
+from . import checks, faults, recover
+from .errors import CorruptionError, QuarantineExhausted
+
+__all__ = ["SITES_BY_CONFIG", "generate_ops", "run_campaign"]
+
+#: injection sites reachable per engine configuration (scheduling a fault
+#: on an unreachable site would just report "unreached")
+SITES_BY_CONFIG = {
+    ("sequential", True): ["tt.agg", "arena.reset", "serve.batch",
+                           "sparsify.weight"],
+    ("sequential", False): ["tt.agg", "serve.batch"],
+    ("parallel", True): ["pram.cell", "pram.plan", "pram.fingerprint",
+                         "tt.agg", "arena.reset", "serve.batch",
+                         "sparsify.weight"],
+    ("parallel", False): ["pram.cell", "pram.plan", "pram.fingerprint",
+                          "tt.agg", "serve.batch"],
+}
+
+
+# ---------------------------------------------------------------- stream
+
+def generate_ops(seed: int, n: int, n_ops: int, *,
+                 recycle_every: int = 25) -> list[tuple]:
+    """The deterministic op stream both the faulted run and its clean
+    twin replay.  Edge ids are predicted (the front assigns them from a
+    per-instance counter, so prediction is exact)."""
+    rng = random.Random(seed ^ 0x5F5E1)
+    ops: list[tuple] = []
+    next_eid = 1
+    live: list[int] = []
+    for i in range(n_ops):
+        if recycle_every and i and i % recycle_every == 0:
+            ops.append(("recycle",))
+            continue
+        r = rng.random()
+        if r < 0.48 or not live:
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+            w = round(rng.uniform(0.0, 100.0), 3)
+            ops.append(("ins", u, v, w))
+            live.append(next_eid)
+            next_eid += 1
+        elif r < 0.72:
+            eid = live.pop(rng.randrange(len(live)))
+            ops.append(("del", eid))
+        elif r < 0.90:
+            ops.append(("q", rng.randrange(n), rng.randrange(n)))
+        else:
+            ops.append(("w",))
+    return ops
+
+
+def _recycle(n: int, engine: str) -> None:
+    """Build, touch and release a throwaway tree -- drives engines through
+    the arena so the ``arena.reset`` site accumulates visits."""
+    from ..core.msf import DynamicMSF
+    t = DynamicMSF(max(4, n // 8), engine=engine, sparsify=True)
+    t.insert_edge(0, 1, 1.0)
+    t.insert_edge(1, 2, 2.0)
+    t.insert_edge(0, 2, 3.0)
+    t.release()
+
+
+# ------------------------------------------------------------- recovery
+
+def _machines(impl):
+    if hasattr(impl, "nodes"):          # SparsifiedMSF
+        for node in impl.nodes.values():
+            if node.has_engine:
+                machine = getattr(getattr(node.engine, "core", None),
+                                  "machine", None)
+                if machine is not None:
+                    yield machine
+    else:                               # DegreeReducer
+        machine = getattr(getattr(impl, "core", None), "machine", None)
+        if machine is not None:
+            yield machine
+
+
+def _set_fast_audit(impl) -> None:
+    """Put every reachable machine on the ``fast`` tier.
+
+    The ``pram.plan`` / ``pram.fingerprint`` sites live inside the replay
+    and fingerprint-streaming tiers, which only engage under
+    ``audit="fast"`` -- facade-built machines default to ``strict``, so a
+    campaign that schedules those sites must flip the tier.  Called every
+    iteration because sparsified backends create node engines lazily and
+    a backend rebuild replaces the machines wholesale; the call is a
+    cheap no-op once a machine is already fast."""
+    for machine in _machines(impl):
+        if machine.audit != "fast":
+            machine.set_audit("fast")
+
+
+def _charged_work(impl) -> int:
+    """Total elementary work charged to the backend's own counters."""
+    if hasattr(impl, "ops_by_node"):
+        return sum(impl.ops_by_node().values())
+    return impl.core.ops.total
+
+
+def _recover_from_findings(front, findings) -> list[str]:
+    """Route findings to the cheapest applicable rung of the ladder."""
+    from ..core.sparsify import default_pool
+    rungs: list[str] = []
+    components = {f.component for f in findings}
+    if "machine" in components:
+        for machine in _machines(front._impl):
+            recover.recover_machine(machine, degrade=False)
+        rungs.append("machine-cache-purge")
+    if "pool" in components:
+        recover.recover_pool(default_pool)
+        rungs.append("pool-sweep")
+    if components - {"machine", "pool"}:
+        recover.rebuild_backend(front, level="cheap")
+        rungs.append("backend-rebuild")
+    return rungs
+
+
+# ------------------------------------------------------------- campaign
+
+def run_campaign(seed: int, *, engine: str = "sequential",
+                 sparsify: bool = True, n: int = 48, n_ops: int = 320,
+                 n_faults: int = 6, batch_size: int = 16,
+                 check_every: int = 16,
+                 sites: Optional[list[str]] = None,
+                 horizon: Optional[int] = None) -> dict:
+    """One seeded soak campaign; returns the JSON-able report."""
+    sites = (SITES_BY_CONFIG[(engine, sparsify)]
+             if sites is None else list(sites))
+    ops = generate_ops(seed, n, n_ops)
+    plan = faults.FaultPlan.scheduled(
+        seed, sites=sites, n_faults=n_faults,
+        horizon=horizon if horizon is not None else max(50, n_ops // 2),
+        label=f"{engine}/{'sparse' if sparsify else 'flat'}/seed={seed}")
+
+    front = BatchedMSF(n, engine=engine, sparsify=sparsify,
+                       batch_size=batch_size, pool_size=1)
+    oracle = KruskalOracle()
+    detections: list[dict] = []
+    recovery_costs: list[int] = []
+    wrong_answers = 0
+    unexpected_rejections = 0
+    next_eid = 1
+
+    def note_recovery(channel: str, op_index: int, detail: str,
+                      rungs: list[str]) -> None:
+        detections.append({"op": op_index, "channel": channel,
+                           "detail": detail, "rungs": rungs})
+        recovery_costs.append(_charged_work(front._impl))
+
+    fast_tier = engine == "parallel"
+    faults.arm(plan)
+    try:
+        for i, op in enumerate(ops):
+            if fast_tier:
+                _set_fast_audit(front._impl)
+            recoveries_before = front.stats["recoveries"]
+            try:
+                if op[0] == "ins":
+                    _t, u, v, w = op
+                    eid = front.insert_edge(u, v, w)
+                    assert eid == next_eid  # prediction contract
+                    oracle.insert(u, v, w, eid)
+                    next_eid += 1
+                elif op[0] == "del":
+                    front.delete_edge(op[1])
+                    oracle.delete(op[1])
+                elif op[0] == "q":
+                    got = front.connected(op[1], op[2])
+                    want = oracle.connected(op[1], op[2])
+                    if got != want:
+                        rungs = _recover_from_findings(front, [
+                            checks.Finding("serve", "answer mismatch",
+                                           "cheap")])
+                        note_recovery("answer", i,
+                                      f"connected({op[1]}, {op[2]}) = "
+                                      f"{got}, oracle says {want}", rungs)
+                        if front.connected(op[1], op[2]) != want:
+                            wrong_answers += 1
+                elif op[0] == "w":
+                    got_w = front.msf_weight()
+                    want_w = oracle.msf_weight()
+                    if not checks._weights_agree(got_w, want_w):
+                        rungs = _recover_from_findings(front, [
+                            checks.Finding("serve", "weight mismatch",
+                                           "cheap")])
+                        note_recovery("answer", i,
+                                      f"msf_weight {got_w!r} vs oracle "
+                                      f"{want_w!r}", rungs)
+                        if not checks._weights_agree(
+                                front.msf_weight(), oracle.msf_weight()):
+                            wrong_answers += 1
+                else:  # recycle
+                    _recycle(n, engine)
+            except CorruptionError as exc:
+                # flush-internal detection; recover_batch already ran
+                if getattr(exc, "rejected", None):
+                    unexpected_rejections += len(exc.rejected)
+                note_recovery("exception", i, str(exc), ["batch-bisect"])
+            if front.stats["recoveries"] > recoveries_before \
+                    and (not detections or detections[-1]["op"] != i):
+                # silent in-flush recovery (no error escaped to us)
+                note_recovery("exception", i, "in-flush batch recovery",
+                              ["batch-bisect"])
+            if check_every and (i + 1) % check_every == 0:
+                level = ("structural"
+                         if (i + 1) % (4 * check_every) == 0 else "cheap")
+                findings = front.self_check(level)
+                if level == "structural":
+                    from ..core.sparsify import default_pool
+                    findings = findings + checks.check_pool(
+                        default_pool, "structural")
+                if findings:
+                    rungs = _recover_from_findings(front, findings)
+                    note_recovery("check", i,
+                                  "; ".join(str(f) for f in findings[:4]),
+                                  rungs)
+                    still = front.self_check(level)
+                    if still:
+                        raise QuarantineExhausted(
+                            f"findings survive recovery: "
+                            f"{[str(f) for f in still[:3]]}", attempts=1)
+    finally:
+        faults.disarm()
+
+    # ---- final verification (disarmed) ---------------------------------
+    front.flush()
+    final_findings = front.self_check("full")
+    if final_findings:
+        rungs = _recover_from_findings(front, final_findings)
+        note_recovery("check", len(ops),
+                      "; ".join(str(f) for f in final_findings[:4]), rungs)
+        final_findings = front.self_check("full")
+    msf_match = front.msf_ids() == oracle.msf_ids()
+    weight_match = checks._weights_agree(front.msf_weight(),
+                                         oracle.msf_weight())
+
+    # clean twin: identical op stream, never armed
+    twin = BatchedMSF(n, engine=engine, sparsify=sparsify,
+                      batch_size=batch_size, pool_size=1)
+    for op in ops:
+        if op[0] == "ins":
+            twin.insert_edge(op[1], op[2], op[3])
+        elif op[0] == "del":
+            twin.delete_edge(op[1])
+        elif op[0] == "q":
+            twin.connected(op[1], op[2])
+        elif op[0] == "w":
+            twin.msf_weight()
+    twin.flush()
+    twin_match = (checks.state_fingerprint(front)
+                  == checks.state_fingerprint(twin))
+
+    injected = plan.injected()
+    n_detected = len(detections)
+    masked = max(0, len(injected) - n_detected)
+    ok = (not final_findings and msf_match and weight_match and twin_match
+          and wrong_answers == 0 and unexpected_rejections == 0)
+    return {
+        "seed": seed,
+        "config": {"engine": engine, "sparsify": sparsify, "n": n,
+                   "n_ops": n_ops, "batch_size": batch_size,
+                   "check_every": check_every, "sites": sites},
+        "faults": plan.report(),
+        "sites_hit": sorted({e["site"] for e in injected}),
+        "detections": detections,
+        "n_injected": len(injected),
+        "n_detected": n_detected,
+        "n_recoveries": front.stats["recoveries"] + len(detections),
+        "n_masked": masked,
+        "recovery_work": {
+            "events": recovery_costs,
+            "mean": (sum(recovery_costs) / len(recovery_costs)
+                     if recovery_costs else 0.0),
+        },
+        "wrong_answers": wrong_answers,
+        "unexpected_rejections": unexpected_rejections,
+        "final": {
+            "self_check_full_clean": not final_findings,
+            "findings": [str(f) for f in final_findings],
+            "msf_match": msf_match,
+            "weight_match": weight_match,
+            "twin_fingerprint_match": twin_match,
+        },
+        "ok": ok,
+    }

@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from ..resilience.errors import UnknownEdgeError
+
 __all__ = ["CoalescedBatch", "coalesce"]
 
 
@@ -87,7 +89,9 @@ def coalesce(pending: Sequence[tuple],
             elif eid in known:
                 deletes.add(eid)
             else:
-                raise KeyError(f"delete of unknown edge id {eid}")
+                # structured error; still a KeyError subclass, so callers
+                # guarding with `except KeyError` keep working
+                raise UnknownEdgeError(eid)
         else:
             raise ValueError(f"unknown op tag {op[0]!r}")
     return CoalescedBatch(

@@ -24,6 +24,8 @@ from typing import Iterator, Optional
 
 from ..core.degree import DegreeReducer
 from ..core.sparsify import SparsifiedMSF
+from ..resilience import faults as _faults
+from ..resilience.errors import CorruptionError, UnknownEdgeError
 from .batch import CoalescedBatch, coalesce
 from .executor import LevelExecutor
 from .snapshot import ConnectivitySnapshot
@@ -68,44 +70,66 @@ class BatchedMSF:
                  consistency: str = "strong",
                  K: Optional[int] = None,
                  max_edges: Optional[int] = None) -> None:
-        assert engine in ("sequential", "parallel")
-        assert consistency in ("strong", "deferred")
-        assert batch_size >= 1
+        # raised (not asserted): public entry-point validation must survive
+        # `python -O`
+        if engine not in ("sequential", "parallel"):
+            raise ValueError(
+                f"engine must be 'sequential' or 'parallel', got {engine!r}")
+        if consistency not in ("strong", "deferred"):
+            raise ValueError(
+                f"consistency must be 'strong' or 'deferred', "
+                f"got {consistency!r}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.consistency = consistency
         self.n = n
         self.engine_kind = engine
         self.sparsified = sparsify
         self.batch_size = batch_size
+        self._K = K
+        self._max_edges = max_edges
         if sparsify:
-            self._impl = SparsifiedMSF(n, K=K,
-                                       parallel=(engine == "parallel"))
             self.executor: Optional[LevelExecutor] = LevelExecutor(pool_size)
-        elif engine == "parallel":
-            from ..core.par import ParallelDynamicMSF
-            self._impl = DegreeReducer(
-                n, max_edges,
-                engine_factory=lambda nc: ParallelDynamicMSF(nc, K=K))
-            self.executor = None
         else:
-            self._impl = DegreeReducer(n, max_edges, K=K)
             self.executor = None
+        self._impl = self._make_impl()
         self._next_eid = itertools.count(1)
         self._pending: list[tuple] = []      # buffered ops, submission order
         self._pending_ins: set[int] = set()  # not-yet-cancelled batch inserts
         self._live: set[int] = set()         # edge ids applied and live
+        # authoritative record of every applied-and-live edge, used by the
+        # recovery ladder to rebuild a poisoned backend from scratch
+        self._edges: dict[int, tuple[int, int, float]] = {}
         self._epoch = 0                      # bumped per applied batch
         self._snapshot: Optional[ConnectivitySnapshot] = None
         self.stats = {
             "batches": 0, "ops_submitted": 0, "ops_applied": 0,
             "ops_cancelled": 0, "ops_deduped": 0, "snapshot_builds": 0,
-            "queries": 0,
+            "queries": 0, "ops_rejected": 0, "recoveries": 0,
         }
+
+    def _make_impl(self):
+        """Construct a fresh backend engine (also used by recovery)."""
+        if self.sparsified:
+            return SparsifiedMSF(self.n, K=self._K,
+                                 parallel=(self.engine_kind == "parallel"))
+        if self.engine_kind == "parallel":
+            from ..core.par import ParallelDynamicMSF
+            K = self._K
+            return DegreeReducer(
+                self.n, self._max_edges,
+                engine_factory=lambda nc: ParallelDynamicMSF(nc, K=K))
+        return DegreeReducer(self.n, self._max_edges, K=self._K)
 
     # ------------------------------------------------------------- updates
 
     def insert_edge(self, u: int, v: int, weight: float) -> int:
         """Buffer an edge insertion; returns its id immediately."""
-        assert 0 <= u < self.n and 0 <= v < self.n
+        # raised (not asserted): boundary validation is what keeps bad ops
+        # out of the batch, so it must survive `python -O`
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(
+                f"endpoints ({u}, {v}) out of range 0..{self.n - 1}")
         eid = next(self._next_eid)
         self._pending.append(("ins", eid, u, v, float(weight)))
         self._pending_ins.add(eid)
@@ -118,7 +142,8 @@ class BatchedMSF:
         if eid in self._pending_ins:
             self._pending_ins.discard(eid)
         elif eid not in self._live:
-            raise KeyError(f"unknown or already-deleted edge id {eid}")
+            # structured error (still a KeyError subclass for compatibility)
+            raise UnknownEdgeError(eid)
         self._pending.append(("del", eid))
         self.stats["ops_submitted"] += 1
         self._maybe_flush()
@@ -128,7 +153,17 @@ class BatchedMSF:
             self.flush()
 
     def flush(self) -> Optional[CoalescedBatch]:
-        """Coalesce and apply the pending batch; returns it (or None)."""
+        """Coalesce and apply the pending batch; returns it (or None).
+
+        If corruption strikes mid-batch (an engine raises, or the
+        post-apply audit finds the state inconsistent) the recovery
+        ladder (:mod:`repro.resilience.recover`) rebuilds the backend
+        from the authoritative edge registry and bisects the batch to
+        the poisoned op(s); the healthy remainder **commits** and the
+        rejected ops are reported via a structured
+        :class:`~repro.resilience.errors.CorruptionError` raised after
+        the commit (state is consistent when it propagates).
+        """
         if not self._pending:
             return None
         batch = coalesce(self._pending, known=self._live)
@@ -136,27 +171,85 @@ class BatchedMSF:
         self._pending_ins.clear()
         self.stats["ops_cancelled"] += 2 * batch.cancelled
         self.stats["ops_deduped"] += batch.deduped
-        self.stats["ops_applied"] += len(batch)
+        rejected: list[tuple] = []
         if len(batch):
-            self._apply(batch)
-            self._live.difference_update(batch.deletes)
-            self._live.update(eid for eid, _u, _v, _w in batch.inserts)
+            rejected = self._apply_checked(batch)
+            rejected_ids = {op[1] for op, _exc in rejected}
+            applied_dels = [e for e in batch.deletes if e not in rejected_ids]
+            applied_ins = [rec for rec in batch.inserts
+                           if rec[0] not in rejected_ids]
+            self.stats["ops_applied"] += len(applied_dels) + len(applied_ins)
+            self._live.difference_update(applied_dels)
+            for eid in applied_dels:
+                self._edges.pop(eid, None)
+            for eid, u, v, w in applied_ins:
+                self._live.add(eid)
+                self._edges[eid] = (u, v, w)
             self._epoch += 1         # invalidates the read snapshot
             self._snapshot = None
         self.stats["batches"] += 1
+        if rejected:
+            self.stats["ops_rejected"] += len(rejected)
+            err = CorruptionError(
+                f"batch recovery rejected {len(rejected)} poisoned op(s) "
+                f"out of {len(batch)}; the remaining "
+                f"{len(batch) - len(rejected)} committed",
+                site="serve.batch",
+                findings=[f"{op!r}: {exc!r}" for op, exc in rejected])
+            err.rejected = rejected
+            err.batch = batch
+            raise err
         return batch
 
-    def _apply(self, batch: CoalescedBatch) -> None:
+    def _apply_checked(self, batch: CoalescedBatch) -> list[tuple]:
+        """Apply ``batch``; recover on failure.  Returns rejected ops.
+
+        Returned entries are ``(op, exception)`` pairs for ops the
+        recovery bisection proved individually poisonous; everything else
+        in the batch is committed on return.
+        """
+        ops = batch.ops()
+        applied = ops
+        if _faults.armed:  # op-stream corruption site (drop / duplicate)
+            rec = _faults.fire("serve.batch", ops=ops, batch=batch)
+            if rec is not None and "ops" in rec:
+                applied = rec["ops"]
+        try:
+            self._apply_ops(applied)
+            self._post_apply_check(batch)
+        except Exception as exc:
+            from ..resilience.recover import recover_batch
+            rejected = recover_batch(self, batch, exc)
+            self.stats["recoveries"] += 1
+            return rejected
+        return []
+
+    def _apply_ops(self, ops: list[tuple]) -> None:
+        """Feed one canonical op stream to the backend engine."""
         impl = self._impl
         if self.sparsified:
-            impl.apply_batch(batch.ops(), executor=self.executor)
+            impl.apply_batch(ops, executor=self.executor)
             return
         # degree-reducer backend: no level structure to fork-join over;
         # apply the canonical stream one op at a time
-        for eid in batch.deletes:
-            impl.delete_edge(eid)
-        for eid, u, v, w in batch.inserts:
-            impl.insert_edge(u, v, w, eid=eid)
+        for op in ops:
+            if op[0] == "del":
+                impl.delete_edge(op[1])
+            else:
+                _t, eid, u, v, w = op
+                impl.insert_edge(u, v, w, eid=eid)
+
+    def _post_apply_check(self, batch: CoalescedBatch) -> None:
+        """O(1) audit after every batch: the backend's live-edge count
+        must match the authoritative registry's prediction.  A dropped or
+        duplicated op in the applied stream trips this even when no
+        engine raised."""
+        expected = len(self._edges) - len(batch.deletes) + len(batch.inserts)
+        got = self._impl.edge_count()
+        if got != expected:
+            raise CorruptionError(
+                f"post-batch edge count mismatch: engine reports {got}, "
+                f"registry expects {expected}", site="serve.batch")
 
     # ------------------------------------------------------------- queries
 
@@ -213,6 +306,19 @@ class BatchedMSF:
     @property
     def pending_ops(self) -> int:
         return len(self._pending)
+
+    # ---------------------------------------------------------- resilience
+
+    def self_check(self, level: str = "cheap") -> list:
+        """Tiered structural self-audit; returns a list of findings.
+
+        Covers the serving layer's own registries (``_live`` vs
+        ``_edges`` vs the backend's edge count) and recurses into the
+        backend engine's check of the same ``level``.  Empty list =
+        clean; see :mod:`repro.resilience.checks`.
+        """
+        from ..resilience import checks
+        return checks.check_batched(self, level=level)
 
     # --------------------------------------------------------------- costs
 

@@ -65,7 +65,8 @@ class LevelExecutor:
     def __init__(self, pool_size: Optional[int] = None) -> None:
         self.pool_size = (default_pool_size() if pool_size is None
                           else int(pool_size))
-        assert self.pool_size >= 1
+        if self.pool_size < 1:  # raised, not asserted: survives `python -O`
+            raise ValueError(f"pool_size must be >= 1, got {self.pool_size}")
 
     # ------------------------------------------------------------------ API
 
@@ -74,10 +75,17 @@ class LevelExecutor:
         if not plans:
             return
         if self.pool_size <= 1:
-            for plan in plans:
-                for pos in range(len(plan.stations)):
-                    if plan.step(pos):
-                        break
+            for i, plan in enumerate(plans):
+                try:
+                    for pos in range(len(plan.stations)):
+                        if plan.step(pos):
+                            break
+                except BaseException as exc:
+                    # tag the failing plan so the serving layer's recovery
+                    # bisection can attribute the poisoned op (same tag the
+                    # threaded scheduler applies)
+                    exc.plan_index = i
+                    raise
             return
         _Scheduler(plans, min(self.pool_size, len(plans))).run()
 
@@ -122,7 +130,9 @@ class _Scheduler:
         for t in threads:
             t.join()
         if self.error is not None:
-            raise self.error[1]
+            idx, exc = self.error
+            exc.plan_index = idx  # recovery-bisection attribution tag
+            raise exc
 
     def _worker(self) -> None:
         while True:

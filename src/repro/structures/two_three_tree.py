@@ -30,6 +30,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Optional
 
+from ..resilience import faults as _faults
+
 __all__ = [
     "Node",
     "leaf",
@@ -216,6 +218,8 @@ def refresh_upward(node: Node, pull: Pull) -> None:
         cur.scache = None
         pull(cur)
         cur = cur.parent
+    if _faults.armed:  # post-refresh aggregate corruption site
+        _faults.fire("tt.agg", node=node)
 
 
 def refresh_upward_changed(node: Node,
@@ -233,6 +237,8 @@ def refresh_upward_changed(node: Node,
     cur = node.parent
     while cur is not None and pull_changed(cur):
         cur = cur.parent
+    if _faults.armed:  # post-refresh aggregate corruption site
+        _faults.fire("tt.agg", node=node)
 
 
 def _reindex(parent: Node) -> None:

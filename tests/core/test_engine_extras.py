@@ -20,9 +20,10 @@ def test_delete_between_picks_lightest_parallel_edge():
     audit(eng)
 
 
-def test_delete_between_missing_edge_asserts():
+def test_delete_between_missing_edge_raises():
     eng = SparseDynamicMSF(4, K=8)
-    with pytest.raises(AssertionError):
+    # raised, not asserted: survives `python -O`
+    with pytest.raises(ValueError):
         eng.delete_between(0, 1)
 
 

@@ -71,7 +71,8 @@ def test_sequential_facade_exposes_ops():
 
 
 def test_engine_validation():
-    with pytest.raises(AssertionError):
+    # raised, not asserted: public validation must survive `python -O`
+    with pytest.raises(ValueError):
         DynamicMSF(4, engine="quantum")
 
 

@@ -106,7 +106,8 @@ def test_degree_bound_enforced():
     eng = SparseDynamicMSF(5, K=8)
     for i in (1, 2, 3):
         eng.insert_edge(0, i, float(i))
-    with pytest.raises(AssertionError):
+    # raised, not asserted: survives `python -O`
+    with pytest.raises(ValueError):
         eng.insert_edge(0, 4, 9.0)
 
 

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Sharded serving cluster: bit-identity gate, recovery case, speedup.
+
+Exercises :class:`repro.serve.ClusterMSF` (PR 6) end to end:
+
+1. **Bit-identity gate** -- the same ``worker_mix`` stream replayed at
+   pool sizes {1, 2, 4} (real worker processes) must produce final
+   forests, read-result streams, ``msf_weight`` and state fingerprints
+   bit-identical to the serial ``BatchedMSF(pool_size=1)`` path.
+2. **Kill-a-worker recovery** -- one worker is SIGKILLed mid-campaign;
+   the run must detect the death, clean up the stale claim, rebuild the
+   shard from the coordination store's edge registry, verify the
+   rebuild's fingerprint against a never-crashed twin, and finish with
+   state bit-identical to an unkilled run.
+3. **Speedup** -- wall-clock of pool {2, 4} vs pool 1 on the same
+   stream, reported with the host's CPU count (on a single-core box the
+   multiplier measures the work *reduction* of sharding -- two
+   half-size engines do less total work than one full-size engine --
+   plus coordinator/worker overlap, not true parallelism).
+
+``--smoke`` is the CI profile (~1 min); the default profile measures
+the n=1024 serving configuration.  The JSON report lands at ``--out``
+(default ``cluster-report.json``) and is uploaded as a CI artifact.
+
+Usage:
+    python benchmarks/bench_cluster.py --smoke --out cluster-report.json
+    python benchmarks/bench_cluster.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.resilience.checks import state_fingerprint  # noqa: E402
+from repro.serve import BatchedMSF, ClusterMSF  # noqa: E402
+from repro.workloads import drive, worker_mix  # noqa: E402
+
+PROFILES = {
+    "smoke": dict(n=256, steps=800, batch=128, read_ratio=0.3,
+                  cross_fraction=0.05, kill_at=300, seed=17),
+    "full": dict(n=1024, steps=2000, batch=256, read_ratio=0.2,
+                 cross_fraction=0.05, kill_at=800, seed=17),
+}
+
+POOLS = (1, 2, 4)
+
+
+def _ops(prof: dict) -> list:
+    return list(worker_mix(prof["n"], prof["steps"], shards=4,
+                           cross_fraction=prof["cross_fraction"],
+                           read_ratio=prof["read_ratio"],
+                           seed=prof["seed"]))
+
+
+def _run_cluster(prof: dict, ops: list, pool: int, *, kill_at=None):
+    """One timed cluster replay; returns (elapsed, stream, front)."""
+    c = ClusterMSF(prof["n"], pool_size=pool, processes=True,
+                   batch_size=prof["batch"], consistency="deferred")
+    from repro.workloads import OpStream
+    s = OpStream(c)
+    t0 = time.perf_counter()
+    for i, op in enumerate(ops):
+        if kill_at is not None and i == kill_at:
+            c.kill_worker(1 if pool > 1 else 0)
+        s.apply(op)
+    c.flush()
+    dt = time.perf_counter() - t0
+    return dt, s, c
+
+
+def identity_gate(prof: dict, ops: list) -> dict:
+    """Pool {1,2,4} must be bit-identical to the serial path."""
+    ref = BatchedMSF(prof["n"], sparsify=True, pool_size=1,
+                     batch_size=prof["batch"], consistency="deferred")
+    sref = drive(ref, ops)
+    ref.flush()
+    fp_ref = state_fingerprint(ref)
+    rows = {}
+    ok = True
+    for pool in POOLS:
+        dt, s, c = _run_cluster(prof, ops, pool)
+        try:
+            match = (s.results == sref.results
+                     and c.msf_ids() == ref.msf_ids()
+                     and c.msf_weight() == ref.msf_weight()
+                     and state_fingerprint(c) == fp_ref)
+            clean = not c.self_check("full")
+            rows[f"pool{pool}"] = {
+                "seconds": round(dt, 4),
+                "ops_per_s": round(len(ops) / dt, 1),
+                "bit_identical": match,
+                "self_check_clean": clean,
+                "boundary_ops": c._coord.stats["ops_boundary"],
+                "recoveries": c.stats["recoveries"],
+            }
+            ok = ok and match and clean
+            print(f"  pool={pool}: {dt:7.3f}s  {len(ops) / dt:8.1f} ops/s  "
+                  f"identical={match} clean={clean}")
+        finally:
+            c.close()
+    base = rows["pool1"]["seconds"]
+    speedups = {f"x{p}": round(base / rows[f'pool{p}']['seconds'], 3)
+                for p in POOLS if p > 1}
+    best = max(speedups.values())
+    print(f"  speedup vs pool1: {speedups}  "
+          f"(cpu_count={os.cpu_count()})")
+    return {"pools": rows, "speedups": speedups, "best_speedup": best,
+            "ok": ok}
+
+
+def recovery_gate(prof: dict, ops: list) -> dict:
+    """SIGKILL mid-campaign; final state must match an unkilled twin."""
+    _dt, s_twin, twin = _run_cluster(prof, ops, 2)
+    dt, s, crashed = _run_cluster(prof, ops, 2, kill_at=prof["kill_at"])
+    try:
+        store = crashed._coord.store
+        row = {
+            "seconds": round(dt, 4),
+            "recoveries": crashed.stats["recoveries"],
+            "stale_claim_cleanups":
+                len(store.events("stale-claim-cleanup")),
+            "shard_rebuilds": len(store.events("shard-rebuilt")),
+            "replacement_generation":
+                max(w.generation for w in crashed._coord.workers.values()),
+            "reads_identical": s.results == s_twin.results,
+            "fingerprint_identical":
+                state_fingerprint(crashed) == state_fingerprint(twin),
+            "weight_identical":
+                crashed.msf_weight() == twin.msf_weight(),
+            "self_check_clean": not crashed.self_check("full"),
+        }
+        row["ok"] = (row["recoveries"] >= 1
+                     and row["stale_claim_cleanups"] >= 1
+                     and row["shard_rebuilds"] >= 1
+                     and row["reads_identical"]
+                     and row["fingerprint_identical"]
+                     and row["weight_identical"]
+                     and row["self_check_clean"])
+        print(f"  kill@{prof['kill_at']}: recoveries={row['recoveries']} "
+              f"rebuilds={row['shard_rebuilds']} "
+              f"identical={row['fingerprint_identical']} "
+              f"clean={row['self_check_clean']}")
+        return row
+    finally:
+        crashed.close()
+        twin.close()
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI-sized profile (~1 min)")
+    ap.add_argument("--out", type=Path,
+                    default=Path("cluster-report.json"),
+                    help="JSON report path")
+    args = ap.parse_args(argv)
+
+    profile = "smoke" if args.smoke else "full"
+    prof = PROFILES[profile]
+    ops = _ops(prof)
+    n_updates = sum(1 for op in ops if op[0] in ("ins", "del"))
+    print(f"cluster profile={profile} n={prof['n']} ops={len(ops)} "
+          f"(updates={n_updates}) pools={POOLS}")
+
+    print("== bit-identity gate (vs serial BatchedMSF) ==")
+    ident = identity_gate(prof, ops)
+    print("== kill-a-worker recovery ==")
+    recov = recovery_gate(prof, ops)
+
+    report = {
+        "schema": "bench-cluster/v1",
+        "profile": profile,
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "config": {**prof, "ops": len(ops), "updates": n_updates},
+        "identity": ident,
+        "recovery": recov,
+        "ok": ident["ok"] and recov["ok"],
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report -> {args.out}")
+    if not report["ok"]:
+        print("FAIL: identity or recovery gate broken")
+        return 1
+    print(f"OK: pools {POOLS} bit-identical, recovery verified, best "
+          f"speedup {ident['best_speedup']}x on {os.cpu_count()} CPU(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

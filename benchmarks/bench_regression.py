@@ -37,11 +37,25 @@ every :data:`RES_CHECK_EVERY` ops -- costs less than 2% over the plain
 replay.  The bar is enforced in both measure and ``--check`` modes (it
 is a property of the current code, not of any committed baseline).
 
+PR 6 adds the ``cluster-sharded`` section: the multi-process serving
+cluster (``repro.serve.ClusterMSF``) replays a ``worker_mix`` stream at
+pool sizes {1, 2, 4} with real worker processes.  Two absolute gates,
+enforced in both measure and ``--check`` modes like the resilience bar:
+every pool size must be *bit-identical* to the serial ``BatchedMSF``
+path (forests, read results, ``msf_weight``), and on the full profile
+the best pool >= 2 must beat pool 1 on wall clock (the measured
+multiplier is recorded).  Results now also carry a ``host`` block
+(CPU count, python version, platform) because the cluster multiplier is
+host-dependent: on a single-core runner it measures sharding's work
+*reduction* plus coordinator/worker overlap, not parallelism.
+
 ``--check`` re-measures and compares against the most recent committed
 ``BENCH_*.json``: ``updates_per_s`` may not drop more than ``--tolerance``
 (default 15%), and the model quantities ``depth``/``work`` -- which are
 deterministic -- may not drift more than the same tolerance in either
-direction.  Exit status is non-zero on any regression, so CI can gate PRs.
+direction.  Sections a baseline predates (e.g. ``cluster`` vs a pre-PR6
+file) are simply not compared.  Exit status is non-zero on any
+regression, so CI can gate PRs.
 
 Usage:
     python benchmarks/bench_regression.py                  # measure + write
@@ -54,6 +68,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import re
 import sys
 import time
@@ -63,7 +79,26 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SCHEMA = "bench-regression/v1"
+SCHEMA = "bench-regression/v2"
+
+
+def host_meta() -> dict:
+    """The machine facts a reader needs to interpret the numbers --
+    especially the cluster speedup, which is meaningless without the
+    CPU count it was measured on."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def _describe_host(meta: dict, label: str = "host") -> str:
+    return (f"{label}: {meta.get('cpu_count')} CPU(s), "
+            f"{meta.get('implementation', 'Python')} "
+            f"{meta.get('python')}, {meta.get('platform')}")
 
 # ---------------------------------------------------------------------------
 # workload definitions (the E9 family; see module docstring for rationale)
@@ -491,6 +526,128 @@ def overhead_failures(rows: dict, tolerance: float = RES_OVERHEAD_TOL
 
 
 # ---------------------------------------------------------------------------
+# sharded serving cluster (PR 6)
+# ---------------------------------------------------------------------------
+
+#: worker_mix serving configuration replayed at every pool size; the
+#: full profile is the acceptance configuration (n=1024), quick is the
+#: CI-sized shadow that keeps the identity gate hot without the >1x
+#: speedup requirement (too noisy at smoke sizes).
+CLUSTER_FULL = dict(n=1024, steps=2000, batch=256, read_ratio=0.2,
+                    cross_fraction=0.05, shards=4, seed=17,
+                    pools=(1, 2, 4), gate_speedup=True)
+CLUSTER_QUICK = dict(n=256, steps=600, batch=128, read_ratio=0.3,
+                     cross_fraction=0.05, shards=4, seed=17,
+                     pools=(1, 2), gate_speedup=False)
+
+
+def measure_cluster(spec: dict) -> dict:
+    """Replay one ``worker_mix`` stream serially and at every pool size.
+
+    Every cluster run uses real worker processes (``processes=True``)
+    and deferred consistency -- the deployment configuration.  The row
+    records per-pool wall clock plus the speedup of each pool over
+    pool 1, and carries the bit-identity verdict: read-result stream,
+    final forest and ``msf_weight`` (bitwise, not approx) must all match
+    the serial ``BatchedMSF`` replay of the same ops.
+    """
+    from repro.serve import BatchedMSF, ClusterMSF
+    from repro.workloads import OpStream, drive, worker_mix
+    ops = list(worker_mix(spec["n"], spec["steps"], shards=spec["shards"],
+                          cross_fraction=spec["cross_fraction"],
+                          read_ratio=spec["read_ratio"], seed=spec["seed"]))
+    ref = BatchedMSF(spec["n"], sparsify=True, pool_size=1,
+                     batch_size=spec["batch"], consistency="deferred")
+    sref = drive(ref, ops)
+    ref.flush()
+    ref_ids, ref_weight = ref.msf_ids(), ref.msf_weight()
+
+    def one_run(pool: int) -> tuple[float, bool]:
+        c = ClusterMSF(spec["n"], pool_size=pool, processes=True,
+                       batch_size=spec["batch"], consistency="deferred")
+        try:
+            s = OpStream(c)
+            t0 = time.perf_counter()
+            for op in ops:
+                s.apply(op)
+            c.flush()
+            dt = time.perf_counter() - t0
+            match = (s.results == sref.results
+                     and c.msf_ids() == ref_ids
+                     and c.msf_weight() == ref_weight)
+        finally:
+            c.close()
+        return dt, match
+
+    pools: dict[str, dict] = {}
+    identical = True
+    for pool in spec["pools"]:
+        # best-of-N, same rationale as measure_profile: a single sample
+        # on a shared/virtualized host can eat a multi-second steal
+        # burst, and the speedup gate compares two such samples.  The
+        # minimum over a few fresh clusters is the stable statistic;
+        # bit-identity is asserted on *every* run, not just the kept one.
+        dt, match = one_run(pool)
+        runs = 1
+        while runs < 3:
+            d, m = one_run(pool)
+            match = match and m
+            runs += 1
+            if d < dt:
+                dt = d
+        identical = identical and match
+        pools[f"pool{pool}"] = {
+            "seconds": round(dt, 4),
+            "ops_per_s": round(len(ops) / dt, 2),
+            "runs": runs,
+            "bit_identical": match,
+        }
+        print(f"  pool={pool}: n={spec['n']:<5} {len(ops):>5} ops  "
+              f"{dt:8.3f}s  {len(ops) / dt:10.1f} ops/s  "
+              f"(best of {runs})  identical={match}")
+    base = pools[f"pool{spec['pools'][0]}"]["seconds"]
+    speedups = {f"x{p}": round(base / pools[f'pool{p}']['seconds'], 3)
+                for p in spec["pools"] if p > 1}
+    best = max(speedups.values()) if speedups else None
+    if speedups:
+        print(f"  speedup vs pool1: {speedups}  "
+              f"(best {best}x on {os.cpu_count()} CPU(s))")
+    return {
+        "n": spec["n"],
+        "workload": "worker-mix",
+        "shards": spec["shards"],
+        "cross_fraction": spec["cross_fraction"],
+        "read_ratio": spec["read_ratio"],
+        "updates": sum(1 for op in ops if op[0] in ("ins", "del")),
+        "ops": len(ops),
+        "pools": pools,
+        "speedups": speedups,
+        "best_speedup": best,
+        "bit_identical": identical,
+        "gate_speedup": spec["gate_speedup"],
+    }
+
+
+def cluster_failures(row: dict) -> list[str]:
+    """Absolute gates for the cluster row (both modes, like the
+    resilience bar): bit-identity always; >1x speedup when gated."""
+    failures: list[str] = []
+    if not row["bit_identical"]:
+        bad = [k for k, v in row["pools"].items() if not v["bit_identical"]]
+        failures.append(
+            f"cluster-sharded: {', '.join(bad)} diverged from the serial "
+            f"BatchedMSF path (forests/read-results/msf_weight must be "
+            f"bit-identical)")
+    if row["gate_speedup"] and (row["best_speedup"] is None
+                                or row["best_speedup"] <= 1.0):
+        failures.append(
+            f"cluster-sharded: best pool>=2 speedup "
+            f"{row['best_speedup']}x is not >1x over pool 1 "
+            f"(n={row['n']}, {row['ops']} ops)")
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # baseline lookup and comparison
 # ---------------------------------------------------------------------------
 
@@ -549,14 +706,17 @@ def main(argv=None) -> int:
                     help="allowed relative regression (default 0.15)")
     ap.add_argument("--engines", nargs="*", default=None,
                     help="restrict to these engine names")
-    ap.add_argument("-o", "--out", default=str(REPO_ROOT / "BENCH_PR4.json"),
-                    help="output file (default BENCH_PR4.json)")
+    ap.add_argument("-o", "--out", default=str(REPO_ROOT / "BENCH_PR6.json"),
+                    help="output file (default BENCH_PR6.json)")
     args = ap.parse_args(argv)
 
     out_path = Path(args.out)
+    meta = host_meta()
+    print(_describe_host(meta))
     result = {"schema": SCHEMA,
               "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
-              "tolerance": args.tolerance}
+              "tolerance": args.tolerance,
+              "host": meta}
 
     if not args.quick:
         print("== full profile ==")
@@ -567,12 +727,18 @@ def main(argv=None) -> int:
     result["resilience_overhead"] = measure_resilience_overhead(
         QUICK if args.quick else FULL, args.engines)
     over = overhead_failures(result["resilience_overhead"])
+    if args.engines is None or "cluster-sharded" in args.engines:
+        print("== sharded serving cluster (bit-identity + speedup) ==")
+        result["cluster"] = measure_cluster(
+            CLUSTER_QUICK if args.quick else CLUSTER_FULL)
+        over += cluster_failures(result["cluster"])
 
     if args.check:
         base_path = latest_baseline()
         if base_path is None:
             print("no committed BENCH_*.json baseline; nothing to check "
                   "(pass)")
+            print(_describe_host(meta, "measured on"))
             return 1 if over else 0
         baseline = json.loads(base_path.read_text())
         failures: list[str] = list(over)
@@ -580,6 +746,19 @@ def main(argv=None) -> int:
             if section in result and section in baseline:
                 failures += compare(result[section], baseline[section],
                                     args.tolerance)
+        print()
+        print(_describe_host(meta, "measured on"))
+        base_host = baseline.get("host")
+        if base_host:
+            print(_describe_host(base_host, f"baseline {base_path.name} on"))
+            if base_host.get("cpu_count") != meta.get("cpu_count"):
+                print(f"  note: CPU count changed "
+                      f"({base_host.get('cpu_count')} -> "
+                      f"{meta.get('cpu_count')}); wall-clock comparisons "
+                      f"are cross-host")
+        else:
+            print(f"baseline {base_path.name} predates host metadata "
+                  f"(schema {baseline.get('schema', '?')})")
         if failures:
             print(f"\nREGRESSIONS vs {base_path.name}:")
             for f in failures:
@@ -588,9 +767,13 @@ def main(argv=None) -> int:
         print(f"\nOK: no regression vs {base_path.name} "
               f"(tolerance {args.tolerance:.0%}); resilience overhead "
               f"within {RES_OVERHEAD_TOL:.0%}")
+        if "cluster" in result:
+            print(f"cluster: bit-identical at pools "
+                  f"{[p for p in result['cluster']['pools']]}, best speedup "
+                  f"{result['cluster']['best_speedup']}x")
         return 0
 
-    if over:  # the overhead bar also gates the measure-and-write mode
+    if over:  # absolute bars also gate the measure-and-write mode
         for f in over:
             print(f"  FAIL {f}")
         return 1

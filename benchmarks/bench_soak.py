@@ -45,9 +45,15 @@ CONFIGS = [
 
 PROFILES = {
     "full": dict(seeds=3, seq=dict(n=48, n_ops=320, n_faults=6),
-                 par=dict(n=24, n_ops=160, n_faults=6)),
+                 par=dict(n=24, n_ops=160, n_faults=6),
+                 mix=dict(n=48, n_ops=320, n_faults=6,
+                          workload="worker_mix", shards=4,
+                          cross_fraction=0.08)),
     "quick": dict(seeds=1, seq=dict(n=40, n_ops=240, n_faults=5),
-                  par=dict(n=20, n_ops=100, n_faults=4)),
+                  par=dict(n=20, n_ops=100, n_faults=4),
+                  mix=dict(n=40, n_ops=240, n_faults=5,
+                           workload="worker_mix", shards=4,
+                           cross_fraction=0.08)),
 }
 
 
@@ -70,6 +76,21 @@ def run_soak(profile: str, base_seed: int, *, engines=None,
             verdict = "ok" if report["ok"] else "FAIL"
             print(f"  {tag:20s} seed={base_seed + s}: {verdict}  "
                   f"injected={report['n_injected']} "
+                  f"detected={report['n_detected']} "
+                  f"masked={report['n_masked']} "
+                  f"wrong={report['wrong_answers']} "
+                  f"sites={report['sites_hit']}")
+    # the sharded serving profile (clustered ranges + cross-shard edges),
+    # on the configuration the cluster's workers run: sequential+sparsify
+    if (engines is None or "sequential" in engines) and sparsify in (
+            None, True):
+        for s in range(prof["seeds"]):
+            report = run_campaign(base_seed + s, engine="sequential",
+                                  sparsify=True, **prof["mix"])
+            campaigns.append(report)
+            verdict = "ok" if report["ok"] else "FAIL"
+            print(f"  {'worker_mix/sparse':20s} seed={base_seed + s}: "
+                  f"{verdict}  injected={report['n_injected']} "
                   f"detected={report['n_detected']} "
                   f"masked={report['n_masked']} "
                   f"wrong={report['wrong_answers']} "

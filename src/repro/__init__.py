@@ -23,13 +23,14 @@ from .core.par import ParallelDynamicMSF
 from .core.seq_msf import SparseDynamicMSF
 from .core.sparsify import SparsifiedMSF
 from .pram.machine import ErewViolation, KernelStats, Machine
-from .serve import BatchedMSF, LevelExecutor
+from .serve import BatchedMSF, ClusterMSF, LevelExecutor
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DynamicMSF",
     "BatchedMSF",
+    "ClusterMSF",
     "SparseDynamicMSF",
     "ParallelDynamicMSF",
     "SparsifiedMSF",

@@ -494,11 +494,72 @@ class SparsifiedMSF:
         self._propagate(u, v, ins=[], dels=[eid],
                         winfo={eid: (u, v, w)})
 
-    def _propagate(self, u: int, v: int, ins, dels, winfo=None) -> None:
+    # ----------------------------------------------- MSF-delta reporting
+
+    def insert_reported(self, u: int, v: int, w: float,
+                        eid: Optional[int] = None
+                        ) -> tuple[list[int], list[int]]:
+        """Insert and return the net *root* MSF delta ``(added, removed)``.
+
+        The same reporting contract :meth:`DegreeReducer.insert_reported`
+        offers one tier down: the cluster's coordinator (and any other
+        composition tier) needs, per update, which edge ids entered/left
+        the global MSF so it can forward an O(1) delta to its own merge
+        engine.  Self-loops report an empty delta.
+        """
+        eid = next(self._eid) if eid is None else eid
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise ValueError(
+                f"endpoints ({u}, {v}) out of range 0..{self.n - 1}")
+        if u == v:
+            self.self_loops[eid] = (u, w)
+            return [], []
+        if eid in self.edges:
+            raise ValueError(f"duplicate edge id {eid}")
+        self.edges[eid] = (u, v, w)
+        plan = self._propagate(u, v, ins=[(eid, u, v, w)], dels=[])
+        return plan.root_delta
+
+    def delete_reported(self, eid: int) -> tuple[list[int], list[int]]:
+        """Delete and return the net root MSF delta ``(added, removed)``."""
+        if eid in self.self_loops:
+            del self.self_loops[eid]
+            return [], []
+        info = self.edges.pop(eid, None)
+        if info is None:
+            raise UnknownEdgeError(eid)
+        u, v, w = info
+        plan = self._propagate(u, v, ins=[], dels=[eid],
+                               winfo={eid: (u, v, w)})
+        return plan.root_delta
+
+    @classmethod
+    def for_vertex_range(cls, lo: int, hi: int, K: Optional[int] = None, *,
+                         parallel: bool = False,
+                         pool: Optional[EnginePool] = default_pool
+                         ) -> "SparsifiedMSF":
+        """A shard-scoped tree for the global vertex range ``[lo, hi)``.
+
+        The returned tree's local vertex ids are ``u - lo``; callers (the
+        cluster's shard workers) translate at the boundary.  Degenerate
+        single-vertex ranges are padded to the engine's ``n >= 2`` floor --
+        the pad vertex can never be named by a translated endpoint, so it
+        stays isolated and measurement-inert.
+        """
+        if not (0 <= lo < hi):
+            raise ValueError(f"invalid vertex range [{lo}, {hi})")
+        tree = cls(max(2, hi - lo), K=K, parallel=parallel, pool=pool)
+        tree.vertex_base = lo
+        tree.vertex_range = (lo, hi)
+        return tree
+
+    def _propagate(self, u: int, v: int, ins, dels,
+                   winfo=None) -> "_PropagationPlan":
         plan = _PropagationPlan(self, u, v, ins, dels, winfo)
         plan.run_serial()
         self._last_levels = plan.levels
         self._fold_root_delta(plan)
+        return plan
 
     def _fold_root_delta(self, plan: _PropagationPlan) -> None:
         """Fold one plan's root MSF delta into the incremental weight."""

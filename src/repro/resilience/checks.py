@@ -31,8 +31,8 @@ from typing import Iterable, Optional
 
 __all__ = [
     "Finding", "check_engine", "check_tree", "check_reducer",
-    "check_machine", "check_pool", "check_batched", "check_core",
-    "state_fingerprint",
+    "check_machine", "check_pool", "check_batched", "check_cluster",
+    "check_core", "state_fingerprint",
 ]
 
 _LEVELS = ("cheap", "structural", "full")
@@ -420,6 +420,123 @@ def check_batched(front, level: str = "cheap") -> list[Finding]:
 
     _guard(out, "serve", "cheap", registries)
     out.extend(check_engine(front._impl, level))
+    return out
+
+
+def check_cluster(front, level: str = "cheap") -> list[Finding]:
+    """Checks for one :class:`~repro.serve.clustered.ClusterMSF` front.
+
+    Cheap: the facade's ``_live`` set vs the authoritative registry, the
+    per-home eid partition tiling the registry exactly, the boundary
+    engine's edge count, and the coordinator-folded ``msf_weight``
+    against a recomputation over the merged forest.  Structural: recurse
+    into the merge engine (:func:`check_reducer`) and the boundary tree
+    (:func:`check_tree`), and cross-check the SQLite store (edge count,
+    batch seq, one live claim per shard).  Full: additionally the
+    Kruskal oracle over the *global* registry against the merged forest,
+    and every live worker's shard fingerprint against a never-crashed
+    twin built coordinator-side from the registry.
+    """
+    from ..cluster.store import BOUNDARY
+    rank = _rank(level)
+    out: list[Finding] = []
+    coord = front._coord
+
+    def registries() -> None:
+        live = front._live
+        edges = front._edges
+        if live != set(edges):
+            extra = sorted(live - set(edges))[:5]
+            missing = sorted(set(edges) - live)[:5]
+            out.append(Finding(
+                "cluster", f"_live does not match the edge registry: "
+                f"extra={extra} missing={missing}", "cheap"))
+        homed: set[int] = set()
+        total = 0
+        for home, eids in coord.home_eids.items():
+            total += len(eids)
+            homed |= eids
+        if homed != set(edges) or total != len(edges):
+            out.append(Finding(
+                "cluster", f"per-home eid sets do not tile the registry "
+                f"({total} homed ids over {len(edges)} edges)", "cheap"))
+        nb = coord.boundary.edge_count()
+        want = len(coord.home_eids[BOUNDARY])
+        if nb != want:
+            out.append(Finding(
+                "cluster", f"boundary engine holds {nb} edges, registry "
+                f"assigns it {want}", "cheap"))
+
+    def weight_pair() -> None:
+        inc = coord.msf_weight
+        edges = front._edges
+        ref = sum(edges[eid][2] for eid in coord.msf_ids())
+        if not _weights_agree(inc, ref):
+            out.append(Finding(
+                "cluster", f"folded MSF weight {inc!r} != recomputed "
+                f"{ref!r}", "cheap"))
+
+    _guard(out, "cluster", "cheap", registries)
+    _guard(out, "cluster", "cheap", weight_pair)
+    if rank >= 1:
+        for f in check_reducer(coord.merge, level):
+            out.append(Finding(
+                f.component, f"merge engine: {f.message}", f.level))
+        for f in check_tree(coord.boundary, level):
+            out.append(Finding(
+                f.component, f"boundary engine: {f.message}", f.level))
+
+        def store_sync() -> None:
+            got = coord.store.edge_count()
+            if got != len(front._edges):
+                out.append(Finding(
+                    "cluster", f"store registry holds {got} edges, "
+                    f"coordinator holds {len(front._edges)}", level))
+            if coord.store.last_seq() != coord.seq:
+                out.append(Finding(
+                    "cluster", f"store batch seq {coord.store.last_seq()} "
+                    f"!= coordinator seq {coord.seq}", level))
+            for s in coord.shard_map.shards():
+                claim = coord.store.claim_of(s)
+                if claim is None:
+                    out.append(Finding(
+                        "cluster", f"shard {s} has no claim", level))
+                elif claim["worker_id"] != coord.workers[s].worker_id:
+                    out.append(Finding(
+                        "cluster", f"shard {s} claimed by "
+                        f"{claim['worker_id']!r}, coordinator expects "
+                        f"{coord.workers[s].worker_id!r}", level))
+
+        _guard(out, "cluster", level, store_sync)
+    if rank >= 2:
+        def forest() -> None:
+            from ..reference.oracle import kruskal
+            want = kruskal((u, v, w, eid)
+                           for eid, (u, v, w) in front._edges.items())
+            got = coord.msf_ids()
+            if got != want:
+                out.append(Finding(
+                    "cluster", f"merged forest != Kruskal MSF: extra="
+                    f"{sorted(got - want)[:5]} missing="
+                    f"{sorted(want - got)[:5]}", level))
+
+        def workers() -> None:
+            from ..cluster.worker import ShardEngine
+            for s in coord.shard_map.shards():
+                lo, hi = coord.shard_map.bounds(s)
+                twin = ShardEngine(lo, hi)
+                twin.rebuild_from(
+                    (eid, *front._edges[eid])
+                    for eid in sorted(coord.home_eids[s]))
+                reply = coord.workers[s].request(
+                    ("fingerprint",), coord.reply_timeout)
+                if reply[1] != twin.fingerprint():
+                    out.append(Finding(
+                        "cluster", f"shard {s} worker fingerprint differs "
+                        f"from registry twin", level))
+
+        _guard(out, "cluster", level, forest)
+        _guard(out, "cluster", level, workers)
     return out
 
 

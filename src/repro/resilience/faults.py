@@ -18,6 +18,7 @@ site                      corrupts
                           reset discipline must have restored)
 ``serve.batch``           a coalesced batch op stream (drop / duplicate one)
 ``sparsify.weight``       the sparsification tree's incremental MSF weight
+``cluster.worker``        a sharded-cluster worker process (SIGKILL mid-batch)
 ========================  ====================================================
 
 Zero-cost discipline
@@ -211,6 +212,22 @@ def _corrupt_sparsify_weight(param: int, ctx: dict) -> Optional[dict]:
     return {"detail": f"incremental msf weight += {delta}"}
 
 
+def _kill_cluster_worker(param: int, ctx: dict) -> Optional[dict]:
+    """SIGKILL one live worker of a sharded serving cluster.
+
+    Unlike the in-place corruptors above this one is a *process* fault:
+    the coordinator must notice the silence (broken pipe / liveness probe
+    / stale store heartbeat) and walk the dead-worker recovery ladder.
+    """
+    coord = ctx.get("coordinator")
+    if coord is None:
+        return None
+    victim = coord.fault_kill_worker(param)
+    if victim is None:
+        return None
+    return {"detail": f"SIGKILLed cluster worker {victim}"}
+
+
 #: site name -> (description, corruptor)
 SITES: dict[str, tuple[str, Callable[[int, dict], Optional[dict]]]] = {
     "pram.cell": (
@@ -234,6 +251,9 @@ SITES: dict[str, tuple[str, Callable[[int, dict], Optional[dict]]]] = {
     "sparsify.weight": (
         "skew the sparsification tree's incremental MSF weight",
         _corrupt_sparsify_weight),
+    "cluster.worker": (
+        "SIGKILL one live worker process of a sharded serving cluster",
+        _kill_cluster_worker),
 }
 
 

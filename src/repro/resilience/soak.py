@@ -33,7 +33,8 @@ from ..serve.batched import BatchedMSF
 from . import checks, faults, recover
 from .errors import CorruptionError, QuarantineExhausted
 
-__all__ = ["SITES_BY_CONFIG", "generate_ops", "run_campaign"]
+__all__ = ["SITES_BY_CONFIG", "generate_ops", "run_campaign",
+           "worker_mix_ops"]
 
 #: injection sites reachable per engine configuration (scheduling a fault
 #: on an unreachable site would just report "unreached")
@@ -80,6 +81,41 @@ def generate_ops(seed: int, n: int, n_ops: int, *,
         else:
             ops.append(("w",))
     return ops
+
+
+def worker_mix_ops(seed: int, n: int, n_ops: int, *, shards: int = 4,
+                   cross_fraction: float = 0.05,
+                   recycle_every: int = 25) -> list[tuple]:
+    """The sharded serving workload (:func:`repro.workloads.worker_mix`)
+    translated into the campaign op vocabulary with predicted edge ids,
+    plus the usual arena-recycle interleaves.
+
+    Deletions in the source stream reference the *op index* of the
+    insert; the front assigns eids from a per-instance counter, so the
+    translation is exact -- the same prediction contract
+    :func:`generate_ops` relies on.
+    """
+    from ..workloads import worker_mix
+    out: list[tuple] = []
+    next_eid = 1
+    eid_of: dict[int, int] = {}   # workload op index -> predicted eid
+    stream = worker_mix(n, n_ops, shards=shards,
+                        cross_fraction=cross_fraction,
+                        seed=seed ^ 0x5F5E1)
+    for idx, op in enumerate(stream):
+        if recycle_every and out and len(out) % recycle_every == 0:
+            out.append(("recycle",))
+        if op[0] == "ins":
+            out.append(op)
+            eid_of[idx] = next_eid
+            next_eid += 1
+        elif op[0] == "del":
+            out.append(("del", eid_of.pop(op[1])))
+        elif op[0] == "conn":
+            out.append(("q", op[1], op[2]))
+        else:  # ("weight",)
+            out.append(("w",))
+    return out
 
 
 def _recycle(n: int, engine: str) -> None:
@@ -156,11 +192,25 @@ def run_campaign(seed: int, *, engine: str = "sequential",
                  n_faults: int = 6, batch_size: int = 16,
                  check_every: int = 16,
                  sites: Optional[list[str]] = None,
-                 horizon: Optional[int] = None) -> dict:
-    """One seeded soak campaign; returns the JSON-able report."""
+                 horizon: Optional[int] = None,
+                 workload: str = "default", shards: int = 4,
+                 cross_fraction: float = 0.05) -> dict:
+    """One seeded soak campaign; returns the JSON-able report.
+
+    ``workload`` selects the op stream: ``"default"`` is the classic
+    uniform churn/read mix of :func:`generate_ops`; ``"worker_mix"`` is
+    the sharded serving profile (clustered vertex ranges, ``shards`` /
+    ``cross_fraction`` knobs) via :func:`worker_mix_ops`.
+    """
     sites = (SITES_BY_CONFIG[(engine, sparsify)]
              if sites is None else list(sites))
-    ops = generate_ops(seed, n, n_ops)
+    if workload == "worker_mix":
+        ops = worker_mix_ops(seed, n, n_ops, shards=shards,
+                             cross_fraction=cross_fraction)
+    elif workload == "default":
+        ops = generate_ops(seed, n, n_ops)
+    else:
+        raise ValueError(f"unknown workload {workload!r}")
     plan = faults.FaultPlan.scheduled(
         seed, sites=sites, n_faults=n_faults,
         horizon=horizon if horizon is not None else max(50, n_ops // 2),
@@ -293,7 +343,10 @@ def run_campaign(seed: int, *, engine: str = "sequential",
         "seed": seed,
         "config": {"engine": engine, "sparsify": sparsify, "n": n,
                    "n_ops": n_ops, "batch_size": batch_size,
-                   "check_every": check_every, "sites": sites},
+                   "check_every": check_every, "sites": sites,
+                   "workload": workload,
+                   **({"shards": shards, "cross_fraction": cross_fraction}
+                      if workload == "worker_mix" else {})},
         "faults": plan.report(),
         "sites_hit": sorted({e["site"] for e in injected}),
         "detections": detections,

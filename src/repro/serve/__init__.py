@@ -16,12 +16,14 @@ stack (see README "Serving layer"):
 
 from .batch import CoalescedBatch, coalesce
 from .batched import BatchedMSF
+from .clustered import ClusterMSF
 from .executor import LevelExecutor, default_pool_size
 from .snapshot import ConnectivitySnapshot
 
 __all__ = [
     "BatchedMSF",
     "CoalescedBatch",
+    "ClusterMSF",
     "ConnectivitySnapshot",
     "LevelExecutor",
     "coalesce",

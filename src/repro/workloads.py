@@ -22,6 +22,7 @@ __all__ = [
     "dense_stream",
     "adversarial_cuts",
     "query_mix",
+    "worker_mix",
     "OpStream",
     "drive",
 ]
@@ -153,6 +154,70 @@ def query_mix(n: int, steps: int, *, read_ratio: float = 0.8,
                 w = round(rng.uniform(0.0, 1000.0), 9)
             degree[u] += 1
             degree[v] += 1
+            live[op_index] = (u, v)
+            yield ("ins", u, v, w)
+        emitted += 1
+
+
+def worker_mix(n: int, steps: int, *, shards: int = 4,
+               cross_fraction: float = 0.05, read_ratio: float = 0.6,
+               seed: int = 0, p_delete: float = 0.4,
+               max_live: Optional[int] = None,
+               weights: str = "uniform") -> Iterator[Op]:
+    """Sharded serving workload: clustered churn + reads, tunable
+    cross-shard traffic.
+
+    Models the traffic profile the multi-process cluster
+    (:class:`repro.serve.ClusterMSF`) is built for: the vertex set is
+    split into ``shards`` contiguous ranges (the cluster's own shard
+    geometry -- ``[s*n//k, (s+1)*n//k)``), and each *update* stays inside
+    one randomly chosen range except with probability ``cross_fraction``,
+    when its endpoints land in two different ranges (a boundary edge).
+    Reads are ``("conn", u, v)`` probes -- locality-biased into a single
+    range with the same ``cross_fraction`` escape hatch -- and
+    ``("weight",)`` queries, in the usual 50/50 split.
+
+    Emits exactly the :func:`query_mix` op vocabulary, so
+    :class:`OpStream`/:func:`drive` and every differential harness
+    consume it unchanged.  Pure function of ``seed``.
+    """
+    assert 0.0 <= read_ratio <= 1.0
+    assert 0.0 <= cross_fraction <= 1.0
+    if not (1 <= shards <= n // 2):
+        raise ValueError(
+            f"need 1 <= shards <= n/2, got {shards} for n={n}")
+    rng = random.Random(seed)
+    max_live = max_live if max_live is not None else int(2.2 * n)
+    bounds = [(s * n // shards, (s + 1) * n // shards)
+              for s in range(shards)]
+    live: dict[int, tuple[int, int]] = {}  # op index -> (u, v)
+
+    def endpoints() -> tuple[int, int]:
+        if shards > 1 and rng.random() < cross_fraction:
+            s, t = rng.sample(range(shards), 2)
+            return (rng.randrange(*bounds[s]), rng.randrange(*bounds[t]))
+        lo, hi = bounds[rng.randrange(shards)]
+        u, v = rng.sample(range(lo, hi), 2)
+        return (u, v)
+
+    emitted = 0
+    while emitted < steps:
+        op_index = emitted
+        if rng.random() < read_ratio:
+            if rng.random() < 0.5:
+                yield ("conn", *endpoints())
+            else:
+                yield ("weight",)
+        elif live and (rng.random() < p_delete or len(live) >= max_live):
+            ref = rng.choice(list(live))
+            live.pop(ref)
+            yield ("del", ref)
+        else:
+            u, v = endpoints()
+            if weights == "ties":
+                w = float(rng.randint(0, 7))
+            else:
+                w = round(rng.uniform(0.0, 1000.0), 9)
             live[op_index] = (u, v)
             yield ("ins", u, v, w)
         emitted += 1

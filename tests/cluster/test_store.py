@@ -1,0 +1,86 @@
+"""CoordinationStore: WAL schema, registry transactions, claims, beats."""
+
+import sqlite3
+
+import pytest
+
+from repro.cluster.store import BOUNDARY, LOOPS, CoordinationStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    with CoordinationStore(tmp_path / "coord.sqlite") as s:
+        yield s
+
+
+def test_wal_mode_and_meta_roundtrip(store):
+    assert store.journal_mode() == "wal"
+    store.set_meta("cluster", {"n": 8, "shards": 2})
+    assert store.get_meta("cluster") == {"n": 8, "shards": 2}
+    assert store.get_meta("absent", 42) == 42
+
+
+def test_commit_batch_updates_registry_transactionally(store):
+    store.commit_batch(1, [(1, 0, 1, 2.5, 0), (2, 4, 5, 1.0, 1),
+                           (3, 0, 5, 9.0, BOUNDARY), (4, 2, 2, 0.5, LOOPS)],
+                       [])
+    assert store.edge_count() == 4
+    assert store.last_seq() == 1
+    store.commit_batch(2, [(5, 1, 2, 3.0, 0)], [2, 3])
+    assert store.edge_count() == 3
+    assert store.last_seq() == 2
+    # per-home listings, ascending eid -- the worker rebuild order
+    assert store.shard_edges(0) == [(1, 0, 1, 2.5), (5, 1, 2, 3.0)]
+    assert store.shard_edges(1) == []
+    assert store.shard_edges(BOUNDARY) == []
+    assert store.shard_edges(LOOPS) == [(4, 2, 2, 0.5)]
+    assert [r[0] for r in store.all_edges()] == [1, 4, 5]
+
+
+def test_second_connection_sees_committed_state(store, tmp_path):
+    store.commit_batch(1, [(1, 0, 1, 2.0, 0)], [])
+    with CoordinationStore(tmp_path / "coord.sqlite") as other:
+        assert other.edge_count() == 1
+        assert other.last_seq() == 1
+
+
+def test_claim_lifecycle_and_stale_cleanup(store):
+    store.claim_shard(0, "w0-g1", 111, 1)
+    store.ack_batch(0, "w0-g1", 7)
+    claim = store.claim_of(0)
+    assert claim["worker_id"] == "w0-g1"
+    assert claim["generation"] == 1
+    assert claim["acked_seq"] == 7
+    store.heartbeat("w0-g1", 111)
+
+    gone = store.cleanup_stale_claim(0, "test kill")
+    assert gone["worker_id"] == "w0-g1"
+    assert store.claim_of(0) is None
+    assert store.worker_beat("w0-g1")["status"] == "dead"
+    kinds = [k for k, _d in store.events("stale-claim-cleanup")]
+    assert kinds == ["stale-claim-cleanup"]
+    # idempotent on an unclaimed shard
+    assert store.cleanup_stale_claim(0, "again") is None
+
+    # a successor generation re-claims
+    store.claim_shard(0, "w0-g2", 222, 2)
+    assert store.claim_of(0)["generation"] == 2
+
+
+def test_heartbeats_accumulate_and_staleness_detects(store):
+    store.heartbeat("w1-g1", 42)
+    store.heartbeat("w1-g1", 42)
+    rec = store.worker_beat("w1-g1")
+    assert rec["beats"] == 2 and rec["status"] == "alive"
+    assert store.stale_workers(timeout=60.0) == []
+    stale = store.stale_workers(timeout=0.0, now=rec["beat"] + 10.0)
+    assert [r["worker_id"] for r in stale] == ["w1-g1"]
+
+
+def test_duplicate_insert_eid_is_rejected_by_schema(store):
+    store.commit_batch(1, [(1, 0, 1, 2.0, 0)], [])
+    with pytest.raises(sqlite3.IntegrityError):
+        store.commit_batch(2, [(1, 3, 4, 5.0, 1)], [])
+    # the failed transaction rolled back wholesale: seq 2 never landed
+    assert store.last_seq() == 1
+    assert store.edge_count() == 1

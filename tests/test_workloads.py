@@ -7,7 +7,8 @@ import pytest
 from repro.core.seq_msf import SparseDynamicMSF
 from repro.reference.oracle import KruskalOracle
 from repro.workloads import (OpStream, adversarial_cuts, churn, dense_stream,
-                             drive, grid_edges, path_edges, query_mix)
+                             drive, grid_edges, path_edges, query_mix,
+                             worker_mix)
 
 
 def test_churn_is_deterministic():
@@ -143,6 +144,61 @@ def test_opstream_records_query_results():
     assert stream.results == [True, 2.5, False]
     with pytest.raises(ValueError):
         stream.apply(("bogus",))
+
+
+def test_worker_mix_is_deterministic_and_well_formed():
+    a = list(worker_mix(32, 200, seed=4, shards=4))
+    assert a == list(worker_mix(32, 200, seed=4, shards=4))
+    assert a != list(worker_mix(32, 200, seed=5, shards=4))
+    assert len(a) == 200
+    live = set()
+    for i, op in enumerate(a):
+        if op[0] == "ins":
+            assert 0 <= op[1] < 32 and 0 <= op[2] < 32 and op[1] != op[2]
+            live.add(i)
+        elif op[0] == "del":
+            assert op[1] in live     # only deletes its own live inserts
+            live.discard(op[1])
+        else:
+            assert op[0] in ("conn", "weight")
+
+
+def test_worker_mix_cross_fraction_controls_boundary_edges():
+    def cross_count(frac):
+        bounds = [(s * 64 // 4, (s + 1) * 64 // 4) for s in range(4)]
+
+        def shard(u):
+            return next(s for s, (lo, hi) in enumerate(bounds)
+                        if lo <= u < hi)
+        ops = worker_mix(64, 3000, seed=7, shards=4, cross_fraction=frac,
+                         read_ratio=0.0)
+        ins = [op for op in ops if op[0] == "ins"]
+        return sum(1 for op in ins if shard(op[1]) != shard(op[2])), len(ins)
+
+    zero, n0 = cross_count(0.0)
+    assert zero == 0 and n0 > 0
+    some, n1 = cross_count(0.2)
+    assert 0.08 < some / n1 < 0.35   # ~20%, generous seed tolerance
+    all_cross, n2 = cross_count(1.0)
+    assert all_cross == n2
+
+
+def test_worker_mix_validates_shard_count():
+    with pytest.raises(ValueError):
+        list(worker_mix(8, 10, shards=5))   # needs >= 2 vertices per shard
+    with pytest.raises(ValueError):
+        list(worker_mix(8, 10, shards=0))
+
+
+def test_worker_mix_replays_identically_on_an_engine():
+    from repro.serve import BatchedMSF
+    ops = list(worker_mix(24, 150, seed=2, shards=3, cross_fraction=0.1))
+    a = BatchedMSF(24, sparsify=True, pool_size=1, batch_size=16)
+    b = BatchedMSF(24, sparsify=True, pool_size=1, batch_size=16)
+    ra = drive(a, ops)
+    rb = drive(b, ops)
+    assert ra.results == rb.results
+    assert a.msf_ids() == b.msf_ids()
 
 
 def test_adversarial_cuts_keep_msf_correct():

@@ -49,6 +49,17 @@ multiplier is recorded).  Results now also carry a ``host`` block
 host-dependent: on a single-core runner it measures sharding's work
 *reduction* plus coordinator/worker overlap, not parallelism.
 
+PR 7 adds the columnar execution backend: a ``facade-columnar`` row
+(the sparsified facade with ``backend="columnar"``, skipped with an
+attributable reason when numpy is absent) and a ``columnar`` section
+holding a paired scalar/columnar replay of the gated rows.  Two
+absolute gates, enforced in both modes: the pair must be
+*bit-identical* (forests, ``msf_weight``, facade fingerprints, PRAM
+``depth``/``work``), and the same-run wall-clock ratio must stay above
+:data:`COLUMNAR_RATIO_FLOOR` -- the ratio is measured in-process
+because the backends' relative speed at the gated sizes (~1x; see
+EXPERIMENTS.md E9) is far inside committed-baseline cross-host noise.
+
 ``--check`` re-measures and compares against the most recent committed
 ``BENCH_*.json``: ``updates_per_s`` may not drop more than ``--tolerance``
 (default 15%), and the model quantities ``depth``/``work`` -- which are
@@ -79,19 +90,27 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SCHEMA = "bench-regression/v2"
+SCHEMA = "bench-regression/v3"
 
 
 def host_meta() -> dict:
     """The machine facts a reader needs to interpret the numbers --
     especially the cluster speedup, which is meaningless without the
-    CPU count it was measured on."""
+    CPU count it was measured on.  v3 adds the numpy version (None when
+    the ``repro[columnar]`` extra is absent), since the columnar rows'
+    wall clock depends on it."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
     return {
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "numpy": numpy_version,
     }
 
 
@@ -114,6 +133,8 @@ FULL = {
                               steps=150),
     "facade-sparsified": dict(kind="facade-sparsified", n=256,
                               workload="churn", steps=60),
+    "facade-columnar": dict(kind="facade-sparsified", n=256,
+                            workload="churn", steps=60, backend="columnar"),
     "facade-batched": dict(kind="facade-batched", n=256,
                            workload="query-mix", steps=1200,
                            read_ratio=0.8, batch=64),
@@ -133,6 +154,8 @@ QUICK = {
                               steps=80),
     "facade-sparsified": dict(kind="facade-sparsified", n=128,
                               workload="churn", steps=40),
+    "facade-columnar": dict(kind="facade-sparsified", n=128,
+                            workload="churn", steps=40, backend="columnar"),
     "facade-batched": dict(kind="facade-batched", n=128,
                            workload="query-mix", steps=400,
                            read_ratio=0.8, batch=64),
@@ -248,6 +271,16 @@ class _TTDriver:
                 self.root = tt.join(left, right, pull)
 
 
+def _arena_state() -> str:
+    """One-line engine-arena summary for skip/diagnostic messages."""
+    try:
+        from repro.core.sparsify import default_pool
+        free = sum(1 for _ in default_pool.free_engines())
+        return f"arena: {free} pooled engine(s)"
+    except Exception:  # noqa: BLE001 - diagnostics must never raise
+        return "arena: unavailable"
+
+
 def _build(spec: dict, machine=None):
     """Returns (engine, core_style, machine_or_None).
 
@@ -265,11 +298,22 @@ def _build(spec: dict, machine=None):
     as the ``EnginePool`` recycling (PR 3) does for sparsification nodes.
     """
     kind, n = spec["kind"], spec["n"]
+    backend = spec.get("backend", "scalar")
+    if backend == "columnar":
+        try:
+            import numpy  # noqa: F401
+        except ImportError:
+            # skip reason names the backend and the arena state, so a CI
+            # log reading "SKIPPED" is attributable at a glance (an
+            # earlier version printed a bare reason, indistinguishable
+            # from the audit-ladder skip)
+            return None, (f"backend={backend} needs numpy (repro[columnar] "
+                          f"extra not installed; {_arena_state()})"), None
     if kind == "structures":
         return _TTDriver(n), False, None
     if kind == "seq-core":
         from repro.core.seq_msf import SparseDynamicMSF
-        eng = SparseDynamicMSF(n)
+        eng = SparseDynamicMSF(n, backend=backend)
         return eng, True, None
     if kind == "par-core":
         import inspect
@@ -277,24 +321,24 @@ def _build(spec: dict, machine=None):
         from repro.core.par import ParallelDynamicMSF
         audit = spec.get("audit")
         if audit is None:
-            eng = ParallelDynamicMSF(n)
+            eng = ParallelDynamicMSF(n, backend=backend)
         elif "audit" not in inspect.signature(
                 ParallelDynamicMSF.__init__).parameters:
             return None, "engine predates the audit ladder (no 'audit' " \
                          "constructor parameter)", None
         elif machine is not None:
             machine.reset_stats()
-            eng = ParallelDynamicMSF(n, machine=machine)
+            eng = ParallelDynamicMSF(n, machine=machine, backend=backend)
         else:
-            eng = ParallelDynamicMSF(n, audit=audit)
+            eng = ParallelDynamicMSF(n, audit=audit, backend=backend)
         return eng, True, eng.machine
     if kind == "facade":
         from repro import DynamicMSF
-        eng = DynamicMSF(n, max_edges=4 * n)
+        eng = DynamicMSF(n, max_edges=4 * n, backend=backend)
         return eng, False, None
     if kind == "facade-sparsified":
         from repro import DynamicMSF
-        eng = DynamicMSF(n, sparsify=True)
+        eng = DynamicMSF(n, sparsify=True, backend=backend)
         return eng, False, None
     if kind == "facade-batched":
         from repro import BatchedMSF
@@ -416,6 +460,7 @@ def measure_profile(specs: dict, engines=None) -> dict:
         rows[name] = {
             "n": spec["n"],
             "workload": spec["workload"],
+            "backend": spec.get("backend", "scalar"),
             "updates": len(ops),
             "seconds": round(dt, 4),
             "updates_per_s": round(len(ops) / dt, 2),
@@ -648,6 +693,123 @@ def cluster_failures(row: dict) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
+# columnar backend equivalence (PR 7)
+# ---------------------------------------------------------------------------
+
+#: rows replayed under both backends; the scalar/columnar pair must be
+#: bit-identical (forests, weight, PRAM depth/work) and the columnar arm
+#: must stay above the wall-clock ratio floor
+COLUMNAR_ROWS = ("facade-sparsified", "parallel-core-fast")
+#: columnar/scalar updates-per-second floor.  The contract of the
+#: columnar backend is *bit-identity first*: at the gated sizes (n<=512,
+#: J ~ 2n/K chunks) the vector widths are tens of lanes, where measured
+#: speedups range from ~0.9x to ~1.2x depending on host and shape -- see
+#: EXPERIMENTS.md E9.  The floor catches a catastrophic slowdown (an
+#: accidental O(J) -> O(J^2) mirror resync, say) without gating host
+#: noise; larger-J shapes are where the vectorized kernels pay off.
+COLUMNAR_RATIO_FLOOR = 0.5
+
+
+def _equiv_signature(engine, core_style: bool) -> tuple:
+    """Backend-independent state signature for the equivalence gate."""
+    if core_style:  # bare core engine: no facade fingerprint support
+        sig = (tuple(sorted(e.eid for e in engine.msf_edges())),
+               round(engine.msf_weight(), 9))
+        machine = getattr(engine, "machine", None)
+        if machine is not None:
+            sig += (machine.total.depth, machine.total.work)
+        return sig
+    from repro.resilience import checks
+    return (checks.state_fingerprint(engine._impl),
+            tuple(sorted(engine.msf_ids())),
+            round(engine.msf_weight(), 9))
+
+
+def measure_columnar_equivalence(specs: dict, engines=None):
+    """Paired scalar/columnar replay: bit-identity plus same-run ratio.
+
+    Replays each gated row's exact op stream on a fresh engine per
+    backend and compares the end states (forest edge ids, ``msf_weight``,
+    the facade ``state_fingerprint``, and PRAM ``depth``/``work`` where
+    measured).  Both arms are timed best-of-N *in the same process run*,
+    so the recorded ratio is free of the cross-host noise that makes
+    committed-baseline wall-clock comparisons unreliable.  Returns None
+    (section omitted) when numpy is absent.
+    """
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        print(f"  skipped: numpy not installed ({_arena_state()})")
+        return None
+    rows: dict[str, dict] = {}
+    for name in COLUMNAR_ROWS:
+        spec = specs.get(name)
+        if spec is None or (engines and name not in engines):
+            continue
+        ops = _ops_for(spec)
+        arms: dict[str, dict] = {}
+        for backend in ("scalar", "columnar"):
+            bspec = dict(spec, backend=backend)
+            engine, core_style, machine = _build(bspec)
+            t0 = time.perf_counter()
+            _replay(engine, ops, core_style)
+            dt = time.perf_counter() - t0
+            sig = _equiv_signature(engine, core_style)
+            _release(engine)
+            runs = 1
+            while (dt * runs < 0.5 or runs < 2) and runs < 4:
+                fresh, cs2, _m = _build(bspec, machine=machine)
+                t0 = time.perf_counter()
+                _replay(fresh, ops, cs2)
+                d = time.perf_counter() - t0
+                _release(fresh)
+                runs += 1
+                if d < dt:
+                    dt = d
+            arms[backend] = {"seconds": dt, "signature": sig, "runs": runs}
+        identical = (arms["scalar"]["signature"]
+                     == arms["columnar"]["signature"])
+        ratio = arms["scalar"]["seconds"] / arms["columnar"]["seconds"]
+        rows[name] = {
+            "n": spec["n"],
+            "workload": spec["workload"],
+            "updates": len(ops),
+            "scalar_updates_per_s": round(
+                len(ops) / arms["scalar"]["seconds"], 2),
+            "columnar_updates_per_s": round(
+                len(ops) / arms["columnar"]["seconds"], 2),
+            "columnar_speedup": round(ratio, 3),
+            "bit_identical": identical,
+        }
+        print(f"  {name:<22} n={spec['n']:<5} scalar "
+              f"{len(ops) / arms['scalar']['seconds']:10.1f} upd/s  "
+              f"columnar {len(ops) / arms['columnar']['seconds']:10.1f} "
+              f"upd/s  ratio {ratio:5.2f}x  identical={identical}")
+    return rows
+
+
+def columnar_failures(rows) -> list[str]:
+    """Absolute gates for the columnar section (both modes): the paired
+    replay must be bit-identical, and the same-run wall-clock ratio must
+    stay above :data:`COLUMNAR_RATIO_FLOOR`."""
+    if rows is None:  # numpy absent: nothing measured, nothing gated
+        return []
+    failures: list[str] = []
+    for name, row in rows.items():
+        if not row["bit_identical"]:
+            failures.append(
+                f"{name}: columnar backend diverged from scalar "
+                f"(forests/weight/fingerprint/depth/work must be "
+                f"bit-identical)")
+        if row["columnar_speedup"] < COLUMNAR_RATIO_FLOOR:
+            failures.append(
+                f"{name}: columnar/scalar ratio "
+                f"{row['columnar_speedup']}x < {COLUMNAR_RATIO_FLOOR}x "
+                f"floor (same-run pair)")
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # baseline lookup and comparison
 # ---------------------------------------------------------------------------
 
@@ -672,7 +834,8 @@ def compare(current: dict, baseline: dict, tolerance: float) -> list[str]:
         if base is None:
             continue
         if base.get("workload") != cur.get("workload") or \
-                base.get("n") != cur.get("n"):
+                base.get("n") != cur.get("n") or \
+                base.get("backend", "scalar") != cur.get("backend", "scalar"):
             continue  # workload redefined; not comparable
         floor = base["updates_per_s"] * (1.0 - tolerance)
         if cur["updates_per_s"] < floor:
@@ -706,8 +869,8 @@ def main(argv=None) -> int:
                     help="allowed relative regression (default 0.15)")
     ap.add_argument("--engines", nargs="*", default=None,
                     help="restrict to these engine names")
-    ap.add_argument("-o", "--out", default=str(REPO_ROOT / "BENCH_PR6.json"),
-                    help="output file (default BENCH_PR6.json)")
+    ap.add_argument("-o", "--out", default=str(REPO_ROOT / "BENCH_PR7.json"),
+                    help="output file (default BENCH_PR7.json)")
     args = ap.parse_args(argv)
 
     out_path = Path(args.out)
@@ -732,6 +895,12 @@ def main(argv=None) -> int:
         result["cluster"] = measure_cluster(
             CLUSTER_QUICK if args.quick else CLUSTER_FULL)
         over += cluster_failures(result["cluster"])
+    print("== columnar backend (bit-identity + same-run ratio) ==")
+    columnar_rows = measure_columnar_equivalence(
+        QUICK if args.quick else FULL, args.engines)
+    if columnar_rows is not None:
+        result["columnar"] = columnar_rows
+    over += columnar_failures(columnar_rows)
 
     if args.check:
         base_path = latest_baseline()

@@ -6,6 +6,7 @@ Usage:
                                           [--sort {cumulative,tottime}]
                                           [--limit N] [-o FILE]
                                           [--json FILE] [--cold]
+                                          [--backend {scalar,columnar}]
 
 engine: seq | par | par-fast | sparsify   (default seq, n=1024, steps=300)
 (also accepted flag-style: ``--engine par-fast``, the CI spelling)
@@ -48,16 +49,18 @@ import time
 
 ENGINES = ("seq", "par", "par-fast", "sparsify")
 
-JSON_SCHEMA = "hotspot-attribution/v1"
+BACKENDS = ("scalar", "columnar")
+
+JSON_SCHEMA = "hotspot-attribution/v2"
 
 
-def build(engine: str, n: int, machine=None):
+def build(engine: str, n: int, machine=None, backend: str = "scalar"):
     if engine == "seq":
         from repro.core.seq_msf import SparseDynamicMSF
-        return SparseDynamicMSF(n), True
+        return SparseDynamicMSF(n, backend=backend), True
     if engine == "par":
         from repro.core.par import ParallelDynamicMSF
-        return ParallelDynamicMSF(n), True
+        return ParallelDynamicMSF(n, backend=backend), True
     if engine == "par-fast":
         from repro.core.par import ParallelDynamicMSF
         if machine is not None:
@@ -65,11 +68,12 @@ def build(engine: str, n: int, machine=None):
             # survive reset_stats(), so the profiled loop below shows the
             # trace-replay steady state rather than the recording pass
             machine.reset_stats()
-            return ParallelDynamicMSF(n, machine=machine), True
-        return ParallelDynamicMSF(n, audit="fast"), True
+            return ParallelDynamicMSF(n, machine=machine,
+                                      backend=backend), True
+        return ParallelDynamicMSF(n, audit="fast", backend=backend), True
     if engine == "sparsify":
         from repro.core.sparsify import SparsifiedMSF
-        return SparsifiedMSF(max(n, 2)), False
+        return SparsifiedMSF(max(n, 2), backend=backend), False
     raise ValueError(f"unknown engine {engine!r}")
 
 
@@ -173,6 +177,9 @@ def parse_args(argv=None) -> argparse.Namespace:
     parser.add_argument("--cold", action="store_true",
                         help="skip the engine-arena warm-up pass and "
                              "profile the cold build path instead")
+    parser.add_argument("--backend", choices=BACKENDS, default="scalar",
+                        help="execution backend to profile (columnar "
+                             "requires the repro[columnar] extra)")
     return parser.parse_args(argv)
 
 
@@ -193,8 +200,11 @@ def main(argv=None) -> int:
         print(f"error: steps must be >= 1, got {args.steps}", file=sys.stderr)
         return 2
     try:
-        eng, core_style = build(args.engine, args.n)
+        eng, core_style = build(args.engine, args.n, backend=args.backend)
     except ValueError as exc:  # unreachable via argparse choices; belt+braces
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ImportError as exc:  # BackendUnavailable without numpy
         print(f"error: {exc}", file=sys.stderr)
         return 2
     arena = "cold"
@@ -207,7 +217,7 @@ def main(argv=None) -> int:
         # cold DegreeReducer/ChunkSpace construction per node.
         workload(eng, core_style, args.n, args.steps)
         eng.release()
-        eng, core_style = build(args.engine, args.n)
+        eng, core_style = build(args.engine, args.n, backend=args.backend)
         arena = "warm"
     elif (not args.cold
           and getattr(getattr(eng, "machine", None), "audit", None) == "fast"):
@@ -219,7 +229,8 @@ def main(argv=None) -> int:
         # the recording pass.  ``--cold`` still attributes recording cost.
         workload(eng, core_style, args.n, args.steps,
                  adversarial=adversarial)
-        eng, core_style = build(args.engine, args.n, machine=eng.machine)
+        eng, core_style = build(args.engine, args.n, machine=eng.machine,
+                                backend=args.backend)
         arena = "warm"
     prof = cProfile.Profile()
     prof.enable()
@@ -227,17 +238,25 @@ def main(argv=None) -> int:
     prof.disable()
     stats = pstats.Stats(prof)
     stats.sort_stats(args.sort)
-    print(f"== {args.engine} engine, n={args.n}, {args.steps} updates "
-          f"({arena} arena): top functions by {args.sort} ==")
+    print(f"== {args.engine} engine ({args.backend} backend), n={args.n}, "
+          f"{args.steps} updates ({arena} arena): "
+          f"top functions by {args.sort} ==")
     stats.print_stats(args.limit)
     if args.output:
         prof.dump_stats(args.output)
         print(f"raw profile written to {args.output}")
     if args.json:
+        try:
+            import numpy
+            numpy_version = numpy.__version__
+        except ImportError:
+            numpy_version = None
         record = {
             "schema": JSON_SCHEMA,
             "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "engine": args.engine,
+            "backend": args.backend,
+            "numpy": numpy_version,
             "n": args.n,
             "steps": args.steps,
             "workload": "adversarial" if adversarial else "churn",

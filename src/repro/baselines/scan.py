@@ -17,7 +17,10 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pure-python fallback; see core._nplite
+    from ..core import _nplite as np  # type: ignore[no-redef]
 
 from ..core.chunks import ChunkSpace
 from ..core.fabric import Fabric
@@ -58,7 +61,10 @@ class _ScanFabric(Fabric):
 class ScanDynamicMSF(SparseDynamicMSF):
     """The paper's engine with the LSDS ablated (chunk-pair scans)."""
 
-    def _build_fabric(self, n_max, K, flavor, with_bt, ops) -> Fabric:
+    def _build_fabric(self, n_max, K, flavor, with_bt, ops,
+                      backend="scalar") -> Fabric:
+        # the scan baseline ablates the LSDS, so there is nothing for the
+        # columnar backend to accelerate; it always runs scalar
         return _ScanFabric(n_max, K, flavor=flavor, with_bt=with_bt, ops=ops)
 
     def _find_mwr(self, lu: EulerList, lv: EulerList) -> Optional[Edge]:

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pure-python fallback; see core._nplite
+    from . import _nplite as np  # type: ignore[no-redef]
 
 from ..reference.oracle import kruskal
 from ..structures import two_three_tree as tt

@@ -27,10 +27,15 @@ from __future__ import annotations
 import math
 from typing import Iterator, Optional
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pure-python fallback; see core._nplite
+    from . import _nplite as np  # type: ignore[no-redef]
 
 from ..analysis.counters import OpCounter
+from ..resilience import faults as _faults
 from ..structures import two_three_tree as tt
+from . import columnar
 from .model import INF_KEY, Edge, Key, Occurrence, Vertex
 
 __all__ = ["Chunk", "ChunkSpace", "default_K"]
@@ -115,7 +120,13 @@ class ChunkSpace:
 
     def __init__(self, n_max: int, K: Optional[int] = None, *,
                  flavor: str = "sequential", with_bt: bool = False,
-                 ops: Optional[OpCounter] = None) -> None:
+                 ops: Optional[OpCounter] = None,
+                 backend: str = "scalar") -> None:
+        if backend not in ("scalar", "columnar"):
+            raise ValueError(
+                f"backend must be 'scalar' or 'columnar', got {backend!r}")
+        if backend == "columnar":
+            columnar.require()
         self.n_max = n_max
         self.K = K if K is not None else default_K(n_max, flavor)
         # sum of n_c over id'd chunks <= 2n occurrences + 2m <= 3n endpoints
@@ -131,6 +142,17 @@ class ChunkSpace:
         self._free_ids = list(range(self.Jcap - 1, -1, -1))
         self.with_bt = with_bt
         self.ops = ops if ops is not None else OpCounter()
+        self.backend = backend
+        #: complex128 mirror of ``C`` (see core.columnar): dual-written at
+        #: every write site below; hot reads go numeric.  ``None`` on the
+        #: scalar backend -- every mirror touch is gated on that.
+        self.colm = (columnar.ColumnarMatrix(self.Jcap)
+                     if backend == "columnar" else None)
+        #: columnar LSDS aggregates are sequential-only: the parallel
+        #: engine's strict/recording PRAM programs register the object
+        #: aggregate vectors by identity, so its LSDS stays scalar and the
+        #: parallel columnar tier mirrors ``C`` (sweep diffs) + BT builds.
+        self.col_lsds = backend == "columnar" and flavor == "sequential"
         #: Per-column snapshots of ``C[:, j]`` as of the last column sweep
         #: that absorbed column ``j`` (trace-replay fast path only; see
         #: ``repro.core.par.kernels.column_sweep_kernel``).  Lazily
@@ -148,6 +170,8 @@ class ChunkSpace:
         window.
         """
         self.C.fill(INF_KEY)
+        if self.colm is not None:
+            self.colm.reset()
         self.chunk_of_id = [None] * self.Jcap
         self._free_ids = list(range(self.Jcap - 1, -1, -1))
         self.col_snap.clear()
@@ -188,6 +212,8 @@ class ChunkSpace:
         self.col_snap.clear()
         self.C[cid, :].fill(INF_KEY)
         self.C[:, cid].fill(INF_KEY)
+        if self.colm is not None:
+            self.colm.clear_row_col(cid)
         self.ops.charge("id_release", 2 * self.Jcap)
         self.chunk_of_id[cid] = None
         self._free_ids.append(cid)
@@ -205,23 +231,54 @@ class ChunkSpace:
 
     def rebuild_row(self, c: Chunk) -> None:
         """Recompute ``CAdj_c`` by scanning the <=3K edges touching ``c``
-        (Lemma 2.2), then mirror it into column ``id_c``."""
+        (Lemma 2.2), then mirror it into column ``id_c``.
+
+        Hot-loop hygiene (this O(K) scan dominates every fix_chunk): the
+        row is staged as a plain python list (object ndarray indexing per
+        edge was measurable), the ``edge_endpoints`` generator and the
+        ``is_principal`` / ``other()`` helpers are inlined via the
+        per-endpoint :class:`SideRec` replicas, and ``edge_scan`` is
+        charged once with the scan total (identical counter sums).
+        """
         assert c.id is not None
+        vals: list = [INF_KEY] * self.Jcap
+        scanned = 0
+        occ = c.head
+        tail = c.tail
+        while occ is not None:
+            vertex = occ.vertex
+            if vertex.pc is occ:
+                sides = vertex.sides
+                scanned += len(sides)
+                for s in sides:
+                    oc = s.far.pc.chunk  # type: ignore[union-attr]
+                    oid = oc.id
+                    if oid is not None and s.key < vals[oid]:
+                        vals[oid] = s.key
+            if occ is tail:
+                break
+            occ = occ.next
         row = self.C[c.id]
-        row.fill(INF_KEY)
+        row[:] = vals
         self.ops.charge("row_clear", self.Jcap)
-        for vertex, e in c.edge_endpoints():
-            other = e.other(vertex)
-            oc: Chunk = other.pc.chunk  # type: ignore[union-attr]
-            if oc.id is not None and e.key < row[oc.id]:
-                row[oc.id] = e.key
-            self.ops.charge("edge_scan")
+        self.ops.charge("edge_scan", scanned)
+        if self.colm is not None:
+            # one bulk conversion after the scan settles (per-improve
+            # dual writes paid a numpy scalar store per edge)
+            pairs = np.array(vals, dtype=np.float64)
+            crow = self.colm.CC[c.id]
+            crow.real = pairs[:, 0]
+            crow.imag = pairs[:, 1]
         self.mirror_column(c)
 
     def mirror_column(self, c: Chunk) -> None:
         """Set ``CAdj_{c'}[id_c] = CAdj_c[id_{c'}]`` for every chunk ``c'``."""
         assert c.id is not None
         self.C[:, c.id] = self.C[c.id]
+        if self.colm is not None:
+            self.colm.mirror_column(c.id)
+            if _faults.armed:
+                _faults.fire("columnar.col", space=self, cid=c.id)
         self.ops.charge("col_mirror", self.Jcap)
 
     def entry_update_insert(self, c1: Chunk, c2: Chunk, key: Key) -> None:
@@ -230,20 +287,38 @@ class ChunkSpace:
         if key < self.C[c1.id, c2.id]:
             self.C[c1.id, c2.id] = key
             self.C[c2.id, c1.id] = key
+            if self.colm is not None:
+                self.colm.set_entry(c1.id, c2.id, key)
         self.ops.charge("entry_update", 2)
 
     def entry_recompute_pair(self, c1: Chunk, c2: Chunk) -> None:
-        """Recompute the (c1, c2) entries by scanning c1's edges (deletion)."""
+        """Recompute the (c1, c2) entries by scanning c1's edges (deletion).
+
+        Same hot-loop treatment as :meth:`rebuild_row`: inlined endpoint
+        scan over the ``SideRec`` replicas, one batched ``edge_scan``
+        charge with the identical total.
+        """
         assert c1.id is not None and c2.id is not None
         best: Key = INF_KEY
-        for vertex, e in c1.edge_endpoints():
-            other = e.other(vertex)
-            oc: Chunk = other.pc.chunk  # type: ignore[union-attr]
-            if oc is c2 and e.key < best:
-                best = e.key
-            self.ops.charge("edge_scan")
+        scanned = 0
+        occ = c1.head
+        tail = c1.tail
+        while occ is not None:
+            vertex = occ.vertex
+            if vertex.pc is occ:
+                sides = vertex.sides
+                scanned += len(sides)
+                for s in sides:
+                    if s.far.pc.chunk is c2 and s.key < best:  # type: ignore[union-attr]
+                        best = s.key
+            if occ is tail:
+                break
+            occ = occ.next
+        self.ops.charge("edge_scan", scanned)
         self.C[c1.id, c2.id] = best
         self.C[c2.id, c1.id] = best
+        if self.colm is not None:
+            self.colm.set_entry(c1.id, c2.id, best)
         self.ops.charge("entry_update", 2)
 
     # -- occurrence plumbing (raw; Invariant-1 restoration is in maintenance) --
@@ -277,8 +352,9 @@ class ChunkSpace:
                 occ.chunk = c
                 occ.chunk_id = cid
                 count += 1
-                if occ.is_principal:
-                    n_edges += occ.vertex.degree()
+                vx = occ.vertex
+                if vx.pc is occ:  # inlined is_principal / degree()
+                    n_edges += len(vx.edges)
                 if occ is tail:
                     break
                 occ = occ.next
@@ -291,20 +367,33 @@ class ChunkSpace:
             tt_leaf = tt.leaf
             bt_leaves: list[tt.Node] = []
             append = bt_leaves.append
+            degs: Optional[list[int]] = [] if self.colm is not None else None
             occ = c.head
             while occ is not None:
                 occ.chunk = c
                 occ.chunk_id = cid
                 count += 1
-                deg = occ.vertex.degree() if occ.is_principal else 0
+                vx = occ.vertex
+                deg = len(vx.edges) if vx.pc is occ else 0
                 n_edges += deg
                 lf = tt_leaf(occ, agg=(1 + deg, deg))
                 occ.bt_leaf = lf
                 append(lf)
+                if degs is not None:
+                    degs.append(deg)
                 if occ is tail:
                     break
                 occ = occ.next
-            bt_root = tt.build_rightmost(bt_leaves, _bt_pull)
+            if degs is None or len(bt_leaves) < 2:
+                bt_root = tt.build_rightmost(bt_leaves, _bt_pull)
+            else:
+                # columnar: identical shape, aggregates summed level-at-a-
+                # time with np.add.reduceat instead of per-node _bt_pull
+                levels: list[list[tt.Node]] = []
+                bt_root = tt.build_rightmost(bt_leaves,
+                                             collect_levels=levels)
+                columnar.assign_level_aggs(
+                    levels, [1 + d for d in degs], degs)
         charge("occ_scan", count)
         c.count = count
         c.n_edges = n_edges

@@ -1,0 +1,96 @@
+"""Columnar execution tier: struct-of-array numpy kernels (ROADMAP 2).
+
+The third execution tier below trace-replay.  The scalar substrate stays
+authoritative -- object-dtype matrix ``C``, pointer 2-3 trees, chunk DLLs
+-- and this package maintains *numeric mirrors* of exactly the hot read
+paths, so bulk work (LSDS pulls, the MWR ``gamma`` argmin, column-sweep
+dirty diffs, bulk ``BT_c`` aggregate builds, tour splices) runs as a
+handful of vectorized numpy calls instead of per-element python dispatch.
+
+The load-bearing encoding: an edge key ``(weight, eid)`` maps to
+``complex(weight, eid)``.  Numpy orders ``complex128`` lexicographically
+(real part, then imaginary part), so ``np.minimum`` / ``np.argmin`` /
+``np.where`` over the complex mirror reproduce the object-tuple
+semantics *bit-identically* -- including first-index argmin tie-breaking
+and ``(inf, inf)`` sentinels (``INF_C`` must be built with
+``complex(inf, inf)``; ``inf * 1j`` would produce a NaN real part).
+Weights are floats and eids are integers well below 2**53, so the
+float64 round-trip is exact in both directions.
+
+Measurement neutrality is a hard contract (the same one the PR 4
+trace-replay tier obeys): every columnar path charges the op counters /
+PRAM depth+work exactly what its scalar twin charges, so forests, eid
+streams, ``state_fingerprint`` *and* counters are bit-identical across
+backends.  ``resilience.checks`` cross-validates mirror vs scalar state
+at the structural tier, and the ``columnar.col`` fault site lets the E11
+soak corrupt the mirror deliberately.
+
+numpy is optional (the ``repro[columnar]`` extra): without it the
+scalar backend runs on :mod:`repro.core._nplite` and any
+``backend="columnar"`` request raises
+:class:`~repro.resilience.errors.BackendUnavailable`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+try:
+    import numpy as _np
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+__all__ = [
+    "HAVE_NUMPY", "numpy_version", "require", "INF_C", "key_c",
+    "key_lt", "objectify_keys", "ColumnStore", "ColumnarMatrix",
+    "assign_level_aggs", "TourArray",
+]
+
+#: lexicographic infinity sentinel; mirrors ``model.INF_KEY == (inf, inf)``.
+#: Built with ``complex()`` -- ``float('inf') * 1j`` is ``nan+infj``.
+INF_C = complex(float("inf"), float("inf"))
+
+
+def numpy_version() -> Optional[str]:
+    """The backing numpy version, or ``None`` on the pure-python shim."""
+    return _np.__version__ if HAVE_NUMPY else None
+
+
+def require(feature: str = "backend='columnar'") -> None:
+    """Raise :class:`BackendUnavailable` unless real numpy is importable."""
+    if not HAVE_NUMPY:
+        from ...resilience.errors import BackendUnavailable
+        raise BackendUnavailable(feature, "numpy>=1.23", "columnar")
+
+
+def key_c(key) -> complex:
+    """Encode an edge key ``(weight, eid)`` as its complex mirror value."""
+    return complex(key[0], key[1])
+
+
+def key_lt(a: complex, b: complex) -> bool:
+    """Lexicographic ``<`` on two complex mirror scalars (host-side)."""
+    ar, br = a.real, b.real
+    if ar != br:
+        return ar < br
+    return a.imag < b.imag
+
+
+def objectify_keys(cadj):
+    """Materialize a complex mirror vector as object-dtype key tuples.
+
+    Used where scalar-contract consumers (the structural audit) need the
+    object representation of a columnar aggregate; eids come back as
+    floats, which compare equal to the original ints.
+    """
+    out = _np.empty(len(cadj), dtype=object)
+    out[:] = [(z.real, z.imag) for z in cadj.tolist()]
+    return out
+
+
+from .matrix import ColumnarMatrix  # noqa: E402
+from .store import ColumnStore  # noqa: E402
+from .tour import TourArray  # noqa: E402
+from .ttree import assign_level_aggs  # noqa: E402

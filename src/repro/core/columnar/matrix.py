@@ -1,0 +1,92 @@
+"""The complex128 mirror of the global chunk-adjacency matrix ``C``.
+
+``ChunkSpace`` keeps the object-dtype ``C`` authoritative (the strict
+PRAM kernels, the audit and the debug helpers all read it); when the
+columnar backend is on, every write site dual-writes this mirror, and
+the hot *read* paths -- LSDS pulls, the MWR ``gamma`` argmin, column
+sweeps -- consume the mirror with vectorized complex ufuncs.
+
+The mirror never participates in charging: it is an encoding of the same
+values, so the scalar path's op charges are applied verbatim.
+"""
+
+from __future__ import annotations
+
+from . import INF_C, require
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - mirror requires real numpy
+    np = None  # type: ignore[assignment]
+
+__all__ = ["ColumnarMatrix"]
+
+
+class ColumnarMatrix:
+    """``Jcap x Jcap`` complex mirror with the same view discipline as C."""
+
+    __slots__ = ("Jcap", "CC", "inf_row", "row_views")
+
+    def __init__(self, Jcap: int) -> None:
+        require("ColumnarMatrix")
+        self.Jcap = Jcap
+        self.CC = np.full((Jcap, Jcap), INF_C, dtype=np.complex128)
+        self.inf_row = np.full(Jcap, INF_C, dtype=np.complex128)
+        # stable row views, mirroring ChunkSpace.row_views
+        self.row_views = [self.CC[i] for i in range(Jcap)]
+
+    def reset(self) -> None:
+        """Contents back to all-infinity; buffer identity survives."""
+        self.CC.fill(INF_C)
+
+    # -- write-site mirrors (each matches one ChunkSpace write site) -------
+
+    def clear_row_col(self, cid: int) -> None:
+        self.CC[cid, :].fill(INF_C)
+        self.CC[:, cid].fill(INF_C)
+
+    def mirror_column(self, cid: int) -> None:
+        self.CC[:, cid] = self.CC[cid]
+
+    def set_entry(self, i: int, j: int, key) -> None:
+        z = complex(key[0], key[1])
+        self.CC[i, j] = z
+        self.CC[j, i] = z
+
+    def load_row_object(self, cid: int, obj_row) -> None:
+        """Resync one mirror row from the authoritative object row.
+
+        Used after a PRAM kernel wrote the object row directly (the
+        parallel engine's ``rebuild_row_kernel``), where per-entry
+        dual-writing is not possible.
+        """
+        # (w, eid) pairs land as a float (J, 2) block; writing through the
+        # real/imag views sidesteps inf * 1j -> nan+infj
+        pairs = np.array(obj_row.tolist(), dtype=np.float64)
+        row = self.CC[cid]
+        row.real = pairs[:, 0]
+        row.imag = pairs[:, 1]
+
+    # -- cross-validation ---------------------------------------------------
+
+    def verify_against(self, C, max_findings: int = 5) -> list[str]:
+        """Entrywise mirror-vs-authoritative comparison (structural tier).
+
+        Returns human-readable mismatch descriptions (empty = clean).
+        The comparison itself is exact: both encodings round-trip the
+        same float64 values.
+        """
+        out: list[str] = []
+        J = self.Jcap
+        expect = np.empty((J, J), dtype=np.complex128)
+        for i in range(J):
+            expect[i] = [complex(k[0], k[1]) for k in C[i].tolist()]
+        neq = self.CC != expect
+        if neq.any():
+            for i, j in zip(*np.nonzero(neq)):
+                out.append(
+                    f"columnar mirror C[{i},{j}] = {self.CC[i, j]} but "
+                    f"authoritative key is {C[i, j]!r}")
+                if len(out) >= max_findings:
+                    break
+        return out

@@ -1,0 +1,81 @@
+"""Preallocated, geometrically grown struct-of-array column storage.
+
+Columnar state lives in named parallel 1-D arrays over a shared logical
+length.  Growth doubles capacity (``amortized O(1)`` appends) and never
+shrinks -- mirroring how the engine arena reuses buffers across
+``reset()`` so hot loops stay allocation-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from . import require
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - store requires real numpy
+    np = None  # type: ignore[assignment]
+
+__all__ = ["ColumnStore"]
+
+_MIN_CAP = 16
+
+
+class ColumnStore:
+    """Named parallel columns with one shared length and doubling growth."""
+
+    def __init__(self, columns: dict[str, object], capacity: int = _MIN_CAP):
+        require("ColumnStore")
+        self._dtypes = dict(columns)
+        self._cap = max(_MIN_CAP, int(capacity))
+        self.n = 0
+        self.cols: dict[str, np.ndarray] = {
+            name: np.zeros(self._cap, dtype=dt)
+            for name, dt in self._dtypes.items()
+        }
+
+    @property
+    def capacity(self) -> int:
+        return self._cap
+
+    def __len__(self) -> int:
+        return self.n
+
+    def reserve(self, n: int) -> None:
+        """Grow capacity geometrically until at least ``n`` rows fit."""
+        if n <= self._cap:
+            return
+        cap = self._cap
+        while cap < n:
+            cap *= 2
+        for name, arr in self.cols.items():
+            grown = np.zeros(cap, dtype=arr.dtype)
+            grown[:self.n] = arr[:self.n]
+            self.cols[name] = grown
+        self._cap = cap
+
+    def resize(self, n: int) -> None:
+        """Set the logical length (growing storage when needed)."""
+        self.reserve(n)
+        self.n = n
+
+    def append_rows(self, **values: Iterable) -> slice:
+        """Bulk-append one batch of rows; returns the slice they landed in."""
+        arrays = {k: np.asarray(v) for k, v in values.items()}
+        counts = {len(a) for a in arrays.values()}
+        assert len(counts) == 1, "ragged append"
+        k = counts.pop()
+        start = self.n
+        self.resize(start + k)
+        for name, a in arrays.items():
+            self.cols[name][start:start + k] = a
+        return slice(start, start + k)
+
+    def clear(self) -> None:
+        """Logical reset; capacity (and buffer identity) is retained."""
+        self.n = 0
+
+    def view(self, name: str) -> np.ndarray:
+        """The live prefix of one column (length ``n``)."""
+        return self.cols[name][:self.n]

@@ -1,0 +1,173 @@
+"""Flat-array Euler tours: vectorized ``link_tour`` / ``cut_tour``.
+
+A struct-of-array mirror of the Euler-tour algebra shared by
+``repro.core.euler`` and ``repro.structures.ett``: each tree's tour is
+one flat ``int64`` array of *occurrence ids* (a side table maps ids to
+vertices), and the surgery is pure splice index arithmetic --
+
+* rotations and splices are ``np.concatenate`` of slices,
+* occurrence lookups are vectorized equality scans,
+* seam merges are single-position deletions,
+
+instead of per-occurrence pointer walks.  The algebra is replicated
+operation-for-operation (rotation to the designated occurrence, the
+``[.. u*] ++ [v* .. end_v] ++ [u_new ..]`` splice, active-preferring
+seam collapse, arc retargeting), so the produced occurrence sequences
+are element-identical to the pointer implementation's tours --
+``tests/core/test_columnar_differential.py`` pins this against
+:class:`repro.structures.ett.EulerTourForest` per operation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import require
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - requires real numpy
+    np = None  # type: ignore[assignment]
+
+__all__ = ["TourArray"]
+
+
+class TourArray:
+    """Euler-tour forest over ``0..n-1`` as flat occurrence-id arrays."""
+
+    def __init__(self, n: int) -> None:
+        require("TourArray")
+        self.n = n
+        #: occurrence id -> vertex; ids ``0..n-1`` are the active
+        #: (designated) occurrences, later ids are excursion copies
+        self.vertex_of: list[int] = list(range(n))
+        self._next_occ = n
+        #: vertex -> its tour array (trees share one array object)
+        self._tour_of: list[np.ndarray] = [
+            np.array([v], dtype=np.int64) for v in range(n)]
+        #: edge (u, v) normalized -> [arc_uv, arc_vu] as occ-id pairs
+        self._arcs: dict[tuple[int, int], list[tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------ lookups
+
+    def tour(self, v: int) -> np.ndarray:
+        return self._tour_of[v]
+
+    def tour_vertices(self, v: int) -> list[int]:
+        """The tour of ``v``'s tree as a vertex sequence (for differential
+        comparison against the pointer implementation)."""
+        vo = self.vertex_of
+        return [vo[o] for o in self._tour_of[v].tolist()]
+
+    def connected(self, u: int, v: int) -> bool:
+        return self._tour_of[u] is self._tour_of[v]
+
+    def _retag(self, arr: np.ndarray) -> None:
+        """Point every member vertex of ``arr`` at its (new) tour array."""
+        vo = self.vertex_of
+        tof = self._tour_of
+        for o in arr.tolist():
+            tof[vo[o]] = arr
+
+    def _pos(self, arr: np.ndarray, occ: int) -> int:
+        """Vectorized index of occurrence ``occ`` in ``arr``."""
+        hits = np.nonzero(arr == occ)[0]
+        assert len(hits) == 1, "occurrence ids are unique per tour"
+        return int(hits[0])
+
+    @staticmethod
+    def _key(u: int, v: int) -> tuple[int, int]:
+        return (u, v) if u < v else (v, u)
+
+    def _retarget(self, old: tuple[int, int], new: tuple[int, int]) -> None:
+        x, y = old
+        arcs = self._arcs[self._key(self.vertex_of[x], self.vertex_of[y])]
+        for i, arc in enumerate(arcs):
+            if arc == old:
+                arcs[i] = new
+                return
+        raise AssertionError("arc bookkeeping corrupted")
+
+    # ------------------------------------------------------------ surgery
+
+    def link(self, u: int, v: int) -> None:
+        """Join the trees of ``u`` and ``v``: the vectorized
+        ``link_tour`` splice ``[.. u*] ++ [v* .. end_v] ++ [u_new ..]``."""
+        assert not self.connected(u, v)
+        tu, tv = self._tour_of[u], self._tour_of[v]
+        u_star, v_star = u, v  # active occurrence ids == vertex ids
+        # 1. rotate Euler(T_v) to start at v*
+        iv = self._pos(tv, v_star)
+        if iv:
+            tv = np.concatenate((tv[iv:], tv[:iv]))
+        # 2. close the excursion with a fresh occurrence of v
+        end_v = v_star
+        if len(tv) > 1:
+            old_tail = int(tv[-1])
+            v_new = self._next_occ
+            self._next_occ += 1
+            self.vertex_of.append(v)
+            tv = np.concatenate((tv, np.array([v_new], dtype=np.int64)))
+            self._retarget((old_tail, v_star), (old_tail, v_new))
+            end_v = v_new
+        # 3. fresh occurrence of u resuming the host tour
+        u_new: Optional[int] = None
+        if len(tu) > 1:
+            iu = self._pos(tu, u_star)
+            succ = int(tu[(iu + 1) % len(tu)])
+            u_new = self._next_occ
+            self._next_occ += 1
+            self.vertex_of.append(u)
+            self._retarget((u_star, succ), (u_new, succ))
+            merged = np.concatenate((
+                tu[:iu + 1], tv,
+                np.array([u_new], dtype=np.int64), tu[iu + 1:]))
+        else:
+            merged = np.concatenate((tu, tv))
+        self._arcs[self._key(u, v)] = [
+            (u_star, v_star),
+            (end_v, u_new if u_new is not None else u_star)]
+        self._retag(merged)
+
+    def cut(self, u: int, v: int) -> None:
+        """Remove tree edge ``(u, v)``: rotate to ``[b_v .. a_u]``, split
+        after ``c_v``, collapse both seams (active occurrence preferred)."""
+        arc_uv, arc_vu = self._arcs.pop(self._key(u, v))
+        a_u, b_v = arc_uv
+        c_v, d_u = arc_vu
+        t = self._tour_of[self.vertex_of[a_u]]
+        # 1. rotate so arc_uv becomes the wrap: list = [b_v ... a_u]
+        ia = self._pos(t, a_u)
+        if ia != len(t) - 1:
+            t = np.concatenate((t[ia + 1:], t[:ia + 1]))
+        # 2. split after c_v
+        jc = self._pos(t, c_v)
+        t_v, t_u = t[:jc + 1], t[jc + 1:]
+        # 3. seam merges (drop the non-active boundary occurrence)
+        if a_u != d_u:
+            drop = d_u if a_u == self.vertex_of[a_u] else a_u
+            keep = a_u if drop == d_u else d_u
+            t_u = np.delete(t_u, self._pos(t_u, drop))
+            self._seam_retarget(t_u, keep, drop, drop_is_head=(drop == d_u))
+        if b_v != c_v:
+            drop = c_v if b_v == self.vertex_of[b_v] else b_v
+            keep = b_v if drop == c_v else c_v
+            t_v = np.delete(t_v, self._pos(t_v, drop))
+            self._seam_retarget(t_v, keep, drop, drop_is_head=(drop == b_v))
+        self._retag(t_u)
+        self._retag(t_v)
+
+    def _seam_retarget(self, arr: np.ndarray, keep: int, drop: int,
+                       drop_is_head: bool) -> None:
+        """Repoint the one arc that referenced the dropped occurrence.
+
+        After the deletion, ``keep`` sits exactly where the seam was, so
+        its cyclic neighbour on the dropped side is the arc partner.
+        """
+        i = self._pos(arr, keep)
+        if drop_is_head:
+            nxt = int(arr[(i + 1) % len(arr)])
+            self._retarget((drop, nxt), (keep, nxt))
+        else:
+            prev = int(arr[i - 1])
+            self._retarget((prev, drop), (prev, keep))

@@ -1,0 +1,45 @@
+"""Vectorized level-at-a-time 2-3-tree aggregate construction.
+
+``tt.build_rightmost`` produces, per level, a deterministic partition of
+the previous level into runs of 2 or 3 kids (the rightmost-insertion
+template).  The scalar path computes each internal ``(units, edges)``
+aggregate with a per-node python sum (``_bt_pull``); here the whole
+level's sums come from one ``np.add.reduceat`` per column, and the
+per-node work is a single tuple assignment.  Shapes are untouched --
+only the aggregate arithmetic is batched -- so ``getEdge`` descent
+depth/work stays bit-identical.
+"""
+
+from __future__ import annotations
+
+from . import require
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - requires real numpy
+    np = None  # type: ignore[assignment]
+
+__all__ = ["assign_level_aggs"]
+
+
+def assign_level_aggs(levels, units, edges) -> None:
+    """Fill ``node.agg = (units, edges)`` for every internal node.
+
+    ``levels`` is the list of per-level node lists collected by
+    ``tt.build_rightmost(..., collect_levels=...)`` (height 1 first);
+    ``units`` / ``edges`` are the int64 leaf aggregate columns in leaf
+    order.  Aggregates are assigned as python ints, exactly matching
+    ``_bt_pull``'s incremental results.
+    """
+    require("assign_level_aggs")
+    u = np.asarray(units, dtype=np.int64)
+    e = np.asarray(edges, dtype=np.int64)
+    for level in levels:
+        sizes = np.fromiter((len(nd.kids) for nd in level),
+                            dtype=np.int64, count=len(level))
+        offsets = np.zeros(len(level), dtype=np.int64)
+        np.cumsum(sizes[:-1], out=offsets[1:])
+        u = np.add.reduceat(u, offsets)
+        e = np.add.reduceat(e, offsets)
+        for node, nu, ne in zip(level, u.tolist(), e.tolist()):
+            node.agg = (nu, ne)

@@ -86,7 +86,8 @@ class DegreeReducer:
 
     def __init__(self, n: int, max_edges: Optional[int] = None, *,
                  engine_factory=None, K: Optional[int] = None,
-                 ops: Optional[OpCounter] = None) -> None:
+                 ops: Optional[OpCounter] = None,
+                 backend: str = "scalar") -> None:
         # Per-instance edge-id counter.  A class-level counter would draw
         # ids in *global* call order, so the sparsification tree's
         # host-parallel batch executor (repro.serve) would hand each node's
@@ -106,7 +107,7 @@ class DegreeReducer:
             # construction cost that dominated the sparsified facade's E9
             # wall time (accounting stays identical -- see seq_msf).
             self.core = SparseDynamicMSF(n_core, K=K, ops=ops,
-                                         lazy_vertices=True)
+                                         lazy_vertices=True, backend=backend)
         else:
             self.core = engine_factory(n_core)
         self._pool = list(range(n_core - 1, n - 1, -1))  # free gadget ids

@@ -34,9 +34,10 @@ class Fabric:
 
     def __init__(self, n_max: int, K: Optional[int] = None, *,
                  flavor: str = "sequential", with_bt: bool = False,
-                 ops: Optional[OpCounter] = None) -> None:
+                 ops: Optional[OpCounter] = None,
+                 backend: str = "scalar") -> None:
         self.space = ChunkSpace(n_max, K, flavor=flavor, with_bt=with_bt,
-                                ops=ops)
+                                ops=ops, backend=backend)
         self.registry = ListRegistry(self.space)
         self.pull = self.registry.pull
 

@@ -44,6 +44,14 @@ class DynamicMSF:
         reducer's gadget pool); ignored when ``sparsify=True``.
     K:
         chunk-size override (experiments E7/E8); default per engine flavor.
+    backend:
+        ``"scalar"`` -- object-array kernels (default, no dependencies);
+        ``"columnar"`` -- numpy struct-of-array kernels for the hot paths
+        (requires the ``repro[columnar]`` extra).  Forests, edge-id
+        streams, op counters and PRAM depth/work are bit-identical across
+        backends; only wall-clock changes.  Raises
+        :class:`repro.resilience.errors.BackendUnavailable` when numpy is
+        absent.
 
     Examples
     --------
@@ -61,25 +69,31 @@ class DynamicMSF:
 
     def __init__(self, n: int, *, engine: str = "sequential",
                  sparsify: bool = False, max_edges: Optional[int] = None,
-                 K: Optional[int] = None) -> None:
+                 K: Optional[int] = None, backend: str = "scalar") -> None:
         # raised (not asserted): public entry-point validation must survive
         # `python -O`, where bare asserts vanish
         if engine not in ("sequential", "parallel"):
             raise ValueError(
                 f"engine must be 'sequential' or 'parallel', got {engine!r}")
+        if backend not in ("scalar", "columnar"):
+            raise ValueError(
+                f"backend must be 'scalar' or 'columnar', got {backend!r}")
         self.n = n
         self.engine_kind = engine
         self.sparsified = sparsify
+        self.backend = backend
         if sparsify:
             self._impl = SparsifiedMSF(n, K=K,
-                                       parallel=(engine == "parallel"))
+                                       parallel=(engine == "parallel"),
+                                       backend=backend)
         elif engine == "parallel":
             from .par import ParallelDynamicMSF
             self._impl = DegreeReducer(
                 n, max_edges,
-                engine_factory=lambda nc: ParallelDynamicMSF(nc, K=K))
+                engine_factory=lambda nc: ParallelDynamicMSF(
+                    nc, K=K, backend=backend))
         else:
-            self._impl = DegreeReducer(n, max_edges, K=K)
+            self._impl = DegreeReducer(n, max_edges, K=K, backend=backend)
 
     def release(self) -> None:
         """Retire this structure, returning pooled resources to the arena.

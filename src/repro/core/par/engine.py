@@ -49,9 +49,16 @@ class ParChunkSpace(ChunkSpace):
 
     def rebuild_row(self, c: Chunk) -> None:
         kn.rebuild_row_kernel(self.machine, self, c)
+        if self.colm is not None:
+            # the kernel wrote the object row/column directly; resync the
+            # complex mirror wholesale (no per-entry dual-write sites here)
+            self.colm.load_row_object(c.id, self.C[c.id])
+            self.colm.mirror_column(c.id)
 
     def entry_recompute_pair(self, c1: Chunk, c2: Chunk) -> None:
         kn.entry_pair_kernel(self.machine, self, c1, c2)
+        if self.colm is not None:
+            self.colm.set_entry(c1.id, c2.id, self.C[c1.id, c2.id])
 
     def entry_update_insert(self, c1, c2, key) -> None:
         super().entry_update_insert(c1, c2, key)
@@ -99,10 +106,11 @@ class ParFabric(Fabric):
     """Fabric with analytic charges for the structural (p_1) phases."""
 
     def __init__(self, machine: Machine, n_max: int, K: Optional[int] = None,
-                 *, ops: Optional[OpCounter] = None) -> None:
+                 *, ops: Optional[OpCounter] = None,
+                 backend: str = "scalar") -> None:
         self.machine = machine
         self.space = ParChunkSpace(machine, n_max, K, flavor="parallel",
-                                   with_bt=True, ops=ops)
+                                   with_bt=True, ops=ops, backend=backend)
         self.registry = ParListRegistry(machine, self.space)
         self.pull = self.registry.pull
 
@@ -148,15 +156,18 @@ class ParallelDynamicMSF(SparseDynamicMSF):
     def __init__(self, n_max: int, K: Optional[int] = None, *,
                  machine: Optional[Machine] = None, strict: bool = True,
                  audit: Optional[str] = None, impl: str = "onepass",
-                 ops: Optional[OpCounter] = None) -> None:
+                 ops: Optional[OpCounter] = None,
+                 backend: str = "scalar") -> None:
         self.machine = machine if machine is not None else Machine(
             strict=strict, audit=audit, impl=impl)
         self.update_stats: list[KernelStats] = []
         self._measuring = False
-        super().__init__(n_max, K, flavor="parallel", with_bt=True, ops=ops)
+        super().__init__(n_max, K, flavor="parallel", with_bt=True, ops=ops,
+                         backend=backend)
 
-    def _build_fabric(self, n_max, K, flavor, with_bt, ops) -> Fabric:
-        return ParFabric(self.machine, n_max, K, ops=ops)
+    def _build_fabric(self, n_max, K, flavor, with_bt, ops,
+                      backend) -> Fabric:
+        return ParFabric(self.machine, n_max, K, ops=ops, backend=backend)
 
     def _zero_measurements(self) -> None:
         """Arena reset: also restore the PRAM measurement state.

@@ -27,7 +27,10 @@ import itertools
 import math
 from typing import Optional
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # pure-python fallback; see core._nplite
+    from .. import _nplite as np  # type: ignore[no-redef]
 
 from ...pram.machine import KernelStats, Machine, Nop, Read, Write
 from ...structures import two_three_tree as tt
@@ -744,10 +747,11 @@ def column_sweep_kernel(machine: Machine, space: ChunkSpace,
         # refresh the dirty-tracking snapshot so the next replay hit can
         # propagate only genuinely-changed entries
         snap = space.col_snap.get(j)
+        fresh = _snap_col(space, j)
         if snap is None:
-            space.col_snap[j] = space.C[:, j].copy()
+            space.col_snap[j] = fresh.copy()
         else:
-            snap[:] = space.C[:, j]
+            snap[:] = fresh
         return stats
     return machine.run(progs, label="col_sweep")
 
@@ -768,6 +772,19 @@ def _sweep_direct(space: ChunkSpace, node: tt.Node, j: int):
     node.agg[0][j] = val
     node.agg[1][j] = memb
     return val, memb
+
+
+def _snap_col(space: ChunkSpace, j: int):
+    """The dirty-tracking view of column ``j``.
+
+    With the columnar backend on, the snapshot/diff runs over the complex
+    mirror column (a float compare per entry) instead of the object column
+    (a python tuple compare per entry); the mirror is dual-written at every
+    C write site, so the two columns dirty identically.
+    """
+    if space.colm is not None:
+        return space.colm.CC[:, j]
+    return space.C[:, j]
 
 
 def _sweep_incremental(space: ChunkSpace, tall: list[tt.Node], j: int) -> None:
@@ -792,7 +809,7 @@ def _sweep_incremental(space: ChunkSpace, tall: list[tt.Node], j: int) -> None:
     stats are unaffected either way (the replay plan charges the recorded
     kernel cost).
     """
-    col = space.C[:, j]
+    col = _snap_col(space, j)
     snap = space.col_snap.get(j)
     if snap is None:
         # first absorb of this column: full recompute, then snapshot

@@ -96,8 +96,10 @@ class SparseDynamicMSF:
     def __init__(self, n_max: int, K: Optional[int] = None, *,
                  flavor: str = "sequential", with_bt: bool = False,
                  ops: Optional[OpCounter] = None,
-                 lazy_vertices: bool = False) -> None:
+                 lazy_vertices: bool = False,
+                 backend: str = "scalar") -> None:
         self.n_max = n_max
+        self.backend = backend
         # Per-instance edge-id source: a class-level counter (the old code)
         # made auto-assigned eids depend on every engine ever constructed
         # in the process, breaking cross-instance determinism.
@@ -106,7 +108,8 @@ class SparseDynamicMSF:
         # Bound once: the parallel subclass sets ``machine`` before calling
         # super().__init__; the per-materialization getattr is hoisted here.
         self._machine = getattr(self, "machine", None)
-        self.fabric = self._build_fabric(n_max, K, flavor, with_bt, self.ops)
+        self.fabric = self._build_fabric(n_max, K, flavor, with_bt, self.ops,
+                                         backend)
         self.lct = LinkCutForest()
         self.edges: dict[int, Edge] = {}
         self.tree_edges: set[Edge] = set()
@@ -130,9 +133,11 @@ class SparseDynamicMSF:
                 self.fabric.new_singleton_list(vx)
                 self.vertices.append(vx)
 
-    def _build_fabric(self, n_max, K, flavor, with_bt, ops) -> Fabric:
+    def _build_fabric(self, n_max, K, flavor, with_bt, ops,
+                      backend) -> Fabric:
         """Hook: the parallel engine substitutes kernel-backed components."""
-        return Fabric(n_max, K, flavor=flavor, with_bt=with_bt, ops=ops)
+        return Fabric(n_max, K, flavor=flavor, with_bt=with_bt, ops=ops,
+                      backend=backend)
 
     def reset(self) -> None:
         """Restore the engine to its just-constructed state **in place**.

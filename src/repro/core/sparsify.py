@@ -204,7 +204,8 @@ class _Node:
     def __init__(self, level: int, arange: tuple[int, int],
                  brange: tuple[int, int], K: Optional[int],
                  parallel: bool = False,
-                 pool: Optional[EnginePool] = None) -> None:
+                 pool: Optional[EnginePool] = None,
+                 backend: str = "scalar") -> None:
         self.level = level
         self.arange = arange
         self.brange = brange
@@ -212,7 +213,9 @@ class _Node:
             n_local = arange[1] - arange[0]
         else:
             n_local = (arange[1] - arange[0]) + (brange[1] - brange[0])
-        self.pool_key = (n_local, K, parallel)
+        # backend participates in the arena key: a recycled scalar engine
+        # must never serve a columnar tree (and vice versa)
+        self.pool_key = (n_local, K, parallel, backend)
         engine = pool.acquire(self.pool_key) if pool is not None else None
         if engine is not None:
             self.engine = engine  # reset-at-release: pristine by invariant
@@ -220,10 +223,11 @@ class _Node:
             from .par import ParallelDynamicMSF
             self.engine = DegreeReducer(
                 n_local, max_edges=3 * n_local + 8,
-                engine_factory=lambda nc: ParallelDynamicMSF(nc, K=K))
+                engine_factory=lambda nc: ParallelDynamicMSF(
+                    nc, K=K, backend=backend))
         else:
             self.engine = DegreeReducer(n_local, max_edges=3 * n_local + 8,
-                                        K=K)
+                                        K=K, backend=backend)
 
     def depth_total(self) -> int:
         """Measured machine depth accumulated by this node (parallel mode)."""
@@ -342,7 +346,8 @@ class SparsifiedMSF:
 
     def __init__(self, n: int, K: Optional[int] = None, *,
                  parallel: bool = False,
-                 pool: Optional[EnginePool] = default_pool) -> None:
+                 pool: Optional[EnginePool] = default_pool,
+                 backend: str = "scalar") -> None:
         if n < 2:  # raised, not asserted: survives `python -O`
             raise ValueError(f"need at least 2 vertices, got n={n}")
         # Per-instance edge-id counter (a class-level counter would make
@@ -353,6 +358,7 @@ class SparsifiedMSF:
         self.n = n
         self.K = K
         self.parallel = parallel
+        self.backend = backend
         #: engine arena; ``None`` disables pooling entirely.  The shared
         #: default pool is inert until some tree calls :meth:`release`.
         self._pool = pool
@@ -420,7 +426,7 @@ class SparsifiedMSF:
             is_leaf = ra[1] - ra[0] == 1 and rb[1] - rb[0] == 1
             node = (_Leaf() if is_leaf and level > 0
                     else _Node(level, ra, rb, self.K, parallel=self.parallel,
-                               pool=self._pool))
+                               pool=self._pool, backend=self.backend))
             self.nodes[key] = node
         return node
 

@@ -222,6 +222,16 @@ def _audit_core(core, level: str) -> list[Finding]:
     except Exception as exc:  # noqa: BLE001 - corrupted structures
         out.append(Finding(
             "reducer", f"structural audit crashed: {exc!r}", level))
+    # columnar backend: the complex128 mirror must agree entrywise with
+    # the authoritative object matrix (catches a torn dual-write, e.g.
+    # the seeded ``columnar.col`` fault)
+    space = getattr(getattr(core, "fabric", None), "space", None)
+    colm = getattr(space, "colm", None)
+    if colm is not None:
+        def mirror_agrees() -> None:
+            for msg in colm.verify_against(space.C):
+                out.append(Finding("columnar", msg, level))
+        _guard(out, "columnar", level, mirror_agrees)
     return out
 
 
@@ -384,6 +394,13 @@ def check_core(core, level: str = "cheap") -> list[Finding]:
         audit(core)
 
     _guard(out, "core", level, full_audit)
+    space = getattr(getattr(core, "fabric", None), "space", None)
+    colm = getattr(space, "colm", None)
+    if colm is not None:
+        def mirror_agrees() -> None:
+            for msg in colm.verify_against(space.C):
+                out.append(Finding("columnar", msg, level))
+        _guard(out, "columnar", level, mirror_agrees)
     machine = getattr(core, "machine", None)
     if machine is not None:
         out.extend(check_machine(machine, level))

@@ -18,6 +18,11 @@ catch one base class and still discriminate:
     the recovery ladder ran out of options (e.g. a rebuilt engine failed
     its differential verification again, or the bisection could not
     isolate a poisoned op).
+``BackendUnavailable``
+    an optional execution backend was requested without its dependency
+    (``backend="columnar"`` needs the ``repro[columnar]`` extra).
+    Subclasses ``ImportError`` so generic dependency-guard call sites
+    keep working unchanged.
 """
 
 from __future__ import annotations
@@ -27,6 +32,7 @@ __all__ = [
     "CorruptionError",
     "UnknownEdgeError",
     "QuarantineExhausted",
+    "BackendUnavailable",
 ]
 
 
@@ -79,3 +85,15 @@ class QuarantineExhausted(ReproError):
     def __init__(self, message: str, *, attempts: int = 0):
         super().__init__(message)
         self.attempts = attempts
+
+
+class BackendUnavailable(ReproError, ImportError):
+    """An optional execution backend's dependency is not installed."""
+
+    def __init__(self, backend: str, requirement: str, extra: str):
+        super().__init__(
+            f"backend {backend!r} requires {requirement}; install it via "
+            f"`pip install repro[{extra}]` or pick backend='scalar'")
+        self.backend = backend
+        self.requirement = requirement
+        self.extra = extra

@@ -212,6 +212,28 @@ def _corrupt_sparsify_weight(param: int, ctx: dict) -> Optional[dict]:
     return {"detail": f"incremental msf weight += {delta}"}
 
 
+def _corrupt_columnar_col(param: int, ctx: dict) -> Optional[dict]:
+    """Skew one entry of the columnar complex mirror of matrix ``C``.
+
+    Fired from ``ChunkSpace.mirror_column`` (a write site every surgery
+    passes through).  The authoritative object matrix is left intact, so
+    the corruption is only observable through columnar reads -- exactly
+    the desync the structural-tier array-vs-scalar cross-validation
+    (``checks``) and the full audit (via columnar LSDS aggregates) must
+    detect.
+    """
+    space = ctx.get("space")
+    colm = getattr(space, "colm", None)
+    if colm is None:
+        return None
+    cid = ctx.get("cid")
+    j = cid if cid is not None else param % colm.Jcap
+    i = param % colm.Jcap
+    delta = complex(0.5 + param % 3, 0.0)
+    colm.CC[i, j] += delta
+    return {"detail": f"columnar mirror C[{i},{j}] += {delta}"}
+
+
 def _kill_cluster_worker(param: int, ctx: dict) -> Optional[dict]:
     """SIGKILL one live worker of a sharded serving cluster.
 
@@ -251,6 +273,9 @@ SITES: dict[str, tuple[str, Callable[[int, dict], Optional[dict]]]] = {
     "sparsify.weight": (
         "skew the sparsification tree's incremental MSF weight",
         _corrupt_sparsify_weight),
+    "columnar.col": (
+        "skew one entry of the columnar complex mirror of matrix C",
+        _corrupt_columnar_col),
     "cluster.worker": (
         "SIGKILL one live worker process of a sharded serving cluster",
         _kill_cluster_worker),

@@ -194,16 +194,24 @@ def run_campaign(seed: int, *, engine: str = "sequential",
                  sites: Optional[list[str]] = None,
                  horizon: Optional[int] = None,
                  workload: str = "default", shards: int = 4,
-                 cross_fraction: float = 0.05) -> dict:
+                 cross_fraction: float = 0.05,
+                 backend: str = "scalar") -> dict:
     """One seeded soak campaign; returns the JSON-able report.
 
     ``workload`` selects the op stream: ``"default"`` is the classic
     uniform churn/read mix of :func:`generate_ops`; ``"worker_mix"`` is
     the sharded serving profile (clustered vertex ranges, ``shards`` /
-    ``cross_fraction`` knobs) via :func:`worker_mix_ops`.
+    ``cross_fraction`` knobs) via :func:`worker_mix_ops`.  ``backend``
+    selects the engine kernels; ``"columnar"`` adds the mirror-tearing
+    ``columnar.col`` site to the default schedule (detected by the
+    structural tier's array-vs-scalar cross-validation).
     """
-    sites = (SITES_BY_CONFIG[(engine, sparsify)]
-             if sites is None else list(sites))
+    if sites is None:
+        sites = list(SITES_BY_CONFIG[(engine, sparsify)])
+        if backend == "columnar":
+            sites.append("columnar.col")
+    else:
+        sites = list(sites)
     if workload == "worker_mix":
         ops = worker_mix_ops(seed, n, n_ops, shards=shards,
                              cross_fraction=cross_fraction)
@@ -217,7 +225,7 @@ def run_campaign(seed: int, *, engine: str = "sequential",
         label=f"{engine}/{'sparse' if sparsify else 'flat'}/seed={seed}")
 
     front = BatchedMSF(n, engine=engine, sparsify=sparsify,
-                       batch_size=batch_size, pool_size=1)
+                       batch_size=batch_size, pool_size=1, backend=backend)
     oracle = KruskalOracle()
     detections: list[dict] = []
     recovery_costs: list[int] = []
@@ -320,7 +328,7 @@ def run_campaign(seed: int, *, engine: str = "sequential",
 
     # clean twin: identical op stream, never armed
     twin = BatchedMSF(n, engine=engine, sparsify=sparsify,
-                      batch_size=batch_size, pool_size=1)
+                      batch_size=batch_size, pool_size=1, backend=backend)
     for op in ops:
         if op[0] == "ins":
             twin.insert_edge(op[1], op[2], op[3])
@@ -344,7 +352,7 @@ def run_campaign(seed: int, *, engine: str = "sequential",
         "config": {"engine": engine, "sparsify": sparsify, "n": n,
                    "n_ops": n_ops, "batch_size": batch_size,
                    "check_every": check_every, "sites": sites,
-                   "workload": workload,
+                   "workload": workload, "backend": backend,
                    **({"shards": shards, "cross_fraction": cross_fraction}
                       if workload == "worker_mix" else {})},
         "faults": plan.report(),

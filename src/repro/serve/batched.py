@@ -62,6 +62,10 @@ class BatchedMSF:
         :meth:`flush` for an explicit read-your-writes barrier.  This is
         the read-heavy serving configuration (ROADMAP's
         "millions of users" goal) and what ``bench_serve.py`` measures.
+    backend:
+        ``"scalar"`` (default) or ``"columnar"``, forwarded to the
+        backend engines as in :class:`repro.DynamicMSF`; bit-identical
+        op streams either way.
     """
 
     def __init__(self, n: int, *, engine: str = "sequential",
@@ -69,7 +73,8 @@ class BatchedMSF:
                  pool_size: Optional[int] = None,
                  consistency: str = "strong",
                  K: Optional[int] = None,
-                 max_edges: Optional[int] = None) -> None:
+                 max_edges: Optional[int] = None,
+                 backend: str = "scalar") -> None:
         # raised (not asserted): public entry-point validation must survive
         # `python -O`
         if engine not in ("sequential", "parallel"):
@@ -81,11 +86,15 @@ class BatchedMSF:
                 f"got {consistency!r}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if backend not in ("scalar", "columnar"):
+            raise ValueError(
+                f"backend must be 'scalar' or 'columnar', got {backend!r}")
         self.consistency = consistency
         self.n = n
         self.engine_kind = engine
         self.sparsified = sparsify
         self.batch_size = batch_size
+        self.backend = backend
         self._K = K
         self._max_edges = max_edges
         if sparsify:
@@ -112,14 +121,18 @@ class BatchedMSF:
         """Construct a fresh backend engine (also used by recovery)."""
         if self.sparsified:
             return SparsifiedMSF(self.n, K=self._K,
-                                 parallel=(self.engine_kind == "parallel"))
+                                 parallel=(self.engine_kind == "parallel"),
+                                 backend=self.backend)
         if self.engine_kind == "parallel":
             from ..core.par import ParallelDynamicMSF
             K = self._K
+            bk = self.backend
             return DegreeReducer(
                 self.n, self._max_edges,
-                engine_factory=lambda nc: ParallelDynamicMSF(nc, K=K))
-        return DegreeReducer(self.n, self._max_edges, K=self._K)
+                engine_factory=lambda nc: ParallelDynamicMSF(
+                    nc, K=K, backend=bk))
+        return DegreeReducer(self.n, self._max_edges, K=self._K,
+                             backend=self.backend)
 
     # ------------------------------------------------------------- updates
 

@@ -343,7 +343,8 @@ def insert_first(root: Optional[Node], new_leaf: Node, pull: Pull = _noop_pull) 
     return _fix_overflow(p, pull)
 
 
-def build_rightmost(leaves: list[Node], pull: Pull = _noop_pull) -> Optional[Node]:
+def build_rightmost(leaves: list[Node], pull: Pull = _noop_pull, *,
+                    collect_levels: Optional[list] = None) -> Optional[Node]:
     """Build, in O(n), the exact tree that inserting ``leaves`` left to
     right with :func:`insert_after` (each after the current last leaf)
     would produce.
@@ -357,6 +358,12 @@ def build_rightmost(leaves: list[Node], pull: Pull = _noop_pull) -> Optional[Nod
     aggregates, so the final aggregates match the incremental
     construction's.  ``tests/structures`` pins shape *and* aggregate
     equality against the incremental build.
+
+    When ``collect_levels`` is a list, each internal level's node list
+    (height 1 first, left to right) is appended to it and ``pull`` is
+    *not* called -- the caller batches the aggregate computation itself
+    (the columnar backend's level-at-a-time ``np.add.reduceat`` path).
+    Shapes are identical either way.
 
     The bulk path matters because ``ChunkSpace.adopt_occurrences``
     rebuilds each chunk's ``BT_c`` from scratch on every chunk surgery:
@@ -385,8 +392,11 @@ def build_rightmost(leaves: list[Node], pull: Pull = _noop_pull) -> Optional[Nod
                 c.parent = node
                 c.pos = p
                 p += 1
-            pull(node)
+            if collect_levels is None:
+                pull(node)
             nxt.append(node)
+        if collect_levels is not None:
+            collect_levels.append(nxt)
         level = nxt
         h += 1
     return level[0]

@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip(
+    "numpy", reason="asserts real-numpy dtype/view semantics; the "
+    "no-numpy build runs the scalar engine on the _nplite shim",
+    exc_type=ImportError)
 
 from repro.core.chunks import ChunkSpace, default_K
 from repro.core.lsds import node_cadj, node_memb

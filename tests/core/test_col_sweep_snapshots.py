@@ -16,8 +16,11 @@ reproducer) with a differential validator on every incremental sweep.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip(
+    "numpy", reason="drives the par kernels' numpy column snapshots",
+    exc_type=ImportError)
 
 from repro.core.par import kernels as KN
 from repro.pram.machine import Machine

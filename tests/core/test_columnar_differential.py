@@ -1,0 +1,249 @@
+"""Differential suite for the columnar execution backend (PR 7).
+
+The columnar backend's contract is *bit-identity*: for any op stream,
+``backend="columnar"`` must produce the same forests, edge-id streams,
+``msf_weight``, op-counter totals, PRAM depth/work and facade
+``state_fingerprint`` as the scalar path -- only wall clock may differ.
+This suite pins the contract with seeded fuzz across the workload
+family and engine configurations, pins the vectorized substrate pieces
+(``build_rightmost`` level aggregation, ``TourArray``) against their
+scalar twins, and covers the no-numpy degradation path.
+"""
+
+from __future__ import annotations
+
+import random
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+np = pytest.importorskip(
+    "numpy", reason="the columnar backend needs the repro[columnar] extra",
+    exc_type=ImportError)
+
+from repro.core.chunks import _bt_pull
+from repro.core.columnar import ttree as cttree
+from repro.core.columnar.tour import TourArray
+from repro.core.msf import DynamicMSF
+from repro.core.par import ParallelDynamicMSF
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.resilience.checks import state_fingerprint
+from repro.structures import two_three_tree as tt
+from repro.structures.ett import EulerTourForest
+from repro.workloads import adversarial_cuts, churn, drive, query_mix, \
+    worker_mix
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+# --------------------------------------------------------------- facades
+
+def _stream_for(workload: str, n: int, steps: int, seed: int) -> list:
+    if workload == "churn":
+        return list(churn(n, steps, seed=seed))
+    if workload == "query_mix":
+        return list(query_mix(n, steps, read_ratio=0.6, seed=seed))
+    assert workload == "worker_mix"
+    return list(worker_mix(n, steps, shards=4, cross_fraction=0.1,
+                           read_ratio=0.3, seed=seed))
+
+
+@pytest.mark.parametrize("workload", ["churn", "query_mix", "worker_mix"])
+@pytest.mark.parametrize("n", [64, 256, 512])
+def test_facade_fuzz_bit_identity(workload: str, n: int) -> None:
+    """Seeded fuzz: the sparsified facade under both backends replays the
+    same stream to identical read results, eid streams, forests, weights
+    and fingerprints."""
+    steps = 80 if n >= 256 else 120
+    ops = _stream_for(workload, n, steps, seed=n + 13)
+    outs = []
+    for backend in ("scalar", "columnar"):
+        eng = DynamicMSF(n, sparsify=True, backend=backend)
+        s = drive(eng, ops)
+        outs.append((
+            s.results,                       # every intermediate read
+            sorted(s.eids.items()),          # eid assignment stream
+            tuple(sorted(eng.msf_ids())),
+            round(eng.msf_weight(), 9),
+            state_fingerprint(eng._impl),
+        ))
+        assert eng.self_check("structural") == []
+        eng.release()
+    assert outs[0] == outs[1]
+
+
+@pytest.mark.parametrize("engine", ["sequential", "parallel"])
+def test_facade_engines_identical(engine: str) -> None:
+    n = 48
+    ops = _stream_for("churn", n, 100, seed=3)
+    outs = []
+    for backend in ("scalar", "columnar"):
+        eng = DynamicMSF(n, engine=engine, sparsify=False, backend=backend)
+        s = drive(eng, ops)
+        outs.append((s.results, sorted(s.eids.items()),
+                     tuple(sorted(eng.msf_ids())),
+                     round(eng.msf_weight(), 9),
+                     state_fingerprint(eng._impl)))
+    assert outs[0] == outs[1]
+
+
+# ------------------------------------------------------------ bare cores
+
+def test_seq_core_counters_and_mirror() -> None:
+    """Charged op-counter totals are bit-identical (batched columnar
+    charges must sum to the scalar per-call totals), and the complex
+    mirror agrees entrywise with the object matrix afterwards."""
+    n = 128
+    ops = list(churn(n, 150, seed=9, max_degree=3))
+    outs = []
+    engines = []
+    for backend in ("scalar", "columnar"):
+        eng = SparseDynamicMSF(n, K=4, backend=backend)
+        handles = {}
+        for idx, op in enumerate(ops):
+            if op[0] == "ins":
+                _t, u, v, w = op
+                handles[idx] = eng.insert_edge(u, v, w, eid=10_000 + idx)
+            else:
+                eng.delete_edge(handles.pop(op[1]))
+        outs.append((dict(eng.ops.counts),
+                     tuple(sorted(e.eid for e in eng.msf_edges())),
+                     round(eng.msf_weight(), 9)))
+        engines.append(eng)
+    assert outs[0] == outs[1]
+    colm = engines[1].fabric.space.colm
+    assert colm is not None
+    assert colm.verify_against(engines[1].fabric.space.C) == []
+    assert engines[0].fabric.space.colm is None  # scalar engines carry none
+
+
+def test_parallel_core_depth_work_identical() -> None:
+    """PRAM depth/work are *model* quantities: the columnar backend may
+    not change them by even one unit, per update or in total."""
+    n = 64
+    ops = list(adversarial_cuts(n, 3, seed=3))
+    outs = []
+    for backend in ("scalar", "columnar"):
+        eng = ParallelDynamicMSF(n, audit="fast", backend=backend)
+        handles = {}
+        for idx, op in enumerate(ops):
+            if op[0] == "ins":
+                _t, u, v, w = op
+                handles[idx] = eng.insert_edge(u, v, w, eid=10_000 + idx)
+            else:
+                eng.delete_edge(handles.pop(op[1]))
+        outs.append((
+            [(s.depth, s.work) for s in eng.update_stats],
+            (eng.machine.total.depth, eng.machine.total.work),
+            tuple(sorted(e.eid for e in eng.msf_edges())),
+            round(eng.msf_weight(), 9),
+        ))
+    assert outs[0] == outs[1]
+
+
+# ------------------------------------------------- vectorized substrate
+
+def _shape_of(root) -> list:
+    """Per-level kid-count lists, top-down (leaves excluded)."""
+    shape = []
+    cur = [root]
+    while cur and not cur[0].is_leaf:
+        shape.append([len(nd.kids) for nd in cur])
+        cur = [k for nd in cur for k in nd.kids]
+    return shape
+
+
+@pytest.mark.parametrize("n_leaves", list(range(1, 41)))
+def test_build_rightmost_levels_shape_and_aggs(n_leaves: int) -> None:
+    """Exhaustive small-n equality of the columnar bulk build: same tree
+    shape as the scalar ``build_rightmost`` and the same ``(units,
+    edges)`` aggregate on every internal node."""
+    rng = random.Random(n_leaves)
+    degs = [rng.randrange(4) for _ in range(n_leaves)]
+
+    scalar_leaves = [tt.leaf(i, agg=(1 + d, d)) for i, d in enumerate(degs)]
+    scalar_root = tt.build_rightmost(scalar_leaves, _bt_pull)
+
+    col_leaves = [tt.leaf(i, agg=(1 + d, d)) for i, d in enumerate(degs)]
+    levels: list = []
+    col_root = tt.build_rightmost(col_leaves, collect_levels=levels)
+    if n_leaves >= 2:
+        cttree.assign_level_aggs(levels, [1 + d for d in degs], degs)
+
+    assert _shape_of(scalar_root) == _shape_of(col_root)
+    for a, b in zip(tt.iter_nodes(scalar_root), tt.iter_nodes(col_root)):
+        assert a.agg == b.agg
+        assert type(a.agg[0]) is type(b.agg[0])  # python ints, not np
+
+
+def _ett_tour(f: EulerTourForest, v: int) -> list[int]:
+    return [lf.item.vertex for lf in tt.iter_leaves(f.tree_root(v))]
+
+
+@pytest.mark.parametrize("seed", list(range(30)))
+def test_tour_array_matches_ett(seed: int) -> None:
+    """200 random link/cut ops: the flat-array tours stay element-
+    identical to the pointer ETT's occurrence sequences throughout."""
+    n = 24
+    rng = random.Random(seed)
+    ta = TourArray(n)
+    f = EulerTourForest(n)
+    edges: dict[tuple[int, int], object] = {}
+    for _ in range(200):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in edges:
+            f.cut(edges.pop(key))
+            ta.cut(u, v)
+        elif not f.connected(u, v):
+            edges[key] = f.link(u, v)
+            ta.link(u, v)
+        else:
+            continue
+        assert ta.connected(u, v) == f.connected(u, v)
+        assert ta.tour_vertices(u) == _ett_tour(f, u)
+        assert ta.tour_vertices(v) == _ett_tour(f, v)
+    for w in range(n):
+        assert ta.tour_vertices(w) == _ett_tour(f, w)
+
+
+# -------------------------------------------------- no-numpy degradation
+
+def test_bad_backend_rejected() -> None:
+    with pytest.raises(ValueError, match="backend"):
+        DynamicMSF(4, backend="simd")
+
+
+def test_backend_unavailable_without_numpy(tmp_path) -> None:
+    """Without numpy the scalar backend keeps working and the columnar
+    backend raises ``BackendUnavailable`` (an ImportError naming the
+    extra) -- exercised in a subprocess with numpy shadowed out."""
+    shim = tmp_path / "numpy.py"
+    shim.write_text("raise ImportError('numpy disabled for this test')\n")
+    code = (
+        "from repro.core.msf import DynamicMSF\n"
+        "from repro.resilience.errors import BackendUnavailable\n"
+        "m = DynamicMSF(8, sparsify=True)\n"
+        "e1 = m.insert_edge(0, 1, 1.0); e2 = m.insert_edge(1, 2, 2.0)\n"
+        "assert m.connected(0, 2) and m.msf_weight() == 3.0\n"
+        "m.delete_edge(e1)\n"
+        "assert not m.connected(0, 2)\n"
+        "try:\n"
+        "    DynamicMSF(8, backend='columnar')\n"
+        "except BackendUnavailable as exc:\n"
+        "    assert 'columnar' in str(exc)\n"
+        "else:\n"
+        "    raise SystemExit('BackendUnavailable not raised')\n"
+        "print('NO-NUMPY-OK')\n"
+    )
+    env_path = f"{tmp_path}:{REPO_ROOT / 'src'}"
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert "NO-NUMPY-OK" in proc.stdout

@@ -5,7 +5,11 @@ from __future__ import annotations
 import math
 import random
 
-import numpy as np
+import pytest
+
+np = pytest.importorskip(
+    "numpy", reason="kernel twins compare against real-numpy reductions",
+    exc_type=ImportError)
 
 from repro.core.model import INF_KEY
 from repro.core.par import kernels as kn

@@ -60,6 +60,18 @@ absolute gates, enforced in both modes: the pair must be
 because the backends' relative speed at the gated sizes (~1x; see
 EXPERIMENTS.md E9) is far inside committed-baseline cross-host noise.
 
+PR 8 adds the compiled execution backend: a ``facade-compiled`` row
+(the sparsified facade with ``backend="compiled"``, skipped with an
+attributable reason when the native extension is not built), the
+``seq-core-wide`` row -- the PR 7 wide-Jcap probe (n=2048, K=16,
+Jcap ~ 640) promoted from an EXPERIMENTS.md footnote to a gated row,
+replayed under ``adversarial_cuts`` because tree-edge deletions are
+what drive the column sweeps and MWR scans the native kernels cover --
+and a ``compiled`` section holding a paired scalar/compiled replay of
+the gated rows.  Gates (both modes): bit-identity everywhere, the
+:data:`COMPILED_RATIO_FLOOR` on the small rows, and a hard
+:data:`COMPILED_WIDE_MIN` (2x) same-run speedup on ``seq-core-wide``.
+
 ``--check`` re-measures and compares against the most recent committed
 ``BENCH_*.json``: ``updates_per_s`` may not drop more than ``--tolerance``
 (default 15%), and the model quantities ``depth``/``work`` -- which are
@@ -90,7 +102,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
-SCHEMA = "bench-regression/v3"
+SCHEMA = "bench-regression/v4"
 
 
 def host_meta() -> dict:
@@ -135,6 +147,10 @@ FULL = {
                               workload="churn", steps=60),
     "facade-columnar": dict(kind="facade-sparsified", n=256,
                             workload="churn", steps=60, backend="columnar"),
+    "facade-compiled": dict(kind="facade-sparsified", n=256,
+                            workload="churn", steps=60, backend="compiled"),
+    "seq-core-wide": dict(kind="seq-core", n=2048, K=16,
+                          workload="adversarial", rounds=1),
     "facade-batched": dict(kind="facade-batched", n=256,
                            workload="query-mix", steps=1200,
                            read_ratio=0.8, batch=64),
@@ -156,6 +172,10 @@ QUICK = {
                               workload="churn", steps=40),
     "facade-columnar": dict(kind="facade-sparsified", n=128,
                             workload="churn", steps=40, backend="columnar"),
+    "facade-compiled": dict(kind="facade-sparsified", n=128,
+                            workload="churn", steps=40, backend="compiled"),
+    "seq-core-wide": dict(kind="seq-core", n=512, K=16,
+                          workload="adversarial", rounds=1),
     "facade-batched": dict(kind="facade-batched", n=128,
                            workload="query-mix", steps=400,
                            read_ratio=0.8, batch=64),
@@ -309,11 +329,17 @@ def _build(spec: dict, machine=None):
             # from the audit-ladder skip)
             return None, (f"backend={backend} needs numpy (repro[columnar] "
                           f"extra not installed; {_arena_state()})"), None
+    if backend == "compiled":
+        from repro.core import compiled as _compiled
+        if not _compiled.HAVE_COMPILED:
+            return None, (f"backend={backend} needs the native extension "
+                          f"(python -m repro.core.compiled.build; "
+                          f"{_arena_state()})"), None
     if kind == "structures":
         return _TTDriver(n), False, None
     if kind == "seq-core":
         from repro.core.seq_msf import SparseDynamicMSF
-        eng = SparseDynamicMSF(n, backend=backend)
+        eng = SparseDynamicMSF(n, K=spec.get("K"), backend=backend)
         return eng, True, None
     if kind == "par-core":
         import inspect
@@ -810,6 +836,114 @@ def columnar_failures(rows) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
+# compiled backend equivalence (PR 8)
+# ---------------------------------------------------------------------------
+
+#: rows replayed under both backends; every pair must be bit-identical
+#: and the wide-Jcap row must clear the hard 2x speedup bar
+COMPILED_ROWS = ("facade-sparsified", "parallel-core-fast", "seq-core-wide")
+#: compiled/scalar floor on the *small* gated rows: at n<=512 the native
+#: kernels' wins are offset by per-call mirror upkeep, so these rows gate
+#: bit-identity plus catastrophe (same rationale as the columnar floor)
+COMPILED_RATIO_FLOOR = 0.5
+#: hard same-run speedup bar on ``seq-core-wide``: the deletion-heavy
+#: wide-Jcap shape is *the* regime the compiled tier exists for (column
+#: sweeps over every long list plus MWR gamma/argmin scans, all Theta(J)
+#: python loops under the scalar backend), so a compiled tier that fails
+#: 2x here is not pulling its weight.  Measured ~4.7x on the dev host;
+#: see EXPERIMENTS.md E9.
+COMPILED_WIDE_MIN = 2.0
+
+
+def measure_compiled_equivalence(specs: dict, engines=None):
+    """Paired scalar/compiled replay: bit-identity plus same-run ratio.
+
+    The compiled twin of :func:`measure_columnar_equivalence` -- fresh
+    engine per backend, identical op stream, best-of-N in the same
+    process so the recorded ratio carries no cross-host noise.  Returns
+    None (section omitted) when the native extension is not built.
+    """
+    from repro.core import compiled as _compiled
+    if not _compiled.HAVE_COMPILED:
+        print(f"  skipped: native extension not built "
+              f"(python -m repro.core.compiled.build; {_arena_state()})")
+        return None
+    rows: dict[str, dict] = {}
+    for name in COMPILED_ROWS:
+        spec = specs.get(name)
+        if spec is None or (engines and name not in engines):
+            continue
+        ops = _ops_for(spec)
+        arms: dict[str, dict] = {}
+        for backend in ("scalar", "compiled"):
+            bspec = dict(spec, backend=backend)
+            engine, core_style, machine = _build(bspec)
+            t0 = time.perf_counter()
+            _replay(engine, ops, core_style)
+            dt = time.perf_counter() - t0
+            sig = _equiv_signature(engine, core_style)
+            _release(engine)
+            runs = 1
+            while (dt * runs < 0.5 or runs < 2) and runs < 4:
+                fresh, cs2, _m = _build(bspec, machine=machine)
+                t0 = time.perf_counter()
+                _replay(fresh, ops, cs2)
+                d = time.perf_counter() - t0
+                _release(fresh)
+                runs += 1
+                if d < dt:
+                    dt = d
+            arms[backend] = {"seconds": dt, "signature": sig, "runs": runs}
+        identical = (arms["scalar"]["signature"]
+                     == arms["compiled"]["signature"])
+        ratio = arms["scalar"]["seconds"] / arms["compiled"]["seconds"]
+        rows[name] = {
+            "n": spec["n"],
+            "workload": spec["workload"],
+            "updates": len(ops),
+            "scalar_updates_per_s": round(
+                len(ops) / arms["scalar"]["seconds"], 2),
+            "compiled_updates_per_s": round(
+                len(ops) / arms["compiled"]["seconds"], 2),
+            "compiled_speedup": round(ratio, 3),
+            "bit_identical": identical,
+        }
+        print(f"  {name:<22} n={spec['n']:<5} scalar "
+              f"{len(ops) / arms['scalar']['seconds']:10.1f} upd/s  "
+              f"compiled {len(ops) / arms['compiled']['seconds']:10.1f} "
+              f"upd/s  ratio {ratio:5.2f}x  identical={identical}")
+    return rows
+
+
+def compiled_failures(rows) -> list[str]:
+    """Absolute gates for the compiled section (both modes): bit-identity
+    on every row, the catastrophe floor on the small rows, and the hard
+    :data:`COMPILED_WIDE_MIN` speedup on the wide-Jcap row."""
+    if rows is None:  # extension absent: nothing measured, nothing gated
+        return []
+    failures: list[str] = []
+    for name, row in rows.items():
+        if not row["bit_identical"]:
+            failures.append(
+                f"{name}: compiled backend diverged from scalar "
+                f"(forests/weight/fingerprint/depth/work must be "
+                f"bit-identical)")
+        if name == "seq-core-wide":
+            if row["compiled_speedup"] < COMPILED_WIDE_MIN:
+                failures.append(
+                    f"{name}: compiled/scalar ratio "
+                    f"{row['compiled_speedup']}x < {COMPILED_WIDE_MIN}x "
+                    f"bar (same-run pair; the wide-Jcap deletion shape "
+                    f"is the compiled tier's acceptance regime)")
+        elif row["compiled_speedup"] < COMPILED_RATIO_FLOOR:
+            failures.append(
+                f"{name}: compiled/scalar ratio "
+                f"{row['compiled_speedup']}x < {COMPILED_RATIO_FLOOR}x "
+                f"floor (same-run pair)")
+    return failures
+
+
+# ---------------------------------------------------------------------------
 # baseline lookup and comparison
 # ---------------------------------------------------------------------------
 
@@ -869,8 +1003,8 @@ def main(argv=None) -> int:
                     help="allowed relative regression (default 0.15)")
     ap.add_argument("--engines", nargs="*", default=None,
                     help="restrict to these engine names")
-    ap.add_argument("-o", "--out", default=str(REPO_ROOT / "BENCH_PR7.json"),
-                    help="output file (default BENCH_PR7.json)")
+    ap.add_argument("-o", "--out", default=str(REPO_ROOT / "BENCH_PR8.json"),
+                    help="output file (default BENCH_PR8.json)")
     args = ap.parse_args(argv)
 
     out_path = Path(args.out)
@@ -901,6 +1035,12 @@ def main(argv=None) -> int:
     if columnar_rows is not None:
         result["columnar"] = columnar_rows
     over += columnar_failures(columnar_rows)
+    print("== compiled backend (bit-identity + same-run ratio) ==")
+    compiled_rows = measure_compiled_equivalence(
+        QUICK if args.quick else FULL, args.engines)
+    if compiled_rows is not None:
+        result["compiled"] = compiled_rows
+    over += compiled_failures(compiled_rows)
 
     if args.check:
         base_path = latest_baseline()

@@ -116,6 +116,27 @@ def run_soak(profile: str, base_seed: int, *, engines=None,
                       f"masked={report['n_masked']} "
                       f"wrong={report['wrong_answers']} "
                       f"sites={report['sites_hit']}")
+    # the compiled backend adds the mirror-tearing ``compiled.kernel``
+    # site; only runs when the native extension is built
+    if (engines is None or "sequential" in engines) and sparsify in (
+            None, True):
+        from repro.core import compiled as _compiled
+        if not _compiled.HAVE_COMPILED:
+            print("  compiled/sparse       skipped: native extension "
+                  "not built")
+        else:
+            for s in range(prof["seeds"]):
+                report = run_campaign(base_seed + s, engine="sequential",
+                                      sparsify=True, backend="compiled",
+                                      **prof["seq"])
+                campaigns.append(report)
+                verdict = "ok" if report["ok"] else "FAIL"
+                print(f"  {'compiled/sparse':20s} seed={base_seed + s}: "
+                      f"{verdict}  injected={report['n_injected']} "
+                      f"detected={report['n_detected']} "
+                      f"masked={report['n_masked']} "
+                      f"wrong={report['wrong_answers']} "
+                      f"sites={report['sites_hit']}")
     elapsed = time.perf_counter() - t0
     n_ok = sum(1 for c in campaigns if c["ok"])
     agg = {

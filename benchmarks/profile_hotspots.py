@@ -6,7 +6,7 @@ Usage:
                                           [--sort {cumulative,tottime}]
                                           [--limit N] [-o FILE]
                                           [--json FILE] [--cold]
-                                          [--backend {scalar,columnar}]
+                                          [--backend {scalar,columnar,compiled}]
 
 engine: seq | par | par-fast | sparsify   (default seq, n=1024, steps=300)
 (also accepted flag-style: ``--engine par-fast``, the CI spelling)
@@ -49,7 +49,7 @@ import time
 
 ENGINES = ("seq", "par", "par-fast", "sparsify")
 
-BACKENDS = ("scalar", "columnar")
+BACKENDS = ("scalar", "columnar", "compiled")
 
 JSON_SCHEMA = "hotspot-attribution/v2"
 
@@ -179,7 +179,8 @@ def parse_args(argv=None) -> argparse.Namespace:
                              "profile the cold build path instead")
     parser.add_argument("--backend", choices=BACKENDS, default="scalar",
                         help="execution backend to profile (columnar "
-                             "requires the repro[columnar] extra)")
+                             "requires the repro[columnar] extra; compiled "
+                             "requires the built native extension)")
     return parser.parse_args(argv)
 
 

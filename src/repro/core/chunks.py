@@ -35,7 +35,7 @@ except ImportError:  # pure-python fallback; see core._nplite
 from ..analysis.counters import OpCounter
 from ..resilience import faults as _faults
 from ..structures import two_three_tree as tt
-from . import columnar
+from . import columnar, compiled
 from .model import INF_KEY, Edge, Key, Occurrence, Vertex
 
 __all__ = ["Chunk", "ChunkSpace", "default_K"]
@@ -122,11 +122,13 @@ class ChunkSpace:
                  flavor: str = "sequential", with_bt: bool = False,
                  ops: Optional[OpCounter] = None,
                  backend: str = "scalar") -> None:
-        if backend not in ("scalar", "columnar"):
-            raise ValueError(
-                f"backend must be 'scalar' or 'columnar', got {backend!r}")
+        if backend not in ("scalar", "columnar", "compiled"):
+            raise ValueError(f"backend must be 'scalar', 'columnar' or "
+                             f"'compiled', got {backend!r}")
         if backend == "columnar":
             columnar.require()
+        elif backend == "compiled":
+            compiled.require()
         self.n_max = n_max
         self.K = K if K is not None else default_K(n_max, flavor)
         # sum of n_c over id'd chunks <= 2n occurrences + 2m <= 3n endpoints
@@ -148,11 +150,24 @@ class ChunkSpace:
         #: scalar backend -- every mirror touch is gated on that.
         self.colm = (columnar.ColumnarMatrix(self.Jcap)
                      if backend == "columnar" else None)
+        #: flat float64 mirror of ``C`` (see core.compiled): the native
+        #: kernels' traversal substrate, dual-written at the same sites as
+        #: ``colm``.  ``None`` unless ``backend == "compiled"``.
+        self.compm = (compiled.CompiledMatrix(self.Jcap)
+                      if backend == "compiled" else None)
         #: columnar LSDS aggregates are sequential-only: the parallel
         #: engine's strict/recording PRAM programs register the object
         #: aggregate vectors by identity, so its LSDS stays scalar and the
         #: parallel columnar tier mirrors ``C`` (sweep diffs) + BT builds.
         self.col_lsds = backend == "columnar" and flavor == "sequential"
+        #: same sequential-only split for the compiled tier: under it the
+        #: LSDS aggregates become flat (bytearray) buffers the kernels walk
+        #: directly; the parallel flavor keeps object aggregates (PRAM
+        #: identity registration) and compiles the host-side twins instead.
+        self.comp_lsds = backend == "compiled" and flavor == "sequential"
+        #: non-BT adoption scan: the one hot loop compiled wholesale
+        self._adopt = (compiled.kernels.adopt_scan
+                       if backend == "compiled" else None)
         #: Per-column snapshots of ``C[:, j]`` as of the last column sweep
         #: that absorbed column ``j`` (trace-replay fast path only; see
         #: ``repro.core.par.kernels.column_sweep_kernel``).  Lazily
@@ -172,6 +187,8 @@ class ChunkSpace:
         self.C.fill(INF_KEY)
         if self.colm is not None:
             self.colm.reset()
+        if self.compm is not None:
+            self.compm.reset()
         self.chunk_of_id = [None] * self.Jcap
         self._free_ids = list(range(self.Jcap - 1, -1, -1))
         self.col_snap.clear()
@@ -214,6 +231,8 @@ class ChunkSpace:
         self.C[:, cid].fill(INF_KEY)
         if self.colm is not None:
             self.colm.clear_row_col(cid)
+        if self.compm is not None:
+            self.compm.clear_row_col(cid)
         self.ops.charge("id_release", 2 * self.Jcap)
         self.chunk_of_id[cid] = None
         self._free_ids.append(cid)
@@ -241,7 +260,22 @@ class ChunkSpace:
         charged once with the scan total (identical counter sums).
         """
         assert c.id is not None
-        vals: list = [INF_KEY] * self.Jcap
+        if self.compm is not None:
+            # the whole Lemma 2.2 scan runs in C: the kernel writes the
+            # flat mirror row directly and returns the sparse (oid, key)
+            # minima holding the *original* key objects, so the
+            # authoritative object row never round-trips through float64.
+            pairs, scanned = compiled.kernels.rebuild_row_scan(
+                c.head, c.tail, self.compm.buf, self.Jcap, c.id)
+            vals = [INF_KEY] * self.Jcap
+            for oid, key in pairs:
+                vals[oid] = key
+            self.C[c.id][:] = vals
+            self.ops.charge("row_clear", self.Jcap)
+            self.ops.charge("edge_scan", scanned)
+            self.mirror_column(c)
+            return
+        vals = [INF_KEY] * self.Jcap
         scanned = 0
         occ = c.head
         tail = c.tail
@@ -279,6 +313,10 @@ class ChunkSpace:
             self.colm.mirror_column(c.id)
             if _faults.armed:
                 _faults.fire("columnar.col", space=self, cid=c.id)
+        if self.compm is not None:
+            self.compm.mirror_column(c.id)
+            if _faults.armed:
+                _faults.fire("compiled.kernel", space=self, cid=c.id)
         self.ops.charge("col_mirror", self.Jcap)
 
     def entry_update_insert(self, c1: Chunk, c2: Chunk, key: Key) -> None:
@@ -289,6 +327,8 @@ class ChunkSpace:
             self.C[c2.id, c1.id] = key
             if self.colm is not None:
                 self.colm.set_entry(c1.id, c2.id, key)
+            if self.compm is not None:
+                self.compm.set_entry(c1.id, c2.id, key)
         self.ops.charge("entry_update", 2)
 
     def entry_recompute_pair(self, c1: Chunk, c2: Chunk) -> None:
@@ -319,6 +359,8 @@ class ChunkSpace:
         self.C[c2.id, c1.id] = best
         if self.colm is not None:
             self.colm.set_entry(c1.id, c2.id, best)
+        if self.compm is not None:
+            self.compm.set_entry(c1.id, c2.id, best)
         self.ops.charge("entry_update", 2)
 
     # -- occurrence plumbing (raw; Invariant-1 restoration is in maintenance) --
@@ -343,21 +385,25 @@ class ChunkSpace:
         tail = c.tail
         charge = self.ops.charge
         if not self.with_bt:
-            # Hot-loop hygiene: the sequential engine takes this branch on
-            # every Invariant-1 fix; the per-occurrence ``with_bt`` test,
-            # attribute re-lookups and the generator frame of
-            # ``occ_iter_between`` are hoisted out of the O(K) scan.
-            occ = c.head
-            while occ is not None:
-                occ.chunk = c
-                occ.chunk_id = cid
-                count += 1
-                vx = occ.vertex
-                if vx.pc is occ:  # inlined is_principal / degree()
-                    n_edges += len(vx.edges)
-                if occ is tail:
-                    break
-                occ = occ.next
+            if self._adopt is not None:
+                # compiled: the whole stamp-and-count walk in one C call
+                count, n_edges = self._adopt(c.head, tail, c, cid)
+            else:
+                # Hot-loop hygiene: the sequential engine takes this branch
+                # on every Invariant-1 fix; the per-occurrence ``with_bt``
+                # test, attribute re-lookups and the generator frame of
+                # ``occ_iter_between`` are hoisted out of the O(K) scan.
+                occ = c.head
+                while occ is not None:
+                    occ.chunk = c
+                    occ.chunk_id = cid
+                    count += 1
+                    vx = occ.vertex
+                    if vx.pc is occ:  # inlined is_principal / degree()
+                        n_edges += len(vx.edges)
+                    if occ is tail:
+                        break
+                    occ = occ.next
         else:
             # Bulk O(K) construction: ``tt.build_rightmost`` produces the
             # exact shape (and aggregates) of the old insert-after loop
@@ -367,7 +413,8 @@ class ChunkSpace:
             tt_leaf = tt.leaf
             bt_leaves: list[tt.Node] = []
             append = bt_leaves.append
-            degs: Optional[list[int]] = [] if self.colm is not None else None
+            degs: Optional[list[int]] = ([] if self.colm is not None
+                                         or self.compm is not None else None)
             occ = c.head
             while occ is not None:
                 occ.chunk = c
@@ -387,13 +434,17 @@ class ChunkSpace:
             if degs is None or len(bt_leaves) < 2:
                 bt_root = tt.build_rightmost(bt_leaves, _bt_pull)
             else:
-                # columnar: identical shape, aggregates summed level-at-a-
-                # time with np.add.reduceat instead of per-node _bt_pull
+                # columnar/compiled: identical shape, aggregates summed
+                # level-at-a-time (np.add.reduceat or the C kernel)
+                # instead of per-node _bt_pull
                 levels: list[list[tt.Node]] = []
                 bt_root = tt.build_rightmost(bt_leaves,
                                              collect_levels=levels)
-                columnar.assign_level_aggs(
-                    levels, [1 + d for d in degs], degs)
+                units = [1 + d for d in degs]
+                if self.compm is not None:
+                    compiled.kernels.bt_level_aggs(levels, units, degs)
+                else:
+                    columnar.assign_level_aggs(levels, units, degs)
         charge("occ_scan", count)
         c.count = count
         c.n_edges = n_edges

@@ -1,0 +1,1235 @@
+/* Compiled hot-loop kernels for the repro dynamic-MSF substrate.
+ *
+ * The scalar engine's measured inner loops -- the (weight, eid) tuple-min
+ * LSDS pulls and column sweeps, the MWR gamma/argmin, the chunk adoption
+ * scan, BT level aggregation and the DegreeReducer change-log walk -- are
+ * reimplemented here against flat float64 buffers and the engine's own
+ * python objects.  No numpy (or any third-party) dependency: buffers are
+ * plain bytearrays of interleaved (weight, eid) doubles, and structure
+ * walks use the generic C API over the 2-3-tree / occurrence objects.
+ *
+ * Contract (the same one the columnar tier obeys): every kernel computes
+ * the *bit-identical* result of its scalar twin -- lexicographic strict-<
+ * with leftmost-wins ties, value (not bitwise) equality in change
+ * detection, first-index argmin -- and never charges counters itself;
+ * the python wrappers charge exactly what the scalar path charges.
+ *
+ * Layout conventions:
+ *   - a "key buffer" is a bytearray of 16-byte entries [w0,e0,w1,e1,...];
+ *     the flat matrix is row-major with rows of Jcap entries, so entry
+ *     (i, j) lives at double offset 2*(i*Jcap + j);
+ *   - a "memb buffer" is a bytearray of 0/1 bytes;
+ *   - LSDS leaf rows are *not* duplicated: leaves read the matrix row of
+ *     their chunk id, and their Memb row is the synthesized one-hot.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#include <math.h>
+#include <string.h>
+
+/* interned attribute names (module init) */
+static PyObject *s_kids, *s_height, *s_agg, *s_item, *s_id,
+    *s_next, *s_chunk, *s_chunk_id, *s_vertex, *s_pc, *s_edges,
+    *s_root, *s_sides, *s_far, *s_key;
+
+#define KEY_LT(w1, e1, w2, e2) ((w1) < (w2) || ((w1) == (w2) && (e1) < (e2)))
+
+/* ------------------------------------------------------------------ utils */
+
+static double *
+keybuf(PyObject *obj, const char *who)
+{
+    if (!PyByteArray_Check(obj)) {
+        PyErr_Format(PyExc_TypeError, "%s: expected bytearray key buffer, "
+                     "got %.80s", who, Py_TYPE(obj)->tp_name);
+        return NULL;
+    }
+    return (double *)PyByteArray_AS_STRING(obj);
+}
+
+static unsigned char *
+membbuf(PyObject *obj, const char *who)
+{
+    if (!PyByteArray_Check(obj)) {
+        PyErr_Format(PyExc_TypeError, "%s: expected bytearray memb buffer, "
+                     "got %.80s", who, Py_TYPE(obj)->tp_name);
+        return NULL;
+    }
+    return (unsigned char *)PyByteArray_AS_STRING(obj);
+}
+
+/* Fetch `node.agg` as (keys*, memb*); the tuple stays owned by the node,
+ * so the borrowed buffer pointers remain valid for the duration of the
+ * call (no python code runs while we hold them). */
+static int
+agg_bufs(PyObject *node, double **kk, unsigned char **km)
+{
+    PyObject *agg = PyObject_GetAttr(node, s_agg);
+    if (agg == NULL)
+        return -1;
+    if (!PyTuple_Check(agg) || PyTuple_GET_SIZE(agg) != 2) {
+        Py_DECREF(agg);
+        PyErr_SetString(PyExc_TypeError, "node.agg is not a 2-tuple");
+        return -1;
+    }
+    double *k = keybuf(PyTuple_GET_ITEM(agg, 0), "agg[0]");
+    unsigned char *m = (k == NULL) ? NULL
+        : membbuf(PyTuple_GET_ITEM(agg, 1), "agg[1]");
+    Py_DECREF(agg);
+    if (m == NULL)
+        return -1;
+    *kk = k;
+    *km = m;
+    return 0;
+}
+
+static long
+attr_long(PyObject *obj, PyObject *name)
+{
+    PyObject *v = PyObject_GetAttr(obj, name);
+    if (v == NULL)
+        return -1;
+    long out = PyLong_AsLong(v);
+    Py_DECREF(v);
+    return out;  /* caller must check PyErr_Occurred on -1 */
+}
+
+/* kid.item.id for a leaf node */
+static long
+leaf_cid(PyObject *leaf)
+{
+    PyObject *item = PyObject_GetAttr(leaf, s_item);
+    if (item == NULL)
+        return -1;
+    long cid = attr_long(item, s_id);
+    Py_DECREF(item);
+    return cid;
+}
+
+/* Resolve one LSDS kid's (keys, memb) sources.  Internal kid: its agg
+ * buffers (*cid_out = -1).  Leaf kid: the matrix row of its chunk id
+ * (*km = NULL, *cid_out = the id; memb is the one-hot at cid). */
+static int
+kid_source(PyObject *kid, double *mat, Py_ssize_t Jcap,
+           double **kk, unsigned char **km, long *cid_out)
+{
+    long height = attr_long(kid, s_height);
+    if (height == -1 && PyErr_Occurred())
+        return -1;
+    if (height) {
+        *cid_out = -1;
+        return agg_bufs(kid, kk, km);
+    }
+    long cid = leaf_cid(kid);
+    if (cid == -1 && PyErr_Occurred())
+        return -1;
+    *kk = mat + 2 * (Py_ssize_t)cid * Jcap;
+    *km = NULL;
+    *cid_out = cid;
+    return 0;
+}
+
+/* ---------------------------------------------------------- matrix writes */
+
+/* fill_keys(buf, off_entries, count, w, e) */
+static PyObject *
+k_fill_keys(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 5)
+        return PyErr_Format(PyExc_TypeError, "fill_keys takes 5 args");
+    double *b = keybuf(args[0], "fill_keys");
+    if (b == NULL)
+        return NULL;
+    Py_ssize_t off = PyLong_AsSsize_t(args[1]);
+    Py_ssize_t count = PyLong_AsSsize_t(args[2]);
+    double w = PyFloat_AsDouble(args[3]);
+    double e = PyFloat_AsDouble(args[4]);
+    if (PyErr_Occurred())
+        return NULL;
+    b += 2 * off;
+    for (Py_ssize_t i = 0; i < count; i++) {
+        b[2 * i] = w;
+        b[2 * i + 1] = e;
+    }
+    Py_RETURN_NONE;
+}
+
+/* clear_row_col(buf, Jcap, cid, w, e): row cid and column cid := (w, e) */
+static PyObject *
+k_clear_row_col(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 5)
+        return PyErr_Format(PyExc_TypeError, "clear_row_col takes 5 args");
+    double *b = keybuf(args[0], "clear_row_col");
+    if (b == NULL)
+        return NULL;
+    Py_ssize_t Jcap = PyLong_AsSsize_t(args[1]);
+    Py_ssize_t cid = PyLong_AsSsize_t(args[2]);
+    double w = PyFloat_AsDouble(args[3]);
+    double e = PyFloat_AsDouble(args[4]);
+    if (PyErr_Occurred())
+        return NULL;
+    double *row = b + 2 * cid * Jcap;
+    for (Py_ssize_t j = 0; j < Jcap; j++) {
+        row[2 * j] = w;
+        row[2 * j + 1] = e;
+        double *cell = b + 2 * (j * Jcap + cid);
+        cell[0] = w;
+        cell[1] = e;
+    }
+    Py_RETURN_NONE;
+}
+
+/* mirror_column(buf, Jcap, cid): buf[:, cid] = buf[cid, :] */
+static PyObject *
+k_mirror_column(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3)
+        return PyErr_Format(PyExc_TypeError, "mirror_column takes 3 args");
+    double *b = keybuf(args[0], "mirror_column");
+    if (b == NULL)
+        return NULL;
+    Py_ssize_t Jcap = PyLong_AsSsize_t(args[1]);
+    Py_ssize_t cid = PyLong_AsSsize_t(args[2]);
+    if (PyErr_Occurred())
+        return NULL;
+    const double *row = b + 2 * cid * Jcap;
+    for (Py_ssize_t i = 0; i < Jcap; i++) {
+        double *cell = b + 2 * (i * Jcap + cid);
+        cell[0] = row[2 * i];
+        cell[1] = row[2 * i + 1];
+    }
+    Py_RETURN_NONE;
+}
+
+/* set_entry(buf, Jcap, i, j, w, e): both directions */
+static PyObject *
+k_set_entry(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 6)
+        return PyErr_Format(PyExc_TypeError, "set_entry takes 6 args");
+    double *b = keybuf(args[0], "set_entry");
+    if (b == NULL)
+        return NULL;
+    Py_ssize_t Jcap = PyLong_AsSsize_t(args[1]);
+    Py_ssize_t i = PyLong_AsSsize_t(args[2]);
+    Py_ssize_t j = PyLong_AsSsize_t(args[3]);
+    double w = PyFloat_AsDouble(args[4]);
+    double e = PyFloat_AsDouble(args[5]);
+    if (PyErr_Occurred())
+        return NULL;
+    double *a1 = b + 2 * (i * Jcap + j);
+    double *a2 = b + 2 * (j * Jcap + i);
+    a1[0] = w; a1[1] = e;
+    a2[0] = w; a2[1] = e;
+    Py_RETURN_NONE;
+}
+
+/* load_row(buf, Jcap, cid, seq): row cid := [(w, e), ...] (length Jcap) */
+static PyObject *
+k_load_row(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 4)
+        return PyErr_Format(PyExc_TypeError, "load_row takes 4 args");
+    double *b = keybuf(args[0], "load_row");
+    if (b == NULL)
+        return NULL;
+    Py_ssize_t Jcap = PyLong_AsSsize_t(args[1]);
+    Py_ssize_t cid = PyLong_AsSsize_t(args[2]);
+    if (PyErr_Occurred())
+        return NULL;
+    PyObject *fast = PySequence_Fast(args[3], "load_row: seq not iterable");
+    if (fast == NULL)
+        return NULL;
+    if (PySequence_Fast_GET_SIZE(fast) != Jcap) {
+        Py_DECREF(fast);
+        return PyErr_Format(PyExc_ValueError, "load_row: length mismatch");
+    }
+    PyObject **items = PySequence_Fast_ITEMS(fast);
+    double *row = b + 2 * cid * Jcap;
+    for (Py_ssize_t j = 0; j < Jcap; j++) {
+        PyObject *key = items[j];
+        PyObject *wo = PySequence_GetItem(key, 0);
+        if (wo == NULL)
+            goto fail;
+        PyObject *eo = PySequence_GetItem(key, 1);
+        if (eo == NULL) {
+            Py_DECREF(wo);
+            goto fail;
+        }
+        double w = PyFloat_AsDouble(wo);
+        double e = PyFloat_AsDouble(eo);
+        Py_DECREF(wo);
+        Py_DECREF(eo);
+        if (PyErr_Occurred())
+            goto fail;
+        row[2 * j] = w;
+        row[2 * j + 1] = e;
+    }
+    Py_DECREF(fast);
+    Py_RETURN_NONE;
+fail:
+    Py_DECREF(fast);
+    return NULL;
+}
+
+/* get_column_bytes(buf, Jcap, j) -> bytes of Jcap (w, e) pairs */
+static PyObject *
+k_get_column_bytes(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3)
+        return PyErr_Format(PyExc_TypeError, "get_column_bytes takes 3 args");
+    double *b = keybuf(args[0], "get_column_bytes");
+    if (b == NULL)
+        return NULL;
+    Py_ssize_t Jcap = PyLong_AsSsize_t(args[1]);
+    Py_ssize_t j = PyLong_AsSsize_t(args[2]);
+    if (PyErr_Occurred())
+        return NULL;
+    PyObject *out = PyBytes_FromStringAndSize(NULL, 16 * Jcap);
+    if (out == NULL)
+        return NULL;
+    double *o = (double *)PyBytes_AS_STRING(out);
+    for (Py_ssize_t i = 0; i < Jcap; i++) {
+        const double *cell = b + 2 * (i * Jcap + j);
+        o[2 * i] = cell[0];
+        o[2 * i + 1] = cell[1];
+    }
+    return out;
+}
+
+/* ------------------------------------------------------------- LSDS pulls */
+
+/* Shared core of pull_node / pull_node_changed: recompute (CAdj, Memb) of
+ * `node` from its kids into (dk, dm). Returns kid count, -1 on error. */
+static Py_ssize_t
+pull_into(PyObject *node, double *mat, Py_ssize_t Jcap,
+          double *dk, unsigned char *dm)
+{
+    PyObject *kids = PyObject_GetAttr(node, s_kids);
+    if (kids == NULL)
+        return -1;
+    if (!PyList_Check(kids)) {
+        Py_DECREF(kids);
+        PyErr_SetString(PyExc_TypeError, "node.kids is not a list");
+        return -1;
+    }
+    Py_ssize_t n = PyList_GET_SIZE(kids);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        double *kk;
+        unsigned char *km;
+        long cid;
+        if (kid_source(PyList_GET_ITEM(kids, i), mat, Jcap,
+                       &kk, &km, &cid) < 0) {
+            Py_DECREF(kids);
+            return -1;
+        }
+        if (i == 0) {
+            memcpy(dk, kk, 16 * (size_t)Jcap);
+            if (km != NULL)
+                memcpy(dm, km, (size_t)Jcap);
+            else {
+                memset(dm, 0, (size_t)Jcap);
+                dm[cid] = 1;
+            }
+        }
+        else {
+            for (Py_ssize_t j = 0; j < Jcap; j++) {
+                double w = kk[2 * j], e = kk[2 * j + 1];
+                if (KEY_LT(w, e, dk[2 * j], dk[2 * j + 1])) {
+                    dk[2 * j] = w;
+                    dk[2 * j + 1] = e;
+                }
+            }
+            if (km != NULL) {
+                for (Py_ssize_t j = 0; j < Jcap; j++)
+                    dm[j] |= km[j];
+            }
+            else
+                dm[cid] = 1;
+        }
+    }
+    Py_DECREF(kids);
+    return n;
+}
+
+/* pull_node(node, buf, Jcap) -> len(kids): recompute node.agg in place */
+static PyObject *
+k_pull_node(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3)
+        return PyErr_Format(PyExc_TypeError, "pull_node takes 3 args");
+    double *mat = keybuf(args[1], "pull_node");
+    if (mat == NULL)
+        return NULL;
+    Py_ssize_t Jcap = PyLong_AsSsize_t(args[2]);
+    if (PyErr_Occurred())
+        return NULL;
+    double *dk;
+    unsigned char *dm;
+    if (agg_bufs(args[0], &dk, &dm) < 0)
+        return NULL;
+    Py_ssize_t n = pull_into(args[0], mat, Jcap, dk, dm);
+    if (n < 0)
+        return NULL;
+    return PyLong_FromSsize_t(n);
+}
+
+/* pull_node_changed(node, buf, Jcap, scratch_k, scratch_m) -> bool
+ *
+ * Recomputes into the hoisted scratch buffers, compares by *value*
+ * (matching the scalar tuple-equality early exit, including -0.0 == 0.0)
+ * and writes back only on change. */
+static PyObject *
+k_pull_node_changed(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 5)
+        return PyErr_Format(PyExc_TypeError, "pull_node_changed takes 5 args");
+    double *mat = keybuf(args[1], "pull_node_changed");
+    if (mat == NULL)
+        return NULL;
+    Py_ssize_t Jcap = PyLong_AsSsize_t(args[2]);
+    if (PyErr_Occurred())
+        return NULL;
+    double *sk = keybuf(args[3], "scratch keys");
+    if (sk == NULL)
+        return NULL;
+    unsigned char *sm = membbuf(args[4], "scratch memb");
+    if (sm == NULL)
+        return NULL;
+    double *dk;
+    unsigned char *dm;
+    if (agg_bufs(args[0], &dk, &dm) < 0)
+        return NULL;
+    if (pull_into(args[0], mat, Jcap, sk, sm) < 0)
+        return NULL;
+    int changed = memcmp(sm, dm, (size_t)Jcap) != 0;
+    if (!changed) {
+        for (Py_ssize_t j = 0; j < 2 * Jcap; j++) {
+            if (sk[j] != dk[j]) {   /* value compare: inf==inf, -0.0==0.0 */
+                changed = 1;
+                break;
+            }
+        }
+    }
+    if (changed) {
+        memcpy(dk, sk, 16 * (size_t)Jcap);
+        memcpy(dm, sm, (size_t)Jcap);
+        Py_RETURN_TRUE;
+    }
+    Py_RETURN_FALSE;
+}
+
+/* ----------------------------------------------------------- column sweep */
+
+/* post-order recompute of entry j; leftmost-wins strict <, like the
+ * scalar _col_sweep.  Returns 0/1 memb, -1 on error. */
+static int
+sweep_rec(PyObject *node, Py_ssize_t j, double *mat, Py_ssize_t Jcap,
+          double *w_out, double *e_out, long *count)
+{
+    long height = attr_long(node, s_height);
+    if (height == -1 && PyErr_Occurred())
+        return -1;
+    (*count)++;
+    if (!height) {
+        long cid = leaf_cid(node);
+        if (cid == -1 && PyErr_Occurred())
+            return -1;
+        const double *cell = mat + 2 * ((Py_ssize_t)cid * Jcap + j);
+        *w_out = cell[0];
+        *e_out = cell[1];
+        return cid == (long)j;
+    }
+    PyObject *kids = PyObject_GetAttr(node, s_kids);
+    if (kids == NULL || !PyList_Check(kids)) {
+        Py_XDECREF(kids);
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError, "node.kids is not a list");
+        return -1;
+    }
+    Py_ssize_t n = PyList_GET_SIZE(kids);
+    double bw = INFINITY, be = INFINITY;
+    int memb = 0;
+    int first = 1;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        double kw, ke;
+        int km = sweep_rec(PyList_GET_ITEM(kids, i), j, mat, Jcap,
+                           &kw, &ke, count);
+        if (km < 0) {
+            Py_DECREF(kids);
+            return -1;
+        }
+        if (first || KEY_LT(kw, ke, bw, be)) {
+            bw = kw;
+            be = ke;
+            first = 0;
+        }
+        memb |= km;
+    }
+    Py_DECREF(kids);
+    double *ak;
+    unsigned char *am;
+    if (agg_bufs(node, &ak, &am) < 0)
+        return -1;
+    ak[2 * j] = bw;
+    ak[2 * j + 1] = be;
+    am[j] = (unsigned char)memb;
+    *w_out = bw;
+    *e_out = be;
+    return memb;
+}
+
+/* col_sweep(node, j, buf, Jcap) -> visited node count */
+static PyObject *
+k_col_sweep(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 4)
+        return PyErr_Format(PyExc_TypeError, "col_sweep takes 4 args");
+    Py_ssize_t j = PyLong_AsSsize_t(args[1]);
+    double *mat = keybuf(args[2], "col_sweep");
+    if (mat == NULL)
+        return NULL;
+    Py_ssize_t Jcap = PyLong_AsSsize_t(args[3]);
+    if (PyErr_Occurred())
+        return NULL;
+    long count = 0;
+    double w, e;
+    if (sweep_rec(args[0], j, mat, Jcap, &w, &e, &count) < 0)
+        return NULL;
+    return PyLong_FromLong(count);
+}
+
+/* col_sweep_many(lists, j, buf, Jcap) -> total visited node count
+ *
+ * The whole UpdateAdj column refresh in one call: for every EulerList in
+ * `lists` (any iterable), sweep entry j of its root tree.  Single-leaf
+ * roots contribute one visited node and no writes, exactly like the
+ * scalar per-list recursion -- they are the common case at wide Jcap and
+ * pure dispatch overhead in python. */
+static PyObject *
+k_col_sweep_many(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 4)
+        return PyErr_Format(PyExc_TypeError, "col_sweep_many takes 4 args");
+    Py_ssize_t j = PyLong_AsSsize_t(args[1]);
+    double *mat = keybuf(args[2], "col_sweep_many");
+    if (mat == NULL)
+        return NULL;
+    Py_ssize_t Jcap = PyLong_AsSsize_t(args[3]);
+    if (PyErr_Occurred())
+        return NULL;
+    PyObject *fast = PySequence_Fast(args[0], "lists not iterable");
+    if (fast == NULL)
+        return NULL;
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(fast);
+    PyObject **items = PySequence_Fast_ITEMS(fast);
+    long count = 0;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *root = PyObject_GetAttr(items[i], s_root);
+        if (root == NULL) {
+            Py_DECREF(fast);
+            return NULL;
+        }
+        double w, e;
+        int rc = sweep_rec(root, j, mat, Jcap, &w, &e, &count);
+        Py_DECREF(root);
+        if (rc < 0) {
+            Py_DECREF(fast);
+            return NULL;
+        }
+    }
+    Py_DECREF(fast);
+    return PyLong_FromLong(count);
+}
+
+/* Object-mode sweep: the parallel engine's LSDS aggregates stay object
+ * arrays (PRAM programs register them by identity), so its host-side
+ * sweep twin walks the same objects -- only the interpreter dispatch is
+ * compiled away.  Writes exactly what _sweep_direct writes. */
+static PyObject *
+sweep_obj_rec(PyObject *node, PyObject *jidx, Py_ssize_t j,
+              PyObject *row_views, int *memb_out)
+{
+    long height = attr_long(node, s_height);
+    if (height == -1 && PyErr_Occurred())
+        return NULL;
+    if (!height) {
+        long cid = leaf_cid(node);
+        if (cid == -1 && PyErr_Occurred())
+            return NULL;
+        PyObject *row = PyList_GET_ITEM(row_views, cid);
+        *memb_out = cid == (long)j;
+        return PyObject_GetItem(row, jidx);
+    }
+    PyObject *kids = PyObject_GetAttr(node, s_kids);
+    if (kids == NULL || !PyList_Check(kids)) {
+        Py_XDECREF(kids);
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError, "node.kids is not a list");
+        return NULL;
+    }
+    Py_ssize_t n = PyList_GET_SIZE(kids);
+    PyObject *best = NULL;
+    int memb = 0;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        int km;
+        PyObject *kv = sweep_obj_rec(PyList_GET_ITEM(kids, i), jidx, j,
+                                     row_views, &km);
+        if (kv == NULL) {
+            Py_XDECREF(best);
+            Py_DECREF(kids);
+            return NULL;
+        }
+        if (best == NULL)
+            best = kv;
+        else {
+            int lt = PyObject_RichCompareBool(kv, best, Py_LT);
+            if (lt < 0) {
+                Py_DECREF(kv);
+                Py_DECREF(best);
+                Py_DECREF(kids);
+                return NULL;
+            }
+            if (lt) {
+                Py_DECREF(best);
+                best = kv;
+            }
+            else
+                Py_DECREF(kv);
+        }
+        memb |= km;
+    }
+    Py_DECREF(kids);
+    PyObject *agg = PyObject_GetAttr(node, s_agg);
+    if (agg == NULL || !PyTuple_Check(agg) || PyTuple_GET_SIZE(agg) != 2) {
+        Py_XDECREF(agg);
+        Py_DECREF(best);
+        if (!PyErr_Occurred())
+            PyErr_SetString(PyExc_TypeError, "node.agg is not a 2-tuple");
+        return NULL;
+    }
+    int rc = PyObject_SetItem(PyTuple_GET_ITEM(agg, 0), jidx, best);
+    if (rc == 0)
+        rc = PyObject_SetItem(PyTuple_GET_ITEM(agg, 1), jidx,
+                              memb ? Py_True : Py_False);
+    Py_DECREF(agg);
+    if (rc < 0) {
+        Py_DECREF(best);
+        return NULL;
+    }
+    *memb_out = memb;
+    return best;
+}
+
+/* col_sweep_obj(node, j, row_views) -> None */
+static PyObject *
+k_col_sweep_obj(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3)
+        return PyErr_Format(PyExc_TypeError, "col_sweep_obj takes 3 args");
+    Py_ssize_t j = PyLong_AsSsize_t(args[1]);
+    if (PyErr_Occurred())
+        return NULL;
+    if (!PyList_Check(args[2]))
+        return PyErr_Format(PyExc_TypeError, "row_views must be a list");
+    int memb;
+    PyObject *val = sweep_obj_rec(args[0], args[1], j, args[2], &memb);
+    if (val == NULL)
+        return NULL;
+    Py_DECREF(val);
+    Py_RETURN_NONE;
+}
+
+/* --------------------------------------------------------------- MWR scan */
+
+/* truthiness view of an arbitrary memb vector: 1-byte buffer when the
+ * object exports one (bytearray, numpy bool), sequence fallback otherwise
+ * (the _nplite shim). */
+static PyObject *
+k_gamma_argmin(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    /* gamma_argmin(keys, key_off, memb, Jcap) -> (j, w, e)
+     *
+     * gamma[k] = keys[key_off + k] if memb[k] else (inf, inf); returns
+     * the first-index lexicographic argmin, like np.argmin over the
+     * masked object vector. */
+    if (nargs != 4)
+        return PyErr_Format(PyExc_TypeError, "gamma_argmin takes 4 args");
+    double *keys = keybuf(args[0], "gamma_argmin");
+    if (keys == NULL)
+        return NULL;
+    Py_ssize_t off = PyLong_AsSsize_t(args[1]);
+    Py_ssize_t Jcap = PyLong_AsSsize_t(args[3]);
+    if (PyErr_Occurred())
+        return NULL;
+    keys += 2 * off;
+    double bw = INFINITY, be = INFINITY;
+    Py_ssize_t bj = 0;
+    PyObject *memb = args[2];
+    Py_buffer view;
+    if (PyObject_GetBuffer(memb, &view, PyBUF_SIMPLE) == 0) {
+        if (view.len < Jcap) {
+            PyBuffer_Release(&view);
+            return PyErr_Format(PyExc_ValueError, "memb buffer too short");
+        }
+        const unsigned char *m = (const unsigned char *)view.buf;
+        for (Py_ssize_t k = 0; k < Jcap; k++) {
+            if (m[k]) {
+                double w = keys[2 * k], e = keys[2 * k + 1];
+                if (KEY_LT(w, e, bw, be)) {
+                    bw = w;
+                    be = e;
+                    bj = k;
+                }
+            }
+        }
+        PyBuffer_Release(&view);
+    }
+    else {
+        PyErr_Clear();
+        PyObject *fast = PySequence_Fast(memb, "memb not iterable");
+        if (fast == NULL)
+            return NULL;
+        if (PySequence_Fast_GET_SIZE(fast) < Jcap) {
+            Py_DECREF(fast);
+            return PyErr_Format(PyExc_ValueError, "memb too short");
+        }
+        PyObject **items = PySequence_Fast_ITEMS(fast);
+        for (Py_ssize_t k = 0; k < Jcap; k++) {
+            int truth = PyObject_IsTrue(items[k]);
+            if (truth < 0) {
+                Py_DECREF(fast);
+                return NULL;
+            }
+            if (truth) {
+                double w = keys[2 * k], e = keys[2 * k + 1];
+                if (KEY_LT(w, e, bw, be)) {
+                    bw = w;
+                    be = e;
+                    bj = k;
+                }
+            }
+        }
+        Py_DECREF(fast);
+    }
+    return Py_BuildValue("(ndd)", bj, bw, be);
+}
+
+/* ----------------------------------------------------- snapshot dirty diff */
+
+/* diff_keys(snap, col, Jcap) -> [changed indices]; snap/col are buffers
+ * of Jcap (w, e) pairs (array('d') snapshots); value inequality. */
+static PyObject *
+k_diff_keys(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3)
+        return PyErr_Format(PyExc_TypeError, "diff_keys takes 3 args");
+    Py_ssize_t Jcap = PyLong_AsSsize_t(args[2]);
+    if (PyErr_Occurred())
+        return NULL;
+    Py_buffer va, vb;
+    if (PyObject_GetBuffer(args[0], &va, PyBUF_SIMPLE) < 0)
+        return NULL;
+    if (PyObject_GetBuffer(args[1], &vb, PyBUF_SIMPLE) < 0) {
+        PyBuffer_Release(&va);
+        return NULL;
+    }
+    if (va.len < 16 * Jcap || vb.len < 16 * Jcap) {
+        PyBuffer_Release(&va);
+        PyBuffer_Release(&vb);
+        return PyErr_Format(PyExc_ValueError, "diff_keys: buffers too short");
+    }
+    const double *a = (const double *)va.buf;
+    const double *b = (const double *)vb.buf;
+    PyObject *out = PyList_New(0);
+    if (out == NULL)
+        goto done;
+    for (Py_ssize_t i = 0; i < Jcap; i++) {
+        if (a[2 * i] != b[2 * i] || a[2 * i + 1] != b[2 * i + 1]) {
+            PyObject *idx = PyLong_FromSsize_t(i);
+            if (idx == NULL || PyList_Append(out, idx) < 0) {
+                Py_XDECREF(idx);
+                Py_DECREF(out);
+                out = NULL;
+                goto done;
+            }
+            Py_DECREF(idx);
+        }
+    }
+done:
+    PyBuffer_Release(&va);
+    PyBuffer_Release(&vb);
+    return out;
+}
+
+/* -------------------------------------------------------- chunk adoption */
+
+/* adopt_scan(head, tail, chunk, cid) -> (count, n_edges)
+ *
+ * The sequential adopt_occurrences hot loop: stamp occ.chunk / occ.chunk_id
+ * on every occurrence from head through tail, count occurrences and the
+ * edge endpoints of principal copies. */
+static PyObject *
+k_adopt_scan(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 4)
+        return PyErr_Format(PyExc_TypeError, "adopt_scan takes 4 args");
+    PyObject *occ = args[0];
+    PyObject *tail = args[1];
+    PyObject *chunk = args[2];
+    PyObject *cid = args[3];
+    long count = 0, n_edges = 0;
+    Py_INCREF(occ);
+    while (occ != Py_None) {
+        if (PyObject_SetAttr(occ, s_chunk, chunk) < 0 ||
+            PyObject_SetAttr(occ, s_chunk_id, cid) < 0)
+            goto fail;
+        count++;
+        PyObject *vx = PyObject_GetAttr(occ, s_vertex);
+        if (vx == NULL)
+            goto fail;
+        PyObject *pc = PyObject_GetAttr(vx, s_pc);
+        if (pc == NULL) {
+            Py_DECREF(vx);
+            goto fail;
+        }
+        if (pc == occ) {  /* inlined is_principal */
+            PyObject *edges = PyObject_GetAttr(vx, s_edges);
+            if (edges == NULL) {
+                Py_DECREF(pc);
+                Py_DECREF(vx);
+                goto fail;
+            }
+            Py_ssize_t deg = PyObject_Length(edges);
+            Py_DECREF(edges);
+            if (deg < 0) {
+                Py_DECREF(pc);
+                Py_DECREF(vx);
+                goto fail;
+            }
+            n_edges += (long)deg;
+        }
+        Py_DECREF(pc);
+        Py_DECREF(vx);
+        if (occ == tail)
+            break;
+        PyObject *nxt = PyObject_GetAttr(occ, s_next);
+        if (nxt == NULL)
+            goto fail;
+        Py_DECREF(occ);
+        occ = nxt;
+    }
+    Py_DECREF(occ);
+    return Py_BuildValue("(ll)", count, n_edges);
+fail:
+    Py_DECREF(occ);
+    return NULL;
+}
+
+/* rebuild_row_scan(head, tail, buf, Jcap, cid) -> (pairs, scanned)
+ *
+ * The Lemma 2.2 row scan of rebuild_row: walk the chunk's occurrences,
+ * and for each principal copy fold every incident edge's key into the
+ * per-destination-chunk minimum (strict python < on the key objects, so
+ * int/float eid ties break exactly like the scalar loop).  Writes the
+ * flat mirror row (INF-filled first) and returns the sparse non-INF
+ * slots as [(oid, key), ...] plus the scanned-edge count, so the caller
+ * can refresh the authoritative object row with the *original* key
+ * objects (no float round trip in space.C). */
+static PyObject *
+k_rebuild_row_scan(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 5)
+        return PyErr_Format(PyExc_TypeError, "rebuild_row_scan takes 5 args");
+    double *mat = keybuf(args[2], "rebuild_row_scan");
+    if (mat == NULL)
+        return NULL;
+    Py_ssize_t Jcap = PyLong_AsSsize_t(args[3]);
+    Py_ssize_t cid = PyLong_AsSsize_t(args[4]);
+    if (PyErr_Occurred())
+        return NULL;
+    PyObject *tail = args[1];
+    PyObject **best = PyMem_New(PyObject *, (size_t)Jcap);
+    if (best == NULL)
+        return PyErr_NoMemory();
+    memset(best, 0, sizeof(PyObject *) * (size_t)Jcap);
+    long scanned = 0;
+    PyObject *occ = args[0];
+    Py_INCREF(occ);
+    while (occ != Py_None) {
+        PyObject *vx = PyObject_GetAttr(occ, s_vertex);
+        if (vx == NULL)
+            goto fail;
+        PyObject *pc = PyObject_GetAttr(vx, s_pc);
+        if (pc == NULL) {
+            Py_DECREF(vx);
+            goto fail;
+        }
+        int principal = pc == occ;
+        Py_DECREF(pc);
+        if (principal) {
+            PyObject *sides = PyObject_GetAttr(vx, s_sides);
+            if (sides == NULL) {
+                Py_DECREF(vx);
+                goto fail;
+            }
+            PyObject *fs = PySequence_Fast(sides, "vertex.sides");
+            Py_DECREF(sides);
+            if (fs == NULL) {
+                Py_DECREF(vx);
+                goto fail;
+            }
+            Py_ssize_t ns = PySequence_Fast_GET_SIZE(fs);
+            scanned += (long)ns;
+            PyObject **srecs = PySequence_Fast_ITEMS(fs);
+            for (Py_ssize_t si = 0; si < ns; si++) {
+                PyObject *s = srecs[si];
+                PyObject *far = PyObject_GetAttr(s, s_far);
+                if (far == NULL)
+                    goto sidefail;
+                PyObject *fpc = PyObject_GetAttr(far, s_pc);
+                Py_DECREF(far);
+                if (fpc == NULL)
+                    goto sidefail;
+                PyObject *oc = PyObject_GetAttr(fpc, s_chunk);
+                Py_DECREF(fpc);
+                if (oc == NULL)
+                    goto sidefail;
+                PyObject *oid_obj = PyObject_GetAttr(oc, s_id);
+                Py_DECREF(oc);
+                if (oid_obj == NULL)
+                    goto sidefail;
+                if (oid_obj == Py_None) {
+                    Py_DECREF(oid_obj);
+                    continue;
+                }
+                long oid = PyLong_AsLong(oid_obj);
+                Py_DECREF(oid_obj);
+                if (oid == -1 && PyErr_Occurred())
+                    goto sidefail;
+                PyObject *key = PyObject_GetAttr(s, s_key);
+                if (key == NULL)
+                    goto sidefail;
+                if (best[oid] == NULL) {
+                    best[oid] = key;  /* steal */
+                }
+                else {
+                    int lt = PyObject_RichCompareBool(key, best[oid], Py_LT);
+                    if (lt < 0) {
+                        Py_DECREF(key);
+                        goto sidefail;
+                    }
+                    if (lt) {
+                        Py_DECREF(best[oid]);
+                        best[oid] = key;
+                    }
+                    else
+                        Py_DECREF(key);
+                }
+                continue;
+            sidefail:
+                Py_DECREF(fs);
+                Py_DECREF(vx);
+                goto fail;
+            }
+            Py_DECREF(fs);
+        }
+        Py_DECREF(vx);
+        if (occ == tail)
+            break;
+        PyObject *nxt = PyObject_GetAttr(occ, s_next);
+        if (nxt == NULL)
+            goto fail;
+        Py_DECREF(occ);
+        occ = nxt;
+    }
+    Py_DECREF(occ);
+    occ = NULL;
+    /* write the flat row and collect the sparse (oid, key) pairs */
+    {
+        double *row = mat + 2 * cid * Jcap;
+        PyObject *pairs = PyList_New(0);
+        if (pairs == NULL)
+            goto fail;
+        for (Py_ssize_t o = 0; o < Jcap; o++) {
+            if (best[o] == NULL) {
+                row[2 * o] = INFINITY;
+                row[2 * o + 1] = INFINITY;
+                continue;
+            }
+            PyObject *wo = PySequence_GetItem(best[o], 0);
+            PyObject *eo = (wo == NULL) ? NULL
+                : PySequence_GetItem(best[o], 1);
+            double w = (eo == NULL) ? 0.0 : PyFloat_AsDouble(wo);
+            double e = (eo == NULL) ? 0.0 : PyFloat_AsDouble(eo);
+            Py_XDECREF(wo);
+            Py_XDECREF(eo);
+            if (eo == NULL || PyErr_Occurred()) {
+                Py_DECREF(pairs);
+                goto fail;
+            }
+            row[2 * o] = w;
+            row[2 * o + 1] = e;
+            PyObject *pair = Py_BuildValue("(nO)", o, best[o]);
+            if (pair == NULL || PyList_Append(pairs, pair) < 0) {
+                Py_XDECREF(pair);
+                Py_DECREF(pairs);
+                goto fail;
+            }
+            Py_DECREF(pair);
+        }
+        for (Py_ssize_t o = 0; o < Jcap; o++)
+            Py_XDECREF(best[o]);
+        PyMem_Free(best);
+        return Py_BuildValue("(Nl)", pairs, scanned);
+    }
+fail:
+    Py_XDECREF(occ);
+    for (Py_ssize_t o = 0; o < Jcap; o++)
+        Py_XDECREF(best[o]);
+    PyMem_Free(best);
+    return NULL;
+}
+
+/* ------------------------------------------------------ BT level aggregates */
+
+/* bt_level_aggs(levels, units, edges) -> None
+ *
+ * Compiled twin of columnar.assign_level_aggs: per collected level
+ * (height 1 first), sum the previous level's (units, edges) columns by
+ * each node's kid count and assign node.agg = (units, edges) as python
+ * ints -- identical to the incremental _bt_pull results. */
+static PyObject *
+k_bt_level_aggs(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3)
+        return PyErr_Format(PyExc_TypeError, "bt_level_aggs takes 3 args");
+    PyObject *levels = args[0];
+    PyObject *fu = PySequence_Fast(args[1], "units not iterable");
+    if (fu == NULL)
+        return NULL;
+    PyObject *fe = PySequence_Fast(args[2], "edges not iterable");
+    if (fe == NULL) {
+        Py_DECREF(fu);
+        return NULL;
+    }
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(fu);
+    long long *u = PyMem_New(long long, (size_t)(n ? n : 1));
+    long long *e = PyMem_New(long long, (size_t)(n ? n : 1));
+    if (u == NULL || e == NULL) {
+        PyMem_Free(u);
+        PyMem_Free(e);
+        Py_DECREF(fu);
+        Py_DECREF(fe);
+        return PyErr_NoMemory();
+    }
+    PyObject **iu = PySequence_Fast_ITEMS(fu);
+    PyObject **ie = PySequence_Fast_ITEMS(fe);
+    for (Py_ssize_t i = 0; i < n; i++) {
+        u[i] = PyLong_AsLongLong(iu[i]);
+        e[i] = PyLong_AsLongLong(ie[i]);
+    }
+    Py_DECREF(fu);
+    Py_DECREF(fe);
+    if (PyErr_Occurred())
+        goto fail;
+    PyObject *flv = PySequence_Fast(levels, "levels not iterable");
+    if (flv == NULL)
+        goto fail;
+    Py_ssize_t nlv = PySequence_Fast_GET_SIZE(flv);
+    for (Py_ssize_t li = 0; li < nlv; li++) {
+        PyObject *level = PySequence_Fast_ITEMS(flv)[li];
+        PyObject *flevel = PySequence_Fast(level, "level not iterable");
+        if (flevel == NULL) {
+            Py_DECREF(flv);
+            goto fail;
+        }
+        Py_ssize_t nn = PySequence_Fast_GET_SIZE(flevel);
+        Py_ssize_t src = 0;
+        for (Py_ssize_t ni = 0; ni < nn; ni++) {
+            PyObject *node = PySequence_Fast_ITEMS(flevel)[ni];
+            PyObject *kids = PyObject_GetAttr(node, s_kids);
+            if (kids == NULL) {
+                Py_DECREF(flevel);
+                Py_DECREF(flv);
+                goto fail;
+            }
+            Py_ssize_t k = PyObject_Length(kids);
+            Py_DECREF(kids);
+            if (k < 0 || src + k > n) {
+                Py_DECREF(flevel);
+                Py_DECREF(flv);
+                if (!PyErr_Occurred())
+                    PyErr_SetString(PyExc_ValueError,
+                                    "bt_level_aggs: level shape mismatch");
+                goto fail;
+            }
+            long long su = 0, se = 0;
+            for (Py_ssize_t t = 0; t < k; t++) {
+                su += u[src + t];
+                se += e[src + t];
+            }
+            src += k;
+            PyObject *agg = Py_BuildValue("(LL)", su, se);
+            if (agg == NULL) {
+                Py_DECREF(flevel);
+                Py_DECREF(flv);
+                goto fail;
+            }
+            int rc = PyObject_SetAttr(node, s_agg, agg);
+            Py_DECREF(agg);
+            if (rc < 0) {
+                Py_DECREF(flevel);
+                Py_DECREF(flv);
+                goto fail;
+            }
+            u[ni] = su;   /* safe: ni <= src positions already consumed */
+            e[ni] = se;
+        }
+        n = nn;
+        Py_DECREF(flevel);
+    }
+    Py_DECREF(flv);
+    PyMem_Free(u);
+    PyMem_Free(e);
+    Py_RETURN_NONE;
+fail:
+    PyMem_Free(u);
+    PyMem_Free(e);
+    return NULL;
+}
+
+/* ------------------------------------------------- DegreeReducer log walk */
+
+/* first_flip(change_log, mark) -> {eid: flag}
+ *
+ * Single pass over the log tail keeping the *first* flip per positive
+ * eid (the status before the update), like DegreeReducer._net_delta. */
+static PyObject *
+k_first_flip(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2)
+        return PyErr_Format(PyExc_TypeError, "first_flip takes 2 args");
+    Py_ssize_t mark = PyLong_AsSsize_t(args[1]);
+    if (PyErr_Occurred())
+        return NULL;
+    PyObject *fast = PySequence_Fast(args[0], "change_log not iterable");
+    if (fast == NULL)
+        return NULL;
+    Py_ssize_t n = PySequence_Fast_GET_SIZE(fast);
+    PyObject *out = PyDict_New();
+    if (out == NULL) {
+        Py_DECREF(fast);
+        return NULL;
+    }
+    PyObject **items = PySequence_Fast_ITEMS(fast);
+    for (Py_ssize_t i = mark; i < n; i++) {
+        PyObject *rec = items[i];
+        if (!PyTuple_Check(rec) || PyTuple_GET_SIZE(rec) != 2)
+            goto typefail;
+        PyObject *eid = PyTuple_GET_ITEM(rec, 0);
+        long long v = PyLong_AsLongLong(eid);
+        if (v == -1 && PyErr_Occurred())
+            goto fail;
+        if (v > 0 && !PyDict_Contains(out, eid)) {
+            if (PyDict_SetItem(out, eid, PyTuple_GET_ITEM(rec, 1)) < 0)
+                goto fail;
+        }
+    }
+    Py_DECREF(fast);
+    return out;
+typefail:
+    PyErr_SetString(PyExc_TypeError, "change_log items must be (eid, flag)");
+fail:
+    Py_DECREF(fast);
+    Py_DECREF(out);
+    return NULL;
+}
+
+/* -------------------------------------------------------------- module def */
+
+static PyMethodDef kernel_methods[] = {
+    {"fill_keys", (PyCFunction)(void (*)(void))k_fill_keys,
+     METH_FASTCALL, "fill_keys(buf, off, count, w, e)"},
+    {"clear_row_col", (PyCFunction)(void (*)(void))k_clear_row_col,
+     METH_FASTCALL, "clear_row_col(buf, Jcap, cid, w, e)"},
+    {"mirror_column", (PyCFunction)(void (*)(void))k_mirror_column,
+     METH_FASTCALL, "mirror_column(buf, Jcap, cid)"},
+    {"set_entry", (PyCFunction)(void (*)(void))k_set_entry,
+     METH_FASTCALL, "set_entry(buf, Jcap, i, j, w, e)"},
+    {"load_row", (PyCFunction)(void (*)(void))k_load_row,
+     METH_FASTCALL, "load_row(buf, Jcap, cid, seq)"},
+    {"get_column_bytes", (PyCFunction)(void (*)(void))k_get_column_bytes,
+     METH_FASTCALL, "get_column_bytes(buf, Jcap, j) -> bytes"},
+    {"pull_node", (PyCFunction)(void (*)(void))k_pull_node,
+     METH_FASTCALL, "pull_node(node, buf, Jcap) -> len(kids)"},
+    {"pull_node_changed", (PyCFunction)(void (*)(void))k_pull_node_changed,
+     METH_FASTCALL,
+     "pull_node_changed(node, buf, Jcap, scratch_k, scratch_m) -> bool"},
+    {"col_sweep", (PyCFunction)(void (*)(void))k_col_sweep,
+     METH_FASTCALL, "col_sweep(node, j, buf, Jcap) -> node count"},
+    {"col_sweep_many", (PyCFunction)(void (*)(void))k_col_sweep_many,
+     METH_FASTCALL, "col_sweep_many(lists, j, buf, Jcap) -> node count"},
+    {"rebuild_row_scan", (PyCFunction)(void (*)(void))k_rebuild_row_scan,
+     METH_FASTCALL,
+     "rebuild_row_scan(head, tail, buf, Jcap, cid) -> (pairs, scanned)"},
+    {"col_sweep_obj", (PyCFunction)(void (*)(void))k_col_sweep_obj,
+     METH_FASTCALL, "col_sweep_obj(node, j, row_views)"},
+    {"gamma_argmin", (PyCFunction)(void (*)(void))k_gamma_argmin,
+     METH_FASTCALL, "gamma_argmin(keys, key_off, memb, Jcap) -> (j, w, e)"},
+    {"diff_keys", (PyCFunction)(void (*)(void))k_diff_keys,
+     METH_FASTCALL, "diff_keys(snap, col, Jcap) -> [changed indices]"},
+    {"adopt_scan", (PyCFunction)(void (*)(void))k_adopt_scan,
+     METH_FASTCALL, "adopt_scan(head, tail, chunk, cid) -> (count, n_edges)"},
+    {"bt_level_aggs", (PyCFunction)(void (*)(void))k_bt_level_aggs,
+     METH_FASTCALL, "bt_level_aggs(levels, units, edges)"},
+    {"first_flip", (PyCFunction)(void (*)(void))k_first_flip,
+     METH_FASTCALL, "first_flip(change_log, mark) -> {eid: flag}"},
+    {NULL, NULL, 0, NULL}
+};
+
+static struct PyModuleDef kernels_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.core.compiled._kernels",
+    "Native tuple-min inner loops for the repro dynamic-MSF substrate.",
+    -1,
+    kernel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__kernels(void)
+{
+#define INTERN(var, name)                                \
+    do {                                                 \
+        (var) = PyUnicode_InternFromString(name);        \
+        if ((var) == NULL)                               \
+            return NULL;                                 \
+    } while (0)
+    INTERN(s_kids, "kids");
+    INTERN(s_height, "height");
+    INTERN(s_agg, "agg");
+    INTERN(s_item, "item");
+    INTERN(s_id, "id");
+    INTERN(s_next, "next");
+    INTERN(s_chunk, "chunk");
+    INTERN(s_chunk_id, "chunk_id");
+    INTERN(s_vertex, "vertex");
+    INTERN(s_pc, "pc");
+    INTERN(s_edges, "edges");
+    INTERN(s_root, "root");
+    INTERN(s_sides, "sides");
+    INTERN(s_far, "far");
+    INTERN(s_key, "key");
+#undef INTERN
+    PyObject *m = PyModule_Create(&kernels_module);
+    if (m == NULL)
+        return NULL;
+    if (PyModule_AddStringConstant(m, "__version__", "1") < 0) {
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

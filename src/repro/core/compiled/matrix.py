@@ -1,0 +1,105 @@
+"""Flat float64 twin of the chunk-adjacency object matrix.
+
+``CompiledMatrix`` plays the same role for ``backend="compiled"`` that
+``ColumnarMatrix`` plays for ``backend="columnar"``: a maintained mirror
+of the authoritative ``space.C`` object matrix that the native kernels
+can traverse without boxing.  The store is a single row-major
+``bytearray`` of interleaved ``(weight, eid)`` float64 pairs -- entry
+``(i, j)`` lives at double offset ``2 * (i * Jcap + j)`` -- because the
+C side reads it with one macro (``PyByteArray_AS_STRING``) instead of a
+buffer acquisition per call.
+
+Key encoding is the columnar tier's: both components stored as float64
+(edge ids are < 2**53 so the round trip is exact), ``INF_KEY`` as
+``(inf, inf)``.  ``verify_against`` rechecks the mirror entrywise
+against the object matrix; the resilience layer points it at the
+``compiled.kernel`` fault site.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from . import kernels
+
+_INF = float("inf")
+
+
+class DColumn(array):
+    """An ``array('d')`` column snapshot of ``(w, e)`` pairs.
+
+    The parallel snapshot cache (``par.kernels._snap_col``) needs
+    ``.copy()`` and slice assignment from its column snapshots; plain
+    ``array('d')`` lacks the former.
+    """
+
+    __slots__ = ()
+
+    def copy(self) -> "DColumn":
+        return DColumn("d", self)
+
+
+class CompiledMatrix:
+    """Row-major float64 mirror of the ``(weight, eid)`` object matrix."""
+
+    __slots__ = ("Jcap", "buf")
+
+    def __init__(self, Jcap: int) -> None:
+        self.Jcap = Jcap
+        self.buf = bytearray(16 * Jcap * Jcap)
+        self.reset()
+
+    # ------------------------------------------------------- maintenance
+
+    def reset(self) -> None:
+        kernels.fill_keys(self.buf, 0, self.Jcap * self.Jcap, _INF, _INF)
+
+    def clear_row_col(self, cid: int) -> None:
+        kernels.clear_row_col(self.buf, self.Jcap, cid, _INF, _INF)
+
+    def mirror_column(self, cid: int) -> None:
+        kernels.mirror_column(self.buf, self.Jcap, cid)
+
+    def set_entry(self, i: int, j: int, key: tuple) -> None:
+        kernels.set_entry(self.buf, self.Jcap, i, j, key[0], key[1])
+
+    def load_row_object(self, cid: int, obj_row) -> None:
+        kernels.load_row(self.buf, self.Jcap, cid, list(obj_row))
+
+    # ------------------------------------------------------------ reads
+
+    def get_entry(self, i: int, j: int) -> tuple:
+        view = memoryview(self.buf).cast("d")
+        off = 2 * (i * self.Jcap + j)
+        return (view[off], view[off + 1])
+
+    def column_snapshot(self, j: int) -> DColumn:
+        """A fresh ``DColumn`` of column ``j`` (Jcap ``(w, e)`` pairs)."""
+        col = DColumn("d")
+        col.frombytes(kernels.get_column_bytes(self.buf, self.Jcap, j))
+        return col
+
+    # ------------------------------------------------------ verification
+
+    def verify_against(self, C, max_findings: int = 5) -> list:
+        """Entrywise recheck of the mirror against the object matrix.
+
+        Returns human-readable findings (empty when consistent), capped
+        at ``max_findings`` -- same shape as the columnar twin so the
+        resilience checks can treat backends uniformly.
+        """
+        out: list = []
+        view = memoryview(self.buf).cast("d")
+        for i in range(self.Jcap):
+            base = 2 * i * self.Jcap
+            row = C[i]
+            for j in range(self.Jcap):
+                key = row[j]
+                w, e = view[base + 2 * j], view[base + 2 * j + 1]
+                if w != key[0] or e != key[1]:
+                    out.append(
+                        f"compiled mirror C[{i},{j}] = ({w!r}, {e!r}) but "
+                        f"authoritative key is {key!r}")
+                    if len(out) >= max_findings:
+                        return out
+        return out

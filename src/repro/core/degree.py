@@ -110,6 +110,13 @@ class DegreeReducer:
                                          lazy_vertices=True, backend=backend)
         else:
             self.core = engine_factory(n_core)
+        # compiled backend: the change-log first-flip walk is the one
+        # reducer-level loop the profile surfaces; C twin when available
+        self._first_flip = None
+        if backend == "compiled":
+            from . import compiled
+            if compiled.HAVE_COMPILED:
+                self._first_flip = compiled.kernels.first_flip
         self._pool = list(range(n_core - 1, n - 1, -1))  # free gadget ids
         self.chains = [_Chain(v) for v in range(n)]
         # real-edge registry: eid -> (u, v, w, core Edge, host_u, host_v)
@@ -228,10 +235,14 @@ class DegreeReducer:
         # single pass over the log tail: the first flip of each touched
         # edge tells its status *before* the update (the old per-edge
         # `next()` rescans made this quadratic in the tail length)
-        first_flip: dict[int, bool] = {}
-        for eid, flag in self.core.change_log[mark:]:
-            if eid > 0 and eid not in first_flip:
-                first_flip[eid] = flag
+        if self._first_flip is not None:
+            first_flip: dict[int, bool] = self._first_flip(
+                self.core.change_log, mark)
+        else:
+            first_flip = {}
+            for eid, flag in self.core.change_log[mark:]:
+                if eid > 0 and eid not in first_flip:
+                    first_flip[eid] = flag
         added: set[int] = set()
         removed: set[int] = set()
         for t, flip in first_flip.items():

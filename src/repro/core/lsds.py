@@ -31,7 +31,7 @@ except ImportError:  # pure-python fallback; see core._nplite
     from . import _nplite as np  # type: ignore[no-redef]
 
 from ..structures import two_three_tree as tt
-from . import columnar
+from . import columnar, compiled
 from .chunks import Chunk, ChunkSpace
 from .model import INF_KEY
 
@@ -55,6 +55,8 @@ def node_cadj(space: ChunkSpace, node: tt.Node) -> np.ndarray:
     cadj = node.agg[0]
     if space.col_lsds:
         return columnar.objectify_keys(cadj)
+    if space.comp_lsds:
+        return _objectify_comp_keys(cadj, space.Jcap)
     return cadj
 
 
@@ -63,7 +65,29 @@ def node_memb(space: ChunkSpace, node: tt.Node) -> np.ndarray:
         chunk: Chunk = node.item
         assert chunk.memb_row is not None, "short chunks have no Memb"
         return chunk.memb_row
-    return node.agg[1]
+    memb = node.agg[1]
+    if space.comp_lsds:
+        return _objectify_comp_memb(memb, space.Jcap)
+    return memb
+
+
+def _objectify_comp_keys(buf: bytearray, Jcap: int) -> np.ndarray:
+    """Materialize a flat compiled aggregate back to object key tuples.
+
+    Like :func:`columnar.objectify_keys`: eids come back as floats that
+    compare equal to the scalar path's ints.  Audit-path only -- the hot
+    compiled paths walk the flat buffers in C and never pay this.
+    """
+    view = memoryview(buf).cast("d")
+    out = np.empty(Jcap, dtype=object)
+    out[:] = [(view[2 * k], view[2 * k + 1]) for k in range(Jcap)]
+    return out
+
+
+def _objectify_comp_memb(buf: bytearray, Jcap: int) -> np.ndarray:
+    out = np.zeros(Jcap, dtype=bool)
+    out[:] = [bool(b) for b in buf[:Jcap]]
+    return out
 
 
 def make_pull(space: ChunkSpace) -> Callable[[tt.Node], None]:
@@ -81,6 +105,8 @@ def make_pull(space: ChunkSpace) -> Callable[[tt.Node], None]:
     """
     if space.col_lsds:
         return _make_pull_columnar(space)
+    if space.comp_lsds:
+        return _make_pull_compiled(space)
     C = space.C
     Jcap = space.Jcap
     charge = space.ops.charge
@@ -159,6 +185,27 @@ def _make_pull_columnar(space: ChunkSpace) -> Callable[[tt.Node], None]:
     return pull
 
 
+def _make_pull_compiled(space: ChunkSpace) -> Callable[[tt.Node], None]:
+    """Compiled twin of :func:`make_pull`: one C call recomputes the
+    (CAdj_z, Memb_z) pair over the flat float64 buffers, identical
+    charges.  Leaf memb rows are synthesized one-hot inside the kernel
+    (``chunk.memb_row`` stays the audit-facing bool array)."""
+    buf = space.compm.buf
+    Jcap = space.Jcap
+    charge = space.ops.charge
+    pull_node = compiled.kernels.pull_node
+
+    def pull(node: tt.Node) -> None:
+        if not node.kids:
+            return
+        if node.agg is None:
+            node.agg = (bytearray(16 * Jcap), bytearray(Jcap))
+        n = pull_node(node, buf, Jcap)
+        charge("lsds_pull", Jcap * n)
+
+    return pull
+
+
 def make_pull_changed(space: ChunkSpace) -> Callable[[tt.Node], bool]:
     """Change-detecting pull for :func:`tt.refresh_upward_changed`.
 
@@ -172,6 +219,8 @@ def make_pull_changed(space: ChunkSpace) -> Callable[[tt.Node], bool]:
     """
     if space.col_lsds:
         return _make_pull_changed_columnar(space)
+    if space.comp_lsds:
+        return _make_pull_changed_compiled(space)
     C = space.C
     Jcap = space.Jcap
     charge = space.ops.charge
@@ -270,6 +319,33 @@ def _make_pull_changed_columnar(space: ChunkSpace) -> Callable[[tt.Node], bool]:
     return pull_changed
 
 
+def _make_pull_changed_compiled(space: ChunkSpace) -> Callable[[tt.Node], bool]:
+    """Compiled twin of :func:`make_pull_changed`: the kernel recomputes
+    into the hoisted scratch buffers, compares double *values* (so the
+    change verdict matches scalar tuple equality exactly, ``-0.0 == 0.0``
+    included) and writes back only on change.  Identical charges."""
+    buf = space.compm.buf
+    Jcap = space.Jcap
+    charge = space.ops.charge
+    changed_kernel = compiled.kernels.pull_node_changed
+    scratch_keys = bytearray(16 * Jcap)
+    scratch_memb = bytearray(Jcap)
+    build = _make_pull_compiled(space)
+
+    def pull_changed(node: tt.Node) -> bool:
+        kids = node.kids
+        if not kids:
+            return False
+        if node.agg is None:  # first pull ever: build in place
+            build(node)
+            return True
+        out = changed_kernel(node, buf, Jcap, scratch_keys, scratch_memb)
+        charge("lsds_pull", Jcap * len(kids))
+        return out
+
+    return pull_changed
+
+
 class EulerList:
     """One Euler-tour list: a handle on an LSDS root."""
 
@@ -319,9 +395,13 @@ class ListRegistry:
         self.long_lists: set[EulerList] = set()
         self.pull = make_pull(space)
         self.pull_changed = make_pull_changed(space)
-        # column-sweep flavor bound once (col_lsds is fixed at construction)
-        self._sweep = (self._col_sweep_columnar if space.col_lsds
-                       else self._col_sweep)
+        # column-sweep flavor bound once (fixed at construction)
+        if space.comp_lsds:
+            self._sweep = self._col_sweep_compiled
+        elif space.col_lsds:
+            self._sweep = self._col_sweep_columnar
+        else:
+            self._sweep = self._col_sweep
         # bound once: ``list_of_chunk`` runs a few thousand times per E9
         # update batch and the ``self.space.ops.charge`` attribute chain
         # was measurable (the OpCounter's identity survives ``reset``)
@@ -402,6 +482,16 @@ class ListRegistry:
 
         The O(J)-total column sweep of ``UpdateAdj``; bottom-up per tree.
         """
+        space = self.space
+        if space.comp_lsds and self.long_lists:
+            # batched: one kernel call sweeps every long list's tree (most
+            # are single-leaf roots -- pure dispatch overhead in python)
+            # and one charge with the summed visited-vertex count keeps the
+            # counter totals bit-identical to the per-list recursion.
+            n_nodes = compiled.kernels.col_sweep_many(
+                list(self.long_lists), j, space.compm.buf, space.Jcap)
+            space.ops.charge("col_sweep", n_nodes)
+            return
         sweep = self._sweep
         for lst in self.long_lists:
             sweep(lst.root, j)
@@ -482,4 +572,18 @@ class ListRegistry:
                 nmemb.append(m)
             vals = nvals
             memb = nmemb
+        space.ops.charge("col_sweep", n_nodes)
+
+    def _col_sweep_compiled(self, node: tt.Node, j: int) -> None:
+        """Compiled twin of :meth:`_col_sweep`: the whole post-order
+        recursion runs in C over the flat matrix and aggregate buffers
+        (same strict-< leftmost-wins fold); ``col_sweep`` is charged once
+        with the kernel's visited-vertex count -- identical sums."""
+        space = self.space
+        if node.is_leaf:
+            assert node.item.id is not None
+            space.ops.charge("col_sweep")
+            return
+        n_nodes = compiled.kernels.col_sweep(node, j, space.compm.buf,
+                                             space.Jcap)
         space.ops.charge("col_sweep", n_nodes)

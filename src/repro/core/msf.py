@@ -47,10 +47,13 @@ class DynamicMSF:
     backend:
         ``"scalar"`` -- object-array kernels (default, no dependencies);
         ``"columnar"`` -- numpy struct-of-array kernels for the hot paths
-        (requires the ``repro[columnar]`` extra).  Forests, edge-id
-        streams, op counters and PRAM depth/work are bit-identical across
-        backends; only wall-clock changes.  Raises
-        :class:`repro.resilience.errors.BackendUnavailable` when numpy is
+        (requires the ``repro[columnar]`` extra); ``"compiled"`` -- native
+        C kernels for the tuple-min inner loops (requires the
+        ``repro[compiled]`` extra / ``python -m repro.core.compiled.build``).
+        Forests, edge-id streams, op counters and PRAM depth/work are
+        bit-identical across backends; only wall-clock changes.  Raises
+        :class:`repro.resilience.errors.BackendUnavailable` when the
+        chosen backend's extension (numpy / the ``_kernels`` C module) is
         absent.
 
     Examples
@@ -75,9 +78,9 @@ class DynamicMSF:
         if engine not in ("sequential", "parallel"):
             raise ValueError(
                 f"engine must be 'sequential' or 'parallel', got {engine!r}")
-        if backend not in ("scalar", "columnar"):
-            raise ValueError(
-                f"backend must be 'scalar' or 'columnar', got {backend!r}")
+        if backend not in ("scalar", "columnar", "compiled"):
+            raise ValueError(f"backend must be 'scalar', 'columnar' or "
+                             f"'compiled', got {backend!r}")
         self.n = n
         self.engine_kind = engine
         self.sparsified = sparsify
@@ -89,7 +92,7 @@ class DynamicMSF:
         elif engine == "parallel":
             from .par import ParallelDynamicMSF
             self._impl = DegreeReducer(
-                n, max_edges,
+                n, max_edges, backend=backend,
                 engine_factory=lambda nc: ParallelDynamicMSF(
                     nc, K=K, backend=backend))
         else:

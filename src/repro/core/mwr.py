@@ -79,6 +79,44 @@ def _find_mwr_columnar(fabric: Fabric, l1: EulerList, l2: EulerList) -> Optional
     return best
 
 
+def _find_mwr_compiled(fabric: Fabric, l1: EulerList, l2: EulerList) -> Optional[Edge]:
+    """Long/long MWR over the flat float64 buffers (compiled backend).
+
+    One C pass fuses the gamma mask and its argmin (first-index on ties,
+    like ``np.argmin`` over the masked object vector); the charges and
+    the candidate scan match the scalar path exactly.
+    """
+    from . import compiled
+
+    space = fabric.space
+    root1 = l1.root
+    if root1.is_leaf:
+        keys, off = space.compm.buf, root1.item.id * space.Jcap
+    else:
+        keys, off = root1.agg[0], 0
+    root2 = l2.root
+    memb2 = root2.item.memb_row if root2.is_leaf else root2.agg[1]
+    j, w, e = compiled.kernels.gamma_argmin(keys, off, memb2, space.Jcap)
+    space.ops.charge("mwr_gamma", space.Jcap)
+    space.ops.charge("mwr_argmin", space.Jcap)
+    if w == INF_KEY[0] and e == INF_KEY[1]:
+        return None
+    chat = space.chunk_of_id[j]
+    assert chat is not None
+    memb1 = root1.item.memb_row if root1.is_leaf else root1.agg[1]
+    best: Optional[Edge] = None
+    for vertex, ed in chat.edge_endpoints():
+        space.ops.charge("mwr_scan")
+        v2 = ed.other(vertex)
+        wc = v2.pc.chunk  # type: ignore[union-attr]
+        if wc.id is not None and memb1[wc.id]:
+            if best is None or ed.key < best.key:
+                best = ed
+    assert best is not None and best.key[0] == w, \
+        "candidate chunk scan must realize the gamma minimum"
+    return best
+
+
 def find_mwr(fabric: Fabric, l1: EulerList, l2: EulerList) -> Optional[Edge]:
     """Lightest edge between ``l1`` and ``l2``; ``None`` if disconnected."""
     if l1.is_short:
@@ -88,6 +126,8 @@ def find_mwr(fabric: Fabric, l1: EulerList, l2: EulerList) -> Optional[Edge]:
     space = fabric.space
     if space.col_lsds:
         return _find_mwr_columnar(fabric, l1, l2)
+    if space.comp_lsds:
+        return _find_mwr_compiled(fabric, l1, l2)
     cadj1 = node_cadj(space, l1.root)
     memb2 = node_memb(space, l2.root)
     gamma = np.where(memb2, cadj1, space.inf_row)

@@ -780,10 +780,14 @@ def _snap_col(space: ChunkSpace, j: int):
     With the columnar backend on, the snapshot/diff runs over the complex
     mirror column (a float compare per entry) instead of the object column
     (a python tuple compare per entry); the mirror is dual-written at every
-    C write site, so the two columns dirty identically.
+    C write site, so the two columns dirty identically.  The compiled
+    backend snapshots its flat mirror into a fresh ``DColumn`` (the C
+    ``diff_keys`` kernel does the value diff).
     """
     if space.colm is not None:
         return space.colm.CC[:, j]
+    if space.compm is not None:
+        return space.compm.column_snapshot(j)
     return space.C[:, j]
 
 
@@ -811,19 +815,35 @@ def _sweep_incremental(space: ChunkSpace, tall: list[tt.Node], j: int) -> None:
     """
     col = _snap_col(space, j)
     snap = space.col_snap.get(j)
+    compiled_mode = space.compm is not None
     if snap is None:
         # first absorb of this column: full recompute, then snapshot
-        for root in tall:
-            _sweep_direct(space, root, j)
+        if compiled_mode:
+            # C object-mode sweep: identical writes to _sweep_direct (the
+            # parallel LSDS aggregates stay object arrays -- PRAM programs
+            # register them by identity -- so only dispatch is compiled)
+            from ..compiled import kernels as _ck
+            for root in tall:
+                _ck.col_sweep_obj(root, j, space.row_views)
+        else:
+            for root in tall:
+                _sweep_direct(space, root, j)
         space.col_snap[j] = col.copy()
         return
-    neq = col != snap
-    if not neq.any():
-        return
+    if compiled_mode:
+        from ..compiled import kernels as _ck
+        dirty = _ck.diff_keys(snap, col, space.Jcap)
+        if not dirty:
+            return
+    else:
+        neq = col != snap
+        if not neq.any():
+            return
+        dirty = np.nonzero(neq)[0]
     tall_ids = {id(r) for r in tall}
     row_views = space.row_views
     chunk_of_id = space.chunk_of_id
-    for i in np.nonzero(neq)[0]:
+    for i in dirty:
         ch = chunk_of_id[i]
         if ch is not None and ch.leaf is not None and \
                 ch.leaf.parent is not None:
@@ -859,7 +879,12 @@ def _sweep_incremental(space: ChunkSpace, tall: list[tt.Node], j: int) -> None:
                     memb = memb or bool(smemb)
                 node.agg[0][j] = val
                 node.agg[1][j] = memb
-        snap[i] = col[i]
+        if compiled_mode:
+            # DColumn stores (w, e) pairs: sync both halves of entry i
+            snap[2 * i] = col[2 * i]
+            snap[2 * i + 1] = col[2 * i + 1]
+        else:
+            snap[i] = col[i]
 
 
 # ---------------------------------------------------------------------------

@@ -222,7 +222,7 @@ class _Node:
         elif parallel:
             from .par import ParallelDynamicMSF
             self.engine = DegreeReducer(
-                n_local, max_edges=3 * n_local + 8,
+                n_local, max_edges=3 * n_local + 8, backend=backend,
                 engine_factory=lambda nc: ParallelDynamicMSF(
                     nc, K=K, backend=backend))
         else:

@@ -232,6 +232,15 @@ def _audit_core(core, level: str) -> list[Finding]:
             for msg in colm.verify_against(space.C):
                 out.append(Finding("columnar", msg, level))
         _guard(out, "columnar", level, mirror_agrees)
+    # compiled backend: the flat float64 mirror must agree entrywise with
+    # the authoritative object matrix (catches a torn dual-write, e.g.
+    # the seeded ``compiled.kernel`` fault)
+    compm = getattr(space, "compm", None)
+    if compm is not None:
+        def flat_mirror_agrees() -> None:
+            for msg in compm.verify_against(space.C):
+                out.append(Finding("compiled", msg, level))
+        _guard(out, "compiled", level, flat_mirror_agrees)
     return out
 
 
@@ -401,6 +410,12 @@ def check_core(core, level: str = "cheap") -> list[Finding]:
             for msg in colm.verify_against(space.C):
                 out.append(Finding("columnar", msg, level))
         _guard(out, "columnar", level, mirror_agrees)
+    compm = getattr(space, "compm", None)
+    if compm is not None:
+        def flat_mirror_agrees() -> None:
+            for msg in compm.verify_against(space.C):
+                out.append(Finding("compiled", msg, level))
+        _guard(out, "compiled", level, flat_mirror_agrees)
     machine = getattr(core, "machine", None)
     if machine is not None:
         out.extend(check_machine(machine, level))

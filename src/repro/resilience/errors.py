@@ -20,7 +20,8 @@ catch one base class and still discriminate:
     isolate a poisoned op).
 ``BackendUnavailable``
     an optional execution backend was requested without its dependency
-    (``backend="columnar"`` needs the ``repro[columnar]`` extra).
+    (``backend="columnar"`` needs the ``repro[columnar]`` extra;
+    ``backend="compiled"`` needs the native extension built).
     Subclasses ``ImportError`` so generic dependency-guard call sites
     keep working unchanged.
 """

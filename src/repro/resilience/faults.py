@@ -234,6 +234,28 @@ def _corrupt_columnar_col(param: int, ctx: dict) -> Optional[dict]:
     return {"detail": f"columnar mirror C[{i},{j}] += {delta}"}
 
 
+def _corrupt_compiled_kernel(param: int, ctx: dict) -> Optional[dict]:
+    """Skew one float64 of the compiled backend's flat key mirror.
+
+    Fired from ``ChunkSpace.mirror_column`` like ``columnar.col``.  The
+    authoritative object matrix stays intact; the corruption only shows
+    through the native kernels' reads, which is exactly the torn
+    dual-write the structural tier's ``compm.verify_against`` detects.
+    """
+    space = ctx.get("space")
+    compm = getattr(space, "compm", None)
+    if compm is None:
+        return None
+    cid = ctx.get("cid")
+    Jcap = compm.Jcap
+    j = cid if cid is not None else param % Jcap
+    i = param % Jcap
+    delta = 0.5 + param % 3
+    view = memoryview(compm.buf).cast("d")
+    view[2 * (i * Jcap + j)] += delta
+    return {"detail": f"compiled mirror C[{i},{j}] weight += {delta}"}
+
+
 def _kill_cluster_worker(param: int, ctx: dict) -> Optional[dict]:
     """SIGKILL one live worker of a sharded serving cluster.
 
@@ -276,6 +298,9 @@ SITES: dict[str, tuple[str, Callable[[int, dict], Optional[dict]]]] = {
     "columnar.col": (
         "skew one entry of the columnar complex mirror of matrix C",
         _corrupt_columnar_col),
+    "compiled.kernel": (
+        "skew one float64 of the compiled backend's flat key mirror",
+        _corrupt_compiled_kernel),
     "cluster.worker": (
         "SIGKILL one live worker process of a sharded serving cluster",
         _kill_cluster_worker),

@@ -210,6 +210,8 @@ def run_campaign(seed: int, *, engine: str = "sequential",
         sites = list(SITES_BY_CONFIG[(engine, sparsify)])
         if backend == "columnar":
             sites.append("columnar.col")
+        elif backend == "compiled":
+            sites.append("compiled.kernel")
     else:
         sites = list(sites)
     if workload == "worker_mix":

@@ -63,9 +63,9 @@ class BatchedMSF:
         the read-heavy serving configuration (ROADMAP's
         "millions of users" goal) and what ``bench_serve.py`` measures.
     backend:
-        ``"scalar"`` (default) or ``"columnar"``, forwarded to the
-        backend engines as in :class:`repro.DynamicMSF`; bit-identical
-        op streams either way.
+        ``"scalar"`` (default), ``"columnar"`` or ``"compiled"``,
+        forwarded to the backend engines as in :class:`repro.DynamicMSF`;
+        bit-identical op streams either way.
     """
 
     def __init__(self, n: int, *, engine: str = "sequential",
@@ -86,9 +86,10 @@ class BatchedMSF:
                 f"got {consistency!r}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-        if backend not in ("scalar", "columnar"):
+        if backend not in ("scalar", "columnar", "compiled"):
             raise ValueError(
-                f"backend must be 'scalar' or 'columnar', got {backend!r}")
+                f"backend must be 'scalar', 'columnar' or 'compiled', "
+                f"got {backend!r}")
         self.consistency = consistency
         self.n = n
         self.engine_kind = engine

@@ -1,6 +1,8 @@
 """Dead-worker recovery: SIGKILL detection, stale-claim cleanup, registry
 rebuild, twin-fingerprint verification, and the exhausted ladder."""
 
+import time
+
 import pytest
 
 from repro.resilience import faults
@@ -122,11 +124,19 @@ def test_stale_heartbeat_view_reports_dead_worker():
         c.insert_edge(0, 1, 1.0)
         c.flush()
         assert c._coord.stale_workers() == []   # everyone beating
-        beats = {w["worker_id"]
-                 for s in (0, 1)
-                 for w in [c._coord.store.worker_beat(
-                     c._coord.workers[s].worker_id)]
-                 if w is not None and w["status"] == "alive"}
+        # the idle shard's first beat comes from its beat thread, not the
+        # batch round-trip, so poll briefly before asserting (a loaded CI
+        # host can delay worker startup well past beat_interval)
+        deadline = time.monotonic() + 10.0
+        while True:
+            beats = {w["worker_id"]
+                     for s in (0, 1)
+                     for w in [c._coord.store.worker_beat(
+                         c._coord.workers[s].worker_id)]
+                     if w is not None and w["status"] == "alive"}
+            if len(beats) == 2 or time.monotonic() > deadline:
+                break
+            time.sleep(0.02)
         assert len(beats) == 2
     finally:
         c.close()

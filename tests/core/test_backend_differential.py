@@ -1,0 +1,265 @@
+"""Backend-parametrized differential suite (PR 8).
+
+One contract, every optional execution backend: for any op stream,
+``backend="columnar"`` and ``backend="compiled"`` must produce the same
+forests, edge-id streams, ``msf_weight``, op-counter totals, PRAM
+depth/work and facade ``state_fingerprint`` as the scalar path -- only
+wall clock may differ.  PR 7 pinned this for the columnar backend in
+``test_columnar_differential.py``; this file is that suite refactored to
+parametrize over backends, so PR 8's compiled tier (and any future
+backend) rides the identical gates instead of growing a diverged copy.
+Backend-specific substrate tests stay in their own files.
+
+Availability is per-backend: columnar rows skip without numpy, compiled
+rows skip without a C compiler -- when a compiler exists but the
+extension is stale or absent, the fixture builds it on the spot (the
+``repro[compiled]`` extra is a build step, not a dependency).
+"""
+
+from __future__ import annotations
+
+import importlib
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.msf import DynamicMSF
+from repro.core.par import ParallelDynamicMSF
+from repro.core.seq_msf import SparseDynamicMSF
+from repro.resilience.checks import state_fingerprint
+from repro.resilience.soak import run_campaign
+from repro.workloads import adversarial_cuts, churn, drive, query_mix, \
+    worker_mix
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+BACKENDS = ("columnar", "compiled")
+
+
+def _ensure_compiled():
+    """Make ``backend="compiled"`` usable, or return a skip reason.
+
+    Builds the extension with the system compiler when it is absent,
+    then rebinds the already-imported package in place (the package and
+    its ``matrix`` submodule were loaded in degraded mode, so a plain
+    build would not be seen by this process).
+    """
+    from repro.core import compiled
+    if compiled.HAVE_COMPILED:
+        return None
+    from repro.core.compiled import build
+    if build.find_compiler() is None:
+        return "no C compiler to build the native extension"
+    try:
+        build.build()
+    except Exception as exc:  # noqa: BLE001 - report, don't crash collect
+        return f"native extension build failed: {exc}"
+    importlib.reload(compiled)  # re-probes _kernels
+    matrix = importlib.reload(sys.modules["repro.core.compiled.matrix"])
+    compiled.CompiledMatrix = matrix.CompiledMatrix
+    compiled.DColumn = matrix.DColumn
+    if not compiled.HAVE_COMPILED:
+        return "native extension built but import still failed"
+    return None
+
+
+def _require_backend(backend: str) -> None:
+    if backend == "columnar":
+        pytest.importorskip(
+            "numpy", reason="the columnar backend needs the "
+            "repro[columnar] extra", exc_type=ImportError)
+    else:
+        reason = _ensure_compiled()
+        if reason is not None:
+            pytest.skip(reason)
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request) -> str:
+    _require_backend(request.param)
+    return request.param
+
+
+# --------------------------------------------------------------- facades
+
+def _stream_for(workload: str, n: int, steps: int, seed: int) -> list:
+    if workload == "churn":
+        return list(churn(n, steps, seed=seed))
+    if workload == "query_mix":
+        return list(query_mix(n, steps, read_ratio=0.6, seed=seed))
+    assert workload == "worker_mix"
+    return list(worker_mix(n, steps, shards=4, cross_fraction=0.1,
+                           read_ratio=0.3, seed=seed))
+
+
+def _facade_out(eng, s) -> tuple:
+    return (s.results,                       # every intermediate read
+            sorted(s.eids.items()),          # eid assignment stream
+            tuple(sorted(eng.msf_ids())),
+            round(eng.msf_weight(), 9),
+            state_fingerprint(eng._impl))
+
+
+@pytest.mark.parametrize("workload", ["churn", "query_mix", "worker_mix"])
+@pytest.mark.parametrize("n", [64, 256])
+def test_facade_fuzz_bit_identity(backend: str, workload: str,
+                                  n: int) -> None:
+    """Seeded fuzz: the sparsified facade under scalar and the optional
+    backend replays the same stream to identical read results, eid
+    streams, forests, weights and fingerprints."""
+    steps = 80 if n >= 256 else 120
+    ops = _stream_for(workload, n, steps, seed=n + 13)
+    outs = []
+    for bk in ("scalar", backend):
+        eng = DynamicMSF(n, sparsify=True, backend=bk)
+        outs.append(_facade_out(eng, drive(eng, ops)))
+        assert eng.self_check("structural") == []
+        eng.release()
+    assert outs[0] == outs[1]
+
+
+@pytest.mark.parametrize("engine", ["sequential", "parallel"])
+def test_facade_engines_identical(backend: str, engine: str) -> None:
+    n = 48
+    ops = _stream_for("churn", n, 100, seed=3)
+    outs = []
+    for bk in ("scalar", backend):
+        eng = DynamicMSF(n, engine=engine, sparsify=False, backend=bk)
+        outs.append(_facade_out(eng, drive(eng, ops)))
+    assert outs[0] == outs[1]
+
+
+# ------------------------------------------------------------ bare cores
+
+def test_seq_core_counters_and_mirror(backend: str) -> None:
+    """Charged op-counter totals are bit-identical (batched backend
+    charges must sum to the scalar per-call totals), and the backend's
+    mirror of matrix ``C`` agrees entrywise with the object matrix."""
+    n = 128
+    ops = list(churn(n, 150, seed=9, max_degree=3))
+    outs = []
+    engines = []
+    for bk in ("scalar", backend):
+        eng = SparseDynamicMSF(n, K=4, backend=bk)
+        handles = {}
+        for idx, op in enumerate(ops):
+            if op[0] == "ins":
+                _t, u, v, w = op
+                handles[idx] = eng.insert_edge(u, v, w, eid=10_000 + idx)
+            else:
+                eng.delete_edge(handles.pop(op[1]))
+        outs.append((dict(eng.ops.counts),
+                     tuple(sorted(e.eid for e in eng.msf_edges())),
+                     round(eng.msf_weight(), 9)))
+        engines.append(eng)
+    assert outs[0] == outs[1]
+    space = engines[1].fabric.space
+    mirror = space.colm if backend == "columnar" else space.compm
+    assert mirror is not None
+    assert mirror.verify_against(space.C) == []
+    scalar_space = engines[0].fabric.space
+    assert scalar_space.colm is None and scalar_space.compm is None
+
+
+def test_parallel_core_depth_work_identical(backend: str) -> None:
+    """PRAM depth/work are *model* quantities: an execution backend may
+    not change them by even one unit, per update or in total."""
+    n = 64
+    ops = list(adversarial_cuts(n, 3, seed=3))
+    outs = []
+    for bk in ("scalar", backend):
+        eng = ParallelDynamicMSF(n, audit="fast", backend=bk)
+        handles = {}
+        for idx, op in enumerate(ops):
+            if op[0] == "ins":
+                _t, u, v, w = op
+                handles[idx] = eng.insert_edge(u, v, w, eid=10_000 + idx)
+            else:
+                eng.delete_edge(handles.pop(op[1]))
+        outs.append((
+            [(s.depth, s.work) for s in eng.update_stats],
+            (eng.machine.total.depth, eng.machine.total.work),
+            tuple(sorted(e.eid for e in eng.msf_edges())),
+            round(eng.msf_weight(), 9),
+        ))
+    assert outs[0] == outs[1]
+
+
+# ----------------------------------------------- compiled-tier specifics
+
+def test_backend_unavailable_without_extension(tmp_path) -> None:
+    """Without the native extension the scalar backend keeps working and
+    ``backend="compiled"`` raises ``BackendUnavailable`` naming the build
+    command -- exercised in a subprocess with the extension import
+    blocked, so it holds on hosts where the extension *is* built."""
+    code = (
+        "import sys\n"
+        "class _Block:\n"
+        "    def find_spec(self, name, path=None, target=None):\n"
+        "        if name == 'repro.core.compiled._kernels':\n"
+        "            raise ImportError('extension blocked for this test')\n"
+        "        return None\n"
+        "sys.meta_path.insert(0, _Block())\n"
+        "from repro.core.msf import DynamicMSF\n"
+        "from repro.resilience.errors import BackendUnavailable\n"
+        "m = DynamicMSF(8, sparsify=True)\n"
+        "e1 = m.insert_edge(0, 1, 1.0); e2 = m.insert_edge(1, 2, 2.0)\n"
+        "assert m.connected(0, 2) and m.msf_weight() == 3.0\n"
+        "m.delete_edge(e1)\n"
+        "assert not m.connected(0, 2)\n"
+        "try:\n"
+        "    DynamicMSF(8, backend='compiled')\n"
+        "except BackendUnavailable as exc:\n"
+        "    assert 'compiled' in str(exc)\n"
+        "    assert 'repro.core.compiled.build' in str(exc)\n"
+        "else:\n"
+        "    raise SystemExit('BackendUnavailable not raised')\n"
+        "print('NO-EXTENSION-OK')\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        capture_output=True, text=True, timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert "NO-EXTENSION-OK" in proc.stdout
+
+
+def test_compiled_mirror_fault_detected_and_recovered() -> None:
+    """The seeded ``compiled.kernel`` fault (one float64 of the flat
+    mirror skewed) is detected by ``compm.verify_against`` through the
+    tiered checks and recovered by the ladder: the campaign must end
+    ``ok`` with zero wrong answers."""
+    reason = _ensure_compiled()
+    if reason is not None:
+        pytest.skip(reason)
+    report = run_campaign(7, engine="sequential", sparsify=True,
+                          backend="compiled", sites=["compiled.kernel"],
+                          n=32, n_ops=200, n_faults=4)
+    assert report["ok"], report["final"]
+    assert report["wrong_answers"] == 0
+    assert report["n_detected"] + report["n_masked"] >= report["n_injected"]
+
+
+def test_compiled_verify_against_pinpoints_skew() -> None:
+    """``verify_against`` names the exact skewed entry and caps its
+    findings, mirroring the columnar verifier's shape."""
+    reason = _ensure_compiled()
+    if reason is not None:
+        pytest.skip(reason)
+    eng = SparseDynamicMSF(32, K=4, backend="compiled")
+    handles = []
+    for i in range(10):
+        handles.append(eng.insert_edge(i, i + 1, float(i + 1),
+                                       eid=100 + i))
+    space = eng.fabric.space
+    assert space.compm.verify_against(space.C) == []
+    view = memoryview(space.compm.buf).cast("d")
+    view[2 * (1 * space.Jcap + 2)] += 0.25
+    findings = space.compm.verify_against(space.C)
+    assert len(findings) == 1
+    assert "C[1,2]" in findings[0]
+    view[2 * (2 * space.Jcap + 1)] += 0.25
+    assert len(space.compm.verify_against(space.C, max_findings=1)) == 1
+    assert len(space.compm.verify_against(space.C)) == 2

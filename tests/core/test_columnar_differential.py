@@ -1,13 +1,12 @@
-"""Differential suite for the columnar execution backend (PR 7).
+"""Columnar-specific substrate tests (PR 7).
 
-The columnar backend's contract is *bit-identity*: for any op stream,
-``backend="columnar"`` must produce the same forests, edge-id streams,
-``msf_weight``, op-counter totals, PRAM depth/work and facade
-``state_fingerprint`` as the scalar path -- only wall clock may differ.
-This suite pins the contract with seeded fuzz across the workload
-family and engine configurations, pins the vectorized substrate pieces
-(``build_rightmost`` level aggregation, ``TourArray``) against their
-scalar twins, and covers the no-numpy degradation path.
+The generic bit-identity contract (forests, eid streams, counter
+totals, PRAM depth/work, fingerprints under any op stream) moved to the
+backend-parametrized ``test_backend_differential.py`` in PR 8, where
+every optional backend rides the same gates.  What stays here is what
+only the columnar backend has: the vectorized substrate pieces
+(``build_rightmost`` level aggregation, ``TourArray``) pinned against
+their scalar twins, and the no-numpy degradation path.
 """
 
 from __future__ import annotations
@@ -27,120 +26,10 @@ from repro.core.chunks import _bt_pull
 from repro.core.columnar import ttree as cttree
 from repro.core.columnar.tour import TourArray
 from repro.core.msf import DynamicMSF
-from repro.core.par import ParallelDynamicMSF
-from repro.core.seq_msf import SparseDynamicMSF
-from repro.resilience.checks import state_fingerprint
 from repro.structures import two_three_tree as tt
 from repro.structures.ett import EulerTourForest
-from repro.workloads import adversarial_cuts, churn, drive, query_mix, \
-    worker_mix
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
-
-
-# --------------------------------------------------------------- facades
-
-def _stream_for(workload: str, n: int, steps: int, seed: int) -> list:
-    if workload == "churn":
-        return list(churn(n, steps, seed=seed))
-    if workload == "query_mix":
-        return list(query_mix(n, steps, read_ratio=0.6, seed=seed))
-    assert workload == "worker_mix"
-    return list(worker_mix(n, steps, shards=4, cross_fraction=0.1,
-                           read_ratio=0.3, seed=seed))
-
-
-@pytest.mark.parametrize("workload", ["churn", "query_mix", "worker_mix"])
-@pytest.mark.parametrize("n", [64, 256, 512])
-def test_facade_fuzz_bit_identity(workload: str, n: int) -> None:
-    """Seeded fuzz: the sparsified facade under both backends replays the
-    same stream to identical read results, eid streams, forests, weights
-    and fingerprints."""
-    steps = 80 if n >= 256 else 120
-    ops = _stream_for(workload, n, steps, seed=n + 13)
-    outs = []
-    for backend in ("scalar", "columnar"):
-        eng = DynamicMSF(n, sparsify=True, backend=backend)
-        s = drive(eng, ops)
-        outs.append((
-            s.results,                       # every intermediate read
-            sorted(s.eids.items()),          # eid assignment stream
-            tuple(sorted(eng.msf_ids())),
-            round(eng.msf_weight(), 9),
-            state_fingerprint(eng._impl),
-        ))
-        assert eng.self_check("structural") == []
-        eng.release()
-    assert outs[0] == outs[1]
-
-
-@pytest.mark.parametrize("engine", ["sequential", "parallel"])
-def test_facade_engines_identical(engine: str) -> None:
-    n = 48
-    ops = _stream_for("churn", n, 100, seed=3)
-    outs = []
-    for backend in ("scalar", "columnar"):
-        eng = DynamicMSF(n, engine=engine, sparsify=False, backend=backend)
-        s = drive(eng, ops)
-        outs.append((s.results, sorted(s.eids.items()),
-                     tuple(sorted(eng.msf_ids())),
-                     round(eng.msf_weight(), 9),
-                     state_fingerprint(eng._impl)))
-    assert outs[0] == outs[1]
-
-
-# ------------------------------------------------------------ bare cores
-
-def test_seq_core_counters_and_mirror() -> None:
-    """Charged op-counter totals are bit-identical (batched columnar
-    charges must sum to the scalar per-call totals), and the complex
-    mirror agrees entrywise with the object matrix afterwards."""
-    n = 128
-    ops = list(churn(n, 150, seed=9, max_degree=3))
-    outs = []
-    engines = []
-    for backend in ("scalar", "columnar"):
-        eng = SparseDynamicMSF(n, K=4, backend=backend)
-        handles = {}
-        for idx, op in enumerate(ops):
-            if op[0] == "ins":
-                _t, u, v, w = op
-                handles[idx] = eng.insert_edge(u, v, w, eid=10_000 + idx)
-            else:
-                eng.delete_edge(handles.pop(op[1]))
-        outs.append((dict(eng.ops.counts),
-                     tuple(sorted(e.eid for e in eng.msf_edges())),
-                     round(eng.msf_weight(), 9)))
-        engines.append(eng)
-    assert outs[0] == outs[1]
-    colm = engines[1].fabric.space.colm
-    assert colm is not None
-    assert colm.verify_against(engines[1].fabric.space.C) == []
-    assert engines[0].fabric.space.colm is None  # scalar engines carry none
-
-
-def test_parallel_core_depth_work_identical() -> None:
-    """PRAM depth/work are *model* quantities: the columnar backend may
-    not change them by even one unit, per update or in total."""
-    n = 64
-    ops = list(adversarial_cuts(n, 3, seed=3))
-    outs = []
-    for backend in ("scalar", "columnar"):
-        eng = ParallelDynamicMSF(n, audit="fast", backend=backend)
-        handles = {}
-        for idx, op in enumerate(ops):
-            if op[0] == "ins":
-                _t, u, v, w = op
-                handles[idx] = eng.insert_edge(u, v, w, eid=10_000 + idx)
-            else:
-                eng.delete_edge(handles.pop(op[1]))
-        outs.append((
-            [(s.depth, s.work) for s in eng.update_stats],
-            (eng.machine.total.depth, eng.machine.total.work),
-            tuple(sorted(e.eid for e in eng.msf_edges())),
-            round(eng.msf_weight(), 9),
-        ))
-    assert outs[0] == outs[1]
 
 
 # ------------------------------------------------- vectorized substrate

@@ -20,7 +20,7 @@ from repro.workloads import dense_stream
 
 
 def _total_ops(sp: SparsifiedMSF) -> int:
-    return sum(node.engine.core.ops.total
+    return sum(node.engine.core.ops.grand_total()
                for node in sp.nodes.values() if isinstance(node, _Node))
 
 

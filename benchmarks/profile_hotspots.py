@@ -51,7 +51,12 @@ ENGINES = ("seq", "par", "par-fast", "sparsify")
 
 BACKENDS = ("scalar", "columnar", "compiled")
 
-JSON_SCHEMA = "hotspot-attribution/v2"
+#: v3 (PR 9): adds ``time_split`` (tottime attributed to the native
+#: ``_kernels`` extension vs pure python vs other builtins) and
+#: ``charge_streams`` (C-side ChargeStream add/drain telemetry summed
+#: over every attached counter), so CI artifacts show the plumbing
+#: share moving across the C boundary instead of just shuffling rows.
+JSON_SCHEMA = "hotspot-attribution/v3"
 
 
 def build(engine: str, n: int, machine=None, backend: str = "scalar"):
@@ -140,6 +145,68 @@ def attribution(stats: pstats.Stats, limit: int) -> dict:
             for m, t in sorted(modules.items(), key=lambda kv: -kv[1])
         },
     }
+
+
+def time_split(stats: pstats.Stats) -> dict:
+    """C-vs-Python tottime attribution.
+
+    ``native_kernels`` is everything executed inside the compiled
+    ``_kernels`` extension (pstats shows built-ins with their qualified
+    name); ``python`` is bytecode in repro/stdlib frames; remaining
+    built-ins (list.append, numpy ufuncs, ...) land in
+    ``other_builtins``.  Shares are of the profiled total.
+    """
+    native = python = builtins = 0.0
+    for (filename, _lineno, funcname), row in stats.stats.items():
+        tottime = row[2]
+        if "repro.core.compiled._kernels" in funcname:
+            native += tottime
+        elif filename.startswith("<") or filename == "~":
+            builtins += tottime
+        else:
+            python += tottime
+    total = native + python + builtins
+    return {
+        "native_kernels_s": round(native, 6),
+        "python_s": round(python, 6),
+        "other_builtins_s": round(builtins, 6),
+        "native_share": round(native / total, 4) if total else 0.0,
+        "python_share": round(python / total, 4) if total else 0.0,
+    }
+
+
+def charge_stream_stats(eng) -> dict | None:
+    """Summed ChargeStream telemetry over every attached counter.
+
+    Covers the bare-core engines (one stream on ``eng.ops``) and the
+    sparsified facade (one per materialized node engine).  Returns None
+    when no stream is attached (scalar/columnar backends), so the JSON
+    key is present exactly when the compiled charge batching is live.
+    """
+    streams = []
+    s = getattr(getattr(eng, "ops", None), "_stream", None)
+    if s is not None:
+        streams.append(s)
+    nodes = getattr(eng, "nodes", None)
+    if nodes:
+        for node in nodes.values():
+            if not getattr(node, "has_engine", False):
+                continue
+            core = getattr(node.engine, "core", None)
+            s = getattr(getattr(core, "ops", None), "_stream", None)
+            if s is not None:
+                streams.append(s)
+    if not streams:
+        return None
+    agg = {"streams": len(streams), "adds": 0, "drains": 0, "pending": 0}
+    for s in streams:
+        st = s.stats()
+        agg["adds"] += st["adds"]
+        agg["drains"] += st["drains"]
+        agg["pending"] += st["pending"]
+    agg["adds_per_drain"] = (round(agg["adds"] / agg["drains"], 2)
+                             if agg["drains"] else None)
+    return agg
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -262,8 +329,12 @@ def main(argv=None) -> int:
             "steps": args.steps,
             "workload": "adversarial" if adversarial else "churn",
             "arena": arena,
+            "time_split": time_split(stats),
             **attribution(stats, args.limit),
         }
+        streams = charge_stream_stats(eng)
+        if streams is not None:
+            record["charge_streams"] = streams
         cache_info = getattr(getattr(eng, "machine", None),
                              "cache_info", None)
         if cache_info is not None:

@@ -17,7 +17,7 @@ from repro.core.sparsify import _Node
 
 
 def total_ops(sp: SparsifiedMSF) -> int:
-    return sum(node.engine.core.ops.total
+    return sum(node.engine.core.ops.grand_total()
                for node in sp.nodes.values() if isinstance(node, _Node))
 
 

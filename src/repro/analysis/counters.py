@@ -30,10 +30,18 @@ class _Paused:
         self._owner = owner
 
     def __enter__(self) -> None:
-        self._owner._paused += 1
+        owner = self._owner
+        owner._paused += 1
+        stream = owner._stream
+        if stream is not None:
+            stream.pause()
 
     def __exit__(self, *exc) -> bool:
-        self._owner._paused -= 1
+        owner = self._owner
+        owner._paused -= 1
+        stream = owner._stream
+        if stream is not None:
+            stream.resume()
         return False
 
 
@@ -51,13 +59,69 @@ class OpCounter:
         self._mark: int = 0
         self._paused: int = 0
         self._paused_cm = _Paused(self)
+        #: optional batched charge accumulator (the compiled tier's C-side
+        #: ChargeStream).  When attached, hot-path charges append to the
+        #: stream and are folded into ``counts``/``total`` at the next
+        #: ``flush()``.  Draining is *lazy*: every windowed read
+        #: (``grand_total``/``mark``/``since_mark``/``breakdown``) flushes
+        #: first, so the observed totals are exactly the per-op sums
+        #: (int() per add, same labels, same amounts), only batched --
+        #: readers must go through those accessors, never raw
+        #: ``counts``/``total``, when a stream may be attached.
+        self._stream = None
 
     def charge(self, name: str, amount: int = 1) -> None:
         if self._paused:
             return
+        stream = self._stream
+        if stream is not None:
+            stream.add(name, amount)
+            return
         amount = int(amount)
         self.counts[name] += amount
         self.total += amount
+
+    def charge_many(self, pairs) -> None:
+        """Fold a batch of ``(name, amount)`` charges in one call.
+
+        Equivalent to ``charge(name, amount)`` per pair with accounting
+        *unpaused*: callers (the flush path) accumulated each add under the
+        pause discipline already, so pairs reaching here are owed in full.
+        """
+        counts = self.counts
+        total = 0
+        for name, amount in pairs:
+            amount = int(amount)
+            counts[name] += amount
+            total += amount
+        self.total += total
+
+    def attach_stream(self, stream) -> None:
+        """Route subsequent charges through a batched accumulator.
+
+        ``stream`` must expose ``add(label, amount)``, ``pause()``,
+        ``resume()`` and ``drain() -> [(label, total), ...]``.  Passing
+        ``None`` detaches (flushing any pending charges first).
+        """
+        self.flush()
+        self._stream = stream
+
+    def flush(self) -> None:
+        """Fold pending stream charges into ``counts``/``total``.
+
+        Safe at any point: flushing only moves already-owed sums, so extra
+        flushes never change totals.  The engines call this once per public
+        update so windowed reads (``mark``/``since_mark``/``total``) observe
+        the same numbers the scalar per-op path would have produced.
+        """
+        stream = self._stream
+        if stream is not None and len(stream):
+            self.charge_many(stream.drain())
+
+    def grand_total(self) -> int:
+        """``total`` including any pending stream charges (flushes first)."""
+        self.flush()
+        return self.total
 
     def paused(self) -> _Paused:
         """Context manager suspending accounting.
@@ -73,15 +137,21 @@ class OpCounter:
 
     def mark(self) -> None:
         """Start a per-operation measurement window."""
+        self.flush()
         self._mark = self.total
 
     def since_mark(self) -> int:
+        self.flush()
         return self.total - self._mark
 
     def breakdown(self) -> dict[str, int]:
+        self.flush()
         return dict(sorted(self.counts.items(), key=lambda kv: -kv[1]))
 
     def reset(self) -> None:
+        stream = self._stream
+        if stream is not None:
+            stream.clear()
         self.counts.clear()
         self.total = 0
         self._mark = 0

@@ -168,6 +168,17 @@ class ChunkSpace:
         #: non-BT adoption scan: the one hot loop compiled wholesale
         self._adopt = (compiled.kernels.adopt_scan
                        if backend == "compiled" else None)
+        #: per-row live-lane sets (mirror-bearing sequential backends):
+        #: ``_live[i]`` is exactly ``{j : C[i][j] != INF_KEY}``, maintained
+        #: at every write site below.  Row rebuilds, column mirrors and id
+        #: releases then touch O(live) lanes instead of Theta(Jcap) -- the
+        #: model-cost charges stay full-width (``row_clear``/``col_mirror``
+        #: /``id_release`` are the paper's accounting), only the wall-clock
+        #: work shrinks.  ``None`` for scalar and parallel flavors, whose
+        #: write paths are unchanged.
+        self._live: Optional[list[set[int]]] = (
+            [set() for _ in range(self.Jcap)]
+            if (self.col_lsds or self.comp_lsds) else None)
         #: Per-column snapshots of ``C[:, j]`` as of the last column sweep
         #: that absorbed column ``j`` (trace-replay fast path only; see
         #: ``repro.core.par.kernels.column_sweep_kernel``).  Lazily
@@ -192,6 +203,9 @@ class ChunkSpace:
         self.chunk_of_id = [None] * self.Jcap
         self._free_ids = list(range(self.Jcap - 1, -1, -1))
         self.col_snap.clear()
+        if self._live is not None:
+            for lanes in self._live:
+                lanes.clear()
 
     # -- id management ---------------------------------------------------------
 
@@ -227,12 +241,28 @@ class ChunkSpace:
         cid = c.id
         # see assign_id: snapshots must not survive an id-tenure boundary
         self.col_snap.clear()
-        self.C[cid, :].fill(INF_KEY)
-        self.C[:, cid].fill(INF_KEY)
-        if self.colm is not None:
-            self.colm.clear_row_col(cid)
-        if self.compm is not None:
-            self.compm.clear_row_col(cid)
+        live = self._live
+        if live is not None:
+            # only the live lanes can hold non-INF values (and the column
+            # mirrors the row by the symmetric-write invariant)
+            lanes = sorted(live[cid])
+            C = self.C
+            for j in lanes:
+                C[cid, j] = INF_KEY
+                C[j, cid] = INF_KEY
+                live[j].discard(cid)
+            live[cid].clear()
+            if self.colm is not None:
+                self.colm.clear_row_col(cid, lanes=lanes)
+            if self.compm is not None:
+                self.compm.clear_row_col(cid, lanes=lanes)
+        else:
+            self.C[cid, :].fill(INF_KEY)
+            self.C[:, cid].fill(INF_KEY)
+            if self.colm is not None:
+                self.colm.clear_row_col(cid)
+            if self.compm is not None:
+                self.compm.clear_row_col(cid)
         self.ops.charge("id_release", 2 * self.Jcap)
         self.chunk_of_id[cid] = None
         self._free_ids.append(cid)
@@ -260,20 +290,93 @@ class ChunkSpace:
         charged once with the scan total (identical counter sums).
         """
         assert c.id is not None
+        cid = c.id
+        live = self._live
         if self.compm is not None:
+            if live is not None:
+                # sparse-aware scan: the kernel clears only the previously
+                # live lanes, emits only the touched minima, and the
+                # column mirror walks stale+new lanes -- O(live) work
+                # replacing three Theta(Jcap) passes.  Charges unchanged.
+                prev = live[cid]
+                prev_lanes = sorted(prev)
+                pairs, scanned = compiled.kernels.rebuild_row_scan(
+                    c.head, c.tail, self.compm.buf, self.Jcap, cid,
+                    prev_lanes)
+                row = self.C[cid]
+                new_lanes = {oid for oid, _ in pairs}
+                stale = prev - new_lanes
+                for j in stale:
+                    row[j] = INF_KEY
+                for oid, key in pairs:
+                    row[oid] = key
+                for j in stale:
+                    if j != cid:
+                        live[j].discard(cid)
+                for j in new_lanes:
+                    if j != cid:
+                        live[j].add(cid)
+                live[cid] = new_lanes
+                self.ops.charge("row_clear", self.Jcap)
+                self.ops.charge("edge_scan", scanned)
+                self.mirror_column(c, lanes=sorted(stale | new_lanes))
+                return
             # the whole Lemma 2.2 scan runs in C: the kernel writes the
             # flat mirror row directly and returns the sparse (oid, key)
             # minima holding the *original* key objects, so the
             # authoritative object row never round-trips through float64.
             pairs, scanned = compiled.kernels.rebuild_row_scan(
-                c.head, c.tail, self.compm.buf, self.Jcap, c.id)
+                c.head, c.tail, self.compm.buf, self.Jcap, cid)
             vals = [INF_KEY] * self.Jcap
             for oid, key in pairs:
                 vals[oid] = key
-            self.C[c.id][:] = vals
+            self.C[cid][:] = vals
             self.ops.charge("row_clear", self.Jcap)
             self.ops.charge("edge_scan", scanned)
             self.mirror_column(c)
+            return
+        if live is not None and self.colm is not None:
+            # columnar twin of the sparse path: dict-accumulated minima
+            # (first-wins on ties, like the strict-< staging scan), sparse
+            # object-row and complex-mirror writes
+            best: dict[int, Key] = {}
+            scanned = 0
+            occ = c.head
+            tail = c.tail
+            while occ is not None:
+                vertex = occ.vertex
+                if vertex.pc is occ:
+                    sides = vertex.sides
+                    scanned += len(sides)
+                    for s in sides:
+                        oc = s.far.pc.chunk  # type: ignore[union-attr]
+                        oid = oc.id
+                        if oid is not None:
+                            cur = best.get(oid)
+                            if cur is None or s.key < cur:
+                                best[oid] = s.key
+                if occ is tail:
+                    break
+                occ = occ.next
+            prev = live[cid]
+            new_lanes = set(best)
+            stale = prev - new_lanes
+            row = self.C[cid]
+            for j in stale:
+                row[j] = INF_KEY
+            for oid, key in best.items():
+                row[oid] = key
+            for j in stale:
+                if j != cid:
+                    live[j].discard(cid)
+            for j in new_lanes:
+                if j != cid:
+                    live[j].add(cid)
+            live[cid] = new_lanes
+            self.ops.charge("row_clear", self.Jcap)
+            self.ops.charge("edge_scan", scanned)
+            self.colm.row_update_sparse(cid, stale, best)
+            self.mirror_column(c, lanes=sorted(stale | new_lanes))
             return
         vals = [INF_KEY] * self.Jcap
         scanned = 0
@@ -292,7 +395,7 @@ class ChunkSpace:
             if occ is tail:
                 break
             occ = occ.next
-        row = self.C[c.id]
+        row = self.C[cid]
         row[:] = vals
         self.ops.charge("row_clear", self.Jcap)
         self.ops.charge("edge_scan", scanned)
@@ -300,21 +403,34 @@ class ChunkSpace:
             # one bulk conversion after the scan settles (per-improve
             # dual writes paid a numpy scalar store per edge)
             pairs = np.array(vals, dtype=np.float64)
-            crow = self.colm.CC[c.id]
+            crow = self.colm.CC[cid]
             crow.real = pairs[:, 0]
             crow.imag = pairs[:, 1]
         self.mirror_column(c)
 
-    def mirror_column(self, c: Chunk) -> None:
-        """Set ``CAdj_{c'}[id_c] = CAdj_c[id_{c'}]`` for every chunk ``c'``."""
+    def mirror_column(self, c: Chunk, lanes: Optional[list[int]] = None) -> None:
+        """Set ``CAdj_{c'}[id_c] = CAdj_c[id_{c'}]`` for every chunk ``c'``.
+
+        With ``lanes``, only those rows are mirrored: exact whenever every
+        lane outside ``lanes`` already satisfies ``C[j][cid] == C[cid][j]``,
+        which the symmetric-write invariant guarantees (every write site
+        stores both directions; a row rebuild changes only stale+new lanes).
+        """
         assert c.id is not None
-        self.C[:, c.id] = self.C[c.id]
+        if lanes is None:
+            self.C[:, c.id] = self.C[c.id]
+        else:
+            C = self.C
+            cid = c.id
+            row = C[cid]
+            for j in lanes:
+                C[j, cid] = row[j]
         if self.colm is not None:
-            self.colm.mirror_column(c.id)
+            self.colm.mirror_column(c.id, lanes=lanes)
             if _faults.armed:
                 _faults.fire("columnar.col", space=self, cid=c.id)
         if self.compm is not None:
-            self.compm.mirror_column(c.id)
+            self.compm.mirror_column(c.id, lanes=lanes)
             if _faults.armed:
                 _faults.fire("compiled.kernel", space=self, cid=c.id)
         self.ops.charge("col_mirror", self.Jcap)
@@ -325,6 +441,9 @@ class ChunkSpace:
         if key < self.C[c1.id, c2.id]:
             self.C[c1.id, c2.id] = key
             self.C[c2.id, c1.id] = key
+            if self._live is not None:  # a real edge key is never INF
+                self._live[c1.id].add(c2.id)
+                self._live[c2.id].add(c1.id)
             if self.colm is not None:
                 self.colm.set_entry(c1.id, c2.id, key)
             if self.compm is not None:
@@ -357,11 +476,38 @@ class ChunkSpace:
         self.ops.charge("edge_scan", scanned)
         self.C[c1.id, c2.id] = best
         self.C[c2.id, c1.id] = best
+        if self._live is not None:
+            if best is INF_KEY:
+                self._live[c1.id].discard(c2.id)
+                self._live[c2.id].discard(c1.id)
+            else:
+                self._live[c1.id].add(c2.id)
+                self._live[c2.id].add(c1.id)
         if self.colm is not None:
             self.colm.set_entry(c1.id, c2.id, best)
         if self.compm is not None:
             self.compm.set_entry(c1.id, c2.id, best)
         self.ops.charge("entry_update", 2)
+
+    def verify_live_lanes(self, max_findings: int = 5) -> list[str]:
+        """Audit the live-lane invariant against the authoritative matrix.
+
+        O(Jcap^2), audit-tier only (wired into resilience.checks beside
+        the mirror verifies).  Returns findings; empty means consistent.
+        """
+        live = self._live
+        if live is None:
+            return []
+        out: list[str] = []
+        C = self.C
+        for i in range(self.Jcap):
+            actual = {j for j in range(self.Jcap) if C[i][j] != INF_KEY}
+            if actual != live[i]:
+                out.append(f"live-lane set of row {i}: tracked "
+                           f"{sorted(live[i])} != actual {sorted(actual)}")
+                if len(out) >= max_findings:
+                    break
+        return out
 
     # -- occurrence plumbing (raw; Invariant-1 restoration is in maintenance) --
 

@@ -41,12 +41,36 @@ class ColumnarMatrix:
 
     # -- write-site mirrors (each matches one ChunkSpace write site) -------
 
-    def clear_row_col(self, cid: int) -> None:
-        self.CC[cid, :].fill(INF_C)
-        self.CC[:, cid].fill(INF_C)
+    def clear_row_col(self, cid: int, lanes=None) -> None:
+        if lanes is None:
+            self.CC[cid, :].fill(INF_C)
+            self.CC[:, cid].fill(INF_C)
+        elif lanes:
+            ix = list(lanes)
+            self.CC[cid, ix] = INF_C
+            self.CC[ix, cid] = INF_C
 
-    def mirror_column(self, cid: int) -> None:
-        self.CC[:, cid] = self.CC[cid]
+    def mirror_column(self, cid: int, lanes=None) -> None:
+        if lanes is None:
+            self.CC[:, cid] = self.CC[cid]
+        elif lanes:
+            ix = list(lanes)
+            self.CC[ix, cid] = self.CC[cid, ix]
+
+    def row_update_sparse(self, cid: int, stale, best) -> None:
+        """Sparse row refresh: INF the ``stale`` lanes, write the ``best``
+        ``{lane: (w, eid)}`` minima.  Lanes outside both sets are INF
+        already (the live-lane invariant)."""
+        row = self.CC[cid]
+        if stale:
+            row[list(stale)] = INF_C
+        if best:
+            ix = list(best.keys())
+            pairs = np.array([(k[0], k[1]) for k in best.values()],
+                             dtype=np.float64)
+            # through the real/imag views: inf * 1j would produce nan+infj
+            row.real[ix] = pairs[:, 0]
+            row.imag[ix] = pairs[:, 1]
 
     def set_entry(self, i: int, j: int, key) -> None:
         z = complex(key[0], key[1])

@@ -32,7 +32,9 @@
 /* interned attribute names (module init) */
 static PyObject *s_kids, *s_height, *s_agg, *s_item, *s_id,
     *s_next, *s_chunk, *s_chunk_id, *s_vertex, *s_pc, *s_edges,
-    *s_root, *s_sides, *s_far, *s_key;
+    *s_root, *s_sides, *s_far, *s_key,
+    *s_dead, *s_count, *s_n_edges, *s_parent, *s_cache_ver,
+    *s_cache_lst, *s_version, *s_by_root, *s_leaf, *s_root_walk;
 
 #define KEY_LT(w1, e1, w2, e2) ((w1) < (w2) || ((w1) == (w2) && (e1) < (e2)))
 
@@ -842,8 +844,9 @@ fail:
 static PyObject *
 k_rebuild_row_scan(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
 {
-    if (nargs != 5)
-        return PyErr_Format(PyExc_TypeError, "rebuild_row_scan takes 5 args");
+    if (nargs != 5 && nargs != 6)
+        return PyErr_Format(PyExc_TypeError,
+                            "rebuild_row_scan takes 5 or 6 args");
     double *mat = keybuf(args[2], "rebuild_row_scan");
     if (mat == NULL)
         return NULL;
@@ -851,10 +854,19 @@ k_rebuild_row_scan(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
     Py_ssize_t cid = PyLong_AsSsize_t(args[4]);
     if (PyErr_Occurred())
         return NULL;
+    /* optional 6th arg: the row's previously-live lanes.  When given, the
+     * write-out clears those lanes and emits only touched ones (first-
+     * touch order) -- O(live + touched) instead of Theta(Jcap). */
+    PyObject *prev = (nargs == 6 && args[5] != Py_None) ? args[5] : NULL;
     PyObject *tail = args[1];
     PyObject **best = PyMem_New(PyObject *, (size_t)Jcap);
-    if (best == NULL)
+    Py_ssize_t *touched = PyMem_New(Py_ssize_t, (size_t)Jcap);
+    Py_ssize_t n_touched = 0;
+    if (best == NULL || touched == NULL) {
+        PyMem_Free(best);
+        PyMem_Free(touched);
         return PyErr_NoMemory();
+    }
     memset(best, 0, sizeof(PyObject *) * (size_t)Jcap);
     long scanned = 0;
     PyObject *occ = args[0];
@@ -915,6 +927,7 @@ k_rebuild_row_scan(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
                     goto sidefail;
                 if (best[oid] == NULL) {
                     best[oid] = key;  /* steal */
+                    touched[n_touched++] = (Py_ssize_t)oid;
                 }
                 else {
                     int lt = PyObject_RichCompareBool(key, best[oid], Py_LT);
@@ -954,7 +967,31 @@ k_rebuild_row_scan(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
         PyObject *pairs = PyList_New(0);
         if (pairs == NULL)
             goto fail;
-        for (Py_ssize_t o = 0; o < Jcap; o++) {
+        if (prev != NULL) {
+            /* sparse mode: only the previously-live lanes can hold stale
+             * non-INF values; everything else is INF already */
+            PyObject *fp = PySequence_Fast(prev, "prev_lanes not iterable");
+            if (fp == NULL) {
+                Py_DECREF(pairs);
+                goto fail;
+            }
+            Py_ssize_t np = PySequence_Fast_GET_SIZE(fp);
+            PyObject **lv = PySequence_Fast_ITEMS(fp);
+            for (Py_ssize_t t = 0; t < np; t++) {
+                Py_ssize_t j = PyLong_AsSsize_t(lv[t]);
+                if (j == -1 && PyErr_Occurred()) {
+                    Py_DECREF(fp);
+                    Py_DECREF(pairs);
+                    goto fail;
+                }
+                row[2 * j] = INFINITY;
+                row[2 * j + 1] = INFINITY;
+            }
+            Py_DECREF(fp);
+        }
+        Py_ssize_t limit = (prev != NULL) ? n_touched : Jcap;
+        for (Py_ssize_t t = 0; t < limit; t++) {
+            Py_ssize_t o = (prev != NULL) ? touched[t] : t;
             if (best[o] == NULL) {
                 row[2 * o] = INFINITY;
                 row[2 * o + 1] = INFINITY;
@@ -984,6 +1021,7 @@ k_rebuild_row_scan(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
         for (Py_ssize_t o = 0; o < Jcap; o++)
             Py_XDECREF(best[o]);
         PyMem_Free(best);
+        PyMem_Free(touched);
         return Py_BuildValue("(Nl)", pairs, scanned);
     }
 fail:
@@ -991,6 +1029,7 @@ fail:
     for (Py_ssize_t o = 0; o < Jcap; o++)
         Py_XDECREF(best[o]);
     PyMem_Free(best);
+    PyMem_Free(touched);
     return NULL;
 }
 
@@ -1149,6 +1188,898 @@ fail:
     return NULL;
 }
 
+/* ------------------------------------------------------------ ChargeStream */
+
+/* Batched (label, count) accumulator for OpCounter charges inside compiled
+ * regions.  Hot-path adds are a pointer-identity slot scan (labels are
+ * interned strings in practice); drain() emits the per-label totals once
+ * per public update for OpCounter.charge_many.  Measurement-neutral by
+ * construction: each add converts its amount with the same int() semantics
+ * as the scalar charge path, and drain() emits *every* slot touched since
+ * the last clear (including zero totals, which the scalar path also
+ * records as dict entries), so flushed totals are exactly the per-op sums.
+ */
+
+#define CS_SLOTS 48
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *labels[CS_SLOTS];
+    long long counts[CS_SLOTS];
+    Py_ssize_t n_slots;
+    PyObject *overflow;      /* dict label -> count; NULL until needed */
+    long paused;             /* depth counter, mirrors OpCounter._paused */
+    long long dirty;         /* adds since last drain/clear (== len()) */
+    long long n_adds;        /* lifetime adds (telemetry) */
+    long long n_drains;      /* lifetime drains (telemetry) */
+} ChargeStream;
+
+static PyTypeObject ChargeStream_Type;
+
+static int
+cs_add_internal(ChargeStream *cs, PyObject *label, long long amount)
+{
+    if (cs->paused)
+        return 0;
+    cs->n_adds++;
+    cs->dirty++;
+    for (Py_ssize_t i = 0; i < cs->n_slots; i++) {
+        if (cs->labels[i] == label) {
+            cs->counts[i] += amount;
+            return 0;
+        }
+    }
+    /* equal-but-not-identical label, or a genuinely new one */
+    for (Py_ssize_t i = 0; i < cs->n_slots; i++) {
+        int eq = PyObject_RichCompareBool(cs->labels[i], label, Py_EQ);
+        if (eq < 0)
+            return -1;
+        if (eq) {
+            cs->counts[i] += amount;
+            return 0;
+        }
+    }
+    if (cs->n_slots < CS_SLOTS) {
+        Py_INCREF(label);
+        cs->labels[cs->n_slots] = label;
+        cs->counts[cs->n_slots] = amount;
+        cs->n_slots++;
+        return 0;
+    }
+    if (cs->overflow == NULL) {
+        cs->overflow = PyDict_New();
+        if (cs->overflow == NULL)
+            return -1;
+    }
+    PyObject *cur = PyDict_GetItemWithError(cs->overflow, label);
+    if (cur == NULL && PyErr_Occurred())
+        return -1;
+    long long tot = amount;
+    if (cur != NULL) {
+        tot += PyLong_AsLongLong(cur);
+        if (PyErr_Occurred())
+            return -1;
+    }
+    PyObject *v = PyLong_FromLongLong(tot);
+    if (v == NULL)
+        return -1;
+    int rc = PyDict_SetItem(cs->overflow, label, v);
+    Py_DECREF(v);
+    return rc;
+}
+
+static PyObject *
+cs_new(PyTypeObject *type, PyObject *args, PyObject *kwds)
+{
+    return type->tp_alloc(type, 0);  /* tp_alloc zero-fills */
+}
+
+static void
+cs_dealloc(ChargeStream *cs)
+{
+    for (Py_ssize_t i = 0; i < cs->n_slots; i++)
+        Py_XDECREF(cs->labels[i]);
+    Py_XDECREF(cs->overflow);
+    Py_TYPE(cs)->tp_free((PyObject *)cs);
+}
+
+static PyObject *
+cs_add(ChargeStream *cs, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs < 1 || nargs > 2)
+        return PyErr_Format(PyExc_TypeError,
+                            "add(label, amount=1) takes 1 or 2 args");
+    long long amount = 1;
+    if (nargs == 2) {
+        PyObject *a = args[1];
+        if (PyLong_Check(a)) {
+            amount = PyLong_AsLongLong(a);
+            if (amount == -1 && PyErr_Occurred())
+                return NULL;
+        }
+        else {
+            /* scalar charge does int(amount): same conversion here */
+            PyObject *la = PyNumber_Long(a);
+            if (la == NULL)
+                return NULL;
+            amount = PyLong_AsLongLong(la);
+            Py_DECREF(la);
+            if (amount == -1 && PyErr_Occurred())
+                return NULL;
+        }
+    }
+    if (cs_add_internal(cs, args[0], amount) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+cs_pause(ChargeStream *cs, PyObject *unused)
+{
+    cs->paused++;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+cs_resume(ChargeStream *cs, PyObject *unused)
+{
+    cs->paused--;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+cs_drain(ChargeStream *cs, PyObject *unused)
+{
+    PyObject *out = PyList_New(0);
+    if (out == NULL)
+        return NULL;
+    for (Py_ssize_t i = 0; i < cs->n_slots; i++) {
+        PyObject *pair = Py_BuildValue("(OL)", cs->labels[i], cs->counts[i]);
+        if (pair == NULL || PyList_Append(out, pair) < 0) {
+            Py_XDECREF(pair);
+            Py_DECREF(out);
+            return NULL;
+        }
+        Py_DECREF(pair);
+        cs->counts[i] = 0;  /* labels stay resident for slot reuse */
+    }
+    if (cs->overflow != NULL) {
+        Py_ssize_t pos = 0;
+        PyObject *k, *v;
+        while (PyDict_Next(cs->overflow, &pos, &k, &v)) {
+            PyObject *pair = Py_BuildValue("(OO)", k, v);
+            if (pair == NULL || PyList_Append(out, pair) < 0) {
+                Py_XDECREF(pair);
+                Py_DECREF(out);
+                return NULL;
+            }
+            Py_DECREF(pair);
+        }
+        PyDict_Clear(cs->overflow);
+    }
+    cs->dirty = 0;
+    cs->n_drains++;
+    return out;
+}
+
+static PyObject *
+cs_clear(ChargeStream *cs, PyObject *unused)
+{
+    for (Py_ssize_t i = 0; i < cs->n_slots; i++)
+        Py_CLEAR(cs->labels[i]);
+    cs->n_slots = 0;
+    if (cs->overflow != NULL)
+        PyDict_Clear(cs->overflow);
+    cs->dirty = 0;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+cs_stats(ChargeStream *cs, PyObject *unused)
+{
+    return Py_BuildValue("{s:L,s:L,s:n,s:L,s:l}",
+                         "adds", cs->n_adds, "drains", cs->n_drains,
+                         "slots", cs->n_slots, "pending", cs->dirty,
+                         "paused", cs->paused);
+}
+
+static Py_ssize_t
+cs_len(ChargeStream *cs)
+{
+    return (Py_ssize_t)cs->dirty;
+}
+
+static PyMethodDef cs_methods[] = {
+    {"add", (PyCFunction)(void (*)(void))cs_add, METH_FASTCALL,
+     "add(label, amount=1): accumulate a charge (no-op while paused)"},
+    {"pause", (PyCFunction)cs_pause, METH_NOARGS, "suspend accounting"},
+    {"resume", (PyCFunction)cs_resume, METH_NOARGS, "resume accounting"},
+    {"drain", (PyCFunction)cs_drain, METH_NOARGS,
+     "drain() -> [(label, total), ...]; zeroes the accumulator"},
+    {"clear", (PyCFunction)cs_clear, METH_NOARGS,
+     "drop all pending charges and labels"},
+    {"stats", (PyCFunction)cs_stats, METH_NOARGS,
+     "telemetry dict: adds / drains / slots / pending / paused"},
+    {NULL, NULL, 0, NULL}
+};
+
+static PyMappingMethods cs_as_mapping = {
+    (lenfunc)cs_len, NULL, NULL,
+};
+
+static PyTypeObject ChargeStream_Type = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.core.compiled._kernels.ChargeStream",
+    .tp_basicsize = sizeof(ChargeStream),
+    .tp_dealloc = (destructor)cs_dealloc,
+    .tp_as_mapping = &cs_as_mapping,
+    .tp_flags = Py_TPFLAGS_DEFAULT,
+    .tp_doc = "Batched (label, count) charge accumulator for OpCounter.",
+    .tp_methods = cs_methods,
+    .tp_new = cs_new,
+};
+
+/* -------------------------------------------------- link-cut flat kernels */
+
+/* The link-cut forest's splay/access inner loops over a flat index mirror:
+ * bufs is the 7-tuple (par, lft, rgt, flp, kw, ke, mx) of bytearrays --
+ * par/lft/rgt/mx are int64 lanes (-1 encodes None), flp is one byte per
+ * node, kw/ke are the float64 (weight, eid) key lanes.  The python-side
+ * LCTNode objects stay authoritative for identity (wrappers map idx <->
+ * node); vertex sentinel keys (-inf,) encode as (-inf, -inf), edge keys
+ * (w, eid) as their float values.  Since eids are >= 0 > -inf, the
+ * double-pair lexicographic compare is exactly the scalar tuple compare.
+ *
+ * Each kernel re-fetches buffer pointers per call (growth between calls is
+ * safe) and returns the scalar path's self.ops delta so wrappers keep the
+ * same preferred-path accounting.
+ */
+
+typedef struct {
+    long long *par, *lft, *rgt, *mx;
+    unsigned char *flp;
+    double *kw, *ke;
+} LCT;
+
+static int
+lct_view(PyObject *bufs, LCT *f)
+{
+    if (!PyTuple_Check(bufs) || PyTuple_GET_SIZE(bufs) != 7) {
+        PyErr_SetString(PyExc_TypeError, "lct bufs must be the 7-tuple "
+                        "(par, lft, rgt, flp, kw, ke, mx)");
+        return -1;
+    }
+    for (int i = 0; i < 7; i++) {
+        if (!PyByteArray_Check(PyTuple_GET_ITEM(bufs, i))) {
+            PyErr_SetString(PyExc_TypeError,
+                            "lct bufs must all be bytearrays");
+            return -1;
+        }
+    }
+    f->par = (long long *)PyByteArray_AS_STRING(PyTuple_GET_ITEM(bufs, 0));
+    f->lft = (long long *)PyByteArray_AS_STRING(PyTuple_GET_ITEM(bufs, 1));
+    f->rgt = (long long *)PyByteArray_AS_STRING(PyTuple_GET_ITEM(bufs, 2));
+    f->flp = (unsigned char *)PyByteArray_AS_STRING(PyTuple_GET_ITEM(bufs, 3));
+    f->kw = (double *)PyByteArray_AS_STRING(PyTuple_GET_ITEM(bufs, 4));
+    f->ke = (double *)PyByteArray_AS_STRING(PyTuple_GET_ITEM(bufs, 5));
+    f->mx = (long long *)PyByteArray_AS_STRING(PyTuple_GET_ITEM(bufs, 6));
+    return 0;
+}
+
+/* key(a) > key(b), lexicographic on (kw, ke) -- scalar tuple > */
+#define LCT_KGT(f, a, b)                                  \
+    ((f)->kw[a] > (f)->kw[b] ||                           \
+     ((f)->kw[a] == (f)->kw[b] && (f)->ke[a] > (f)->ke[b]))
+
+static inline int
+lct_is_root(LCT *f, long long x)
+{
+    long long p = f->par[x];
+    return p < 0 || (f->lft[p] != x && f->rgt[p] != x);
+}
+
+static inline void
+lct_push(LCT *f, long long x)
+{
+    if (f->flp[x]) {
+        long long l = f->lft[x], r = f->rgt[x];
+        f->lft[x] = r;
+        f->rgt[x] = l;
+        if (r >= 0)
+            f->flp[r] ^= 1;
+        if (l >= 0)
+            f->flp[l] ^= 1;
+        f->flp[x] = 0;
+    }
+}
+
+static inline void
+lct_pull(LCT *f, long long x)
+{
+    long long best = x;
+    long long l = f->lft[x];
+    if (l >= 0) {
+        long long m = f->mx[l];
+        if (LCT_KGT(f, m, best))
+            best = m;
+    }
+    long long r = f->rgt[x];
+    if (r >= 0) {
+        long long m = f->mx[r];
+        if (LCT_KGT(f, m, best))
+            best = m;
+    }
+    f->mx[x] = best;
+}
+
+static void
+lct_rotate(LCT *f, long long x)
+{
+    long long p = f->par[x];
+    long long g = f->par[p];
+    long long b;
+    if (f->lft[p] == x) {
+        b = f->rgt[x];
+        f->lft[p] = b;
+        f->rgt[x] = p;
+    }
+    else {
+        b = f->lft[x];
+        f->rgt[p] = b;
+        f->lft[x] = p;
+    }
+    if (b >= 0)
+        f->par[b] = p;
+    f->par[p] = x;
+    f->par[x] = g;
+    if (g >= 0) {
+        if (f->lft[g] == p)
+            f->lft[g] = x;
+        else if (f->rgt[g] == p)
+            f->rgt[g] = x;
+        /* else: g was a path parent -- leave its children alone */
+    }
+    lct_pull(f, p);
+    lct_pull(f, x);
+}
+
+static int
+lct_splay(LCT *f, long long x)
+{
+    long long stackbuf[128];
+    long long *stk = stackbuf;
+    Py_ssize_t cap = 128, n = 0;
+    long long cur = x;
+    for (;;) {
+        if (n == cap) {
+            Py_ssize_t ncap = cap * 2;
+            long long *ns = PyMem_New(long long, (size_t)ncap);
+            if (ns == NULL) {
+                if (stk != stackbuf)
+                    PyMem_Free(stk);
+                PyErr_NoMemory();
+                return -1;
+            }
+            memcpy(ns, stk, sizeof(long long) * (size_t)n);
+            if (stk != stackbuf)
+                PyMem_Free(stk);
+            stk = ns;
+            cap = ncap;
+        }
+        stk[n++] = cur;
+        if (lct_is_root(f, cur))
+            break;
+        cur = f->par[cur];
+    }
+    for (Py_ssize_t i = n - 1; i >= 0; i--)
+        lct_push(f, stk[i]);
+    if (stk != stackbuf)
+        PyMem_Free(stk);
+    while (!lct_is_root(f, x)) {
+        long long p = f->par[x];
+        if (!lct_is_root(f, p)) {
+            long long g = f->par[p];
+            if ((f->lft[g] == p) == (f->lft[p] == x))
+                lct_rotate(f, p);   /* zig-zig */
+            else
+                lct_rotate(f, x);   /* zig-zag */
+        }
+        lct_rotate(f, x);
+    }
+    return 0;
+}
+
+/* access(x): returns the scalar self.ops delta, or -1 on error */
+static long long
+lct_access_i(LCT *f, long long x)
+{
+    long long ops = 0;
+    if (lct_splay(f, x) < 0)
+        return -1;
+    if (f->rgt[x] >= 0) {
+        f->par[f->rgt[x]] = x;
+        f->rgt[x] = -1;
+        lct_pull(f, x);
+    }
+    while (f->par[x] >= 0) {
+        long long y = f->par[x];
+        if (lct_splay(f, y) < 0)
+            return -1;
+        if (f->rgt[y] >= 0)
+            f->par[f->rgt[y]] = y;
+        f->rgt[y] = x;
+        lct_pull(f, y);
+        if (lct_splay(f, x) < 0)
+            return -1;
+        ops++;
+    }
+    return ops + 1;
+}
+
+static long long
+lct_make_root_i(LCT *f, long long x)
+{
+    long long ops = lct_access_i(f, x);
+    if (ops < 0)
+        return -1;
+    f->flp[x] ^= 1;
+    lct_push(f, x);
+    return ops;
+}
+
+static long long
+lct_find_root_i(LCT *f, long long x, long long *root_out)
+{
+    long long ops = lct_access_i(f, x);
+    if (ops < 0)
+        return -1;
+    for (;;) {
+        lct_push(f, x);
+        if (f->lft[x] < 0)
+            break;
+        x = f->lft[x];
+    }
+    if (lct_splay(f, x) < 0)
+        return -1;
+    *root_out = x;
+    return ops;
+}
+
+static int
+lct_args(PyObject *const *args, Py_ssize_t nargs, Py_ssize_t want,
+         const char *who, LCT *f, long long *x, long long *y)
+{
+    if (nargs != want) {
+        PyErr_Format(PyExc_TypeError, "%s takes %zd args", who, want);
+        return -1;
+    }
+    if (lct_view(args[0], f) < 0)
+        return -1;
+    *x = PyLong_AsLongLong(args[1]);
+    if (*x == -1 && PyErr_Occurred())
+        return -1;
+    if (y != NULL) {
+        *y = PyLong_AsLongLong(args[2]);
+        if (*y == -1 && PyErr_Occurred())
+            return -1;
+    }
+    return 0;
+}
+
+/* lct_init_node(bufs, idx, w, e): fresh isolated node at slot idx */
+static PyObject *
+k_lct_init_node(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    LCT f;
+    long long x;
+    if (nargs != 4)
+        return PyErr_Format(PyExc_TypeError, "lct_init_node takes 4 args");
+    if (lct_view(args[0], &f) < 0)
+        return NULL;
+    x = PyLong_AsLongLong(args[1]);
+    double w = PyFloat_AsDouble(args[2]);
+    double e = PyFloat_AsDouble(args[3]);
+    if (PyErr_Occurred())
+        return NULL;
+    f.par[x] = f.lft[x] = f.rgt[x] = -1;
+    f.flp[x] = 0;
+    f.mx[x] = x;
+    f.kw[x] = w;
+    f.ke[x] = e;
+    Py_RETURN_NONE;
+}
+
+/* lct_make_root(bufs, x) -> ops */
+static PyObject *
+k_lct_make_root(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    LCT f;
+    long long x;
+    if (lct_args(args, nargs, 2, "lct_make_root", &f, &x, NULL) < 0)
+        return NULL;
+    long long ops = lct_make_root_i(&f, x);
+    if (ops < 0)
+        return NULL;
+    return PyLong_FromLongLong(ops);
+}
+
+/* lct_find_root(bufs, x) -> (root_idx, ops) */
+static PyObject *
+k_lct_find_root(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    LCT f;
+    long long x, root;
+    if (lct_args(args, nargs, 2, "lct_find_root", &f, &x, NULL) < 0)
+        return NULL;
+    long long ops = lct_find_root_i(&f, x, &root);
+    if (ops < 0)
+        return NULL;
+    return Py_BuildValue("(LL)", root, ops);
+}
+
+/* lct_conn(bufs, x, y) -> (same, ops); caller handles x is y */
+static PyObject *
+k_lct_conn(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    LCT f;
+    long long x, y, rx, ry;
+    if (lct_args(args, nargs, 3, "lct_conn", &f, &x, &y) < 0)
+        return NULL;
+    long long ops = lct_find_root_i(&f, x, &rx);
+    if (ops < 0)
+        return NULL;
+    long long ops2 = lct_find_root_i(&f, y, &ry);
+    if (ops2 < 0)
+        return NULL;
+    return Py_BuildValue("(iL)", rx == ry, ops + ops2);
+}
+
+/* lct_link(bufs, x, y) -> ops: make x a child of y (x must be isolated
+ * from y's tree; caller guarantees, as the scalar path does) */
+static PyObject *
+k_lct_link(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    LCT f;
+    long long x, y;
+    if (lct_args(args, nargs, 3, "lct_link", &f, &x, &y) < 0)
+        return NULL;
+    long long ops = lct_make_root_i(&f, x);
+    if (ops < 0)
+        return NULL;
+    f.par[x] = y;
+    return PyLong_FromLongLong(ops);
+}
+
+/* lct_cut(bufs, x, y) -> ops: sever the x--y tree edge */
+static PyObject *
+k_lct_cut(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    LCT f;
+    long long x, y;
+    if (lct_args(args, nargs, 3, "lct_cut", &f, &x, &y) < 0)
+        return NULL;
+    long long ops = lct_make_root_i(&f, x);
+    if (ops < 0)
+        return NULL;
+    long long ops2 = lct_access_i(&f, y);
+    if (ops2 < 0)
+        return NULL;
+    if (f.lft[y] != x || f.rgt[x] >= 0) {
+        PyErr_SetString(PyExc_AssertionError, "cut() on non-adjacent nodes");
+        return NULL;
+    }
+    f.par[x] = -1;
+    f.lft[y] = -1;
+    lct_pull(&f, y);
+    return PyLong_FromLongLong(ops + ops2);
+}
+
+/* lct_path_max(bufs, x, y) -> (mx_idx, ops): heaviest node on the x--y
+ * path (ties to the deeper/leftmost aggregate winner, like scalar _pull) */
+static PyObject *
+k_lct_path_max(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    LCT f;
+    long long x, y;
+    if (lct_args(args, nargs, 3, "lct_path_max", &f, &x, &y) < 0)
+        return NULL;
+    long long ops = lct_make_root_i(&f, x);
+    if (ops < 0)
+        return NULL;
+    long long ops2 = lct_access_i(&f, y);
+    if (ops2 < 0)
+        return NULL;
+    return Py_BuildValue("(LL)", f.mx[y], ops + ops2);
+}
+
+/* ----------------------------------------------------- fabric plumbing */
+
+/* chunk -> its SDS list, charging root_walk into the stream exactly like
+ * ListRegistry.list_of_chunk: a cache hit charges lst.root.height or 1;
+ * a miss walks leaf->root (tt.root_of), charges the walked root's height
+ * or 1, resolves registry.by_root[root] and stamps the chunk cache.
+ * Returns a new reference, with *height_out = the charged root height. */
+static PyObject *
+resolve_list(PyObject *chunk, PyObject *registry, ChargeStream *cs,
+             long *height_out)
+{
+    PyObject *ver = PyObject_GetAttr(registry, s_version);
+    if (ver == NULL)
+        return NULL;
+    PyObject *cver = PyObject_GetAttr(chunk, s_cache_ver);
+    if (cver == NULL) {
+        Py_DECREF(ver);
+        return NULL;
+    }
+    int hit = PyObject_RichCompareBool(cver, ver, Py_EQ);
+    Py_DECREF(cver);
+    if (hit < 0) {
+        Py_DECREF(ver);
+        return NULL;
+    }
+    PyObject *lst = NULL;
+    long height;
+    if (hit) {
+        lst = PyObject_GetAttr(chunk, s_cache_lst);
+        if (lst == NULL)
+            goto fail;
+        PyObject *root = PyObject_GetAttr(lst, s_root);
+        if (root == NULL)
+            goto fail;
+        height = attr_long(root, s_height);
+        Py_DECREF(root);
+        if (height == -1 && PyErr_Occurred())
+            goto fail;
+    }
+    else {
+        PyObject *node = PyObject_GetAttr(chunk, s_leaf);
+        if (node == NULL)
+            goto fail;
+        for (;;) {
+            PyObject *p = PyObject_GetAttr(node, s_parent);
+            if (p == NULL) {
+                Py_DECREF(node);
+                goto fail;
+            }
+            if (p == Py_None) {
+                Py_DECREF(p);
+                break;
+            }
+            Py_DECREF(node);
+            node = p;
+        }
+        height = attr_long(node, s_height);
+        if (height == -1 && PyErr_Occurred()) {
+            Py_DECREF(node);
+            goto fail;
+        }
+        PyObject *by_root = PyObject_GetAttr(registry, s_by_root);
+        if (by_root == NULL) {
+            Py_DECREF(node);
+            goto fail;
+        }
+        lst = PyObject_GetItem(by_root, node);
+        Py_DECREF(by_root);
+        Py_DECREF(node);
+        if (lst == NULL)
+            goto fail;
+        if (PyObject_SetAttr(chunk, s_cache_ver, ver) < 0 ||
+            PyObject_SetAttr(chunk, s_cache_lst, lst) < 0)
+            goto fail;
+    }
+    Py_DECREF(ver);
+    if (cs_add_internal(cs, s_root_walk, height ? height : 1) < 0) {
+        Py_DECREF(lst);
+        return NULL;
+    }
+    *height_out = height;
+    return lst;
+fail:
+    Py_DECREF(ver);
+    Py_XDECREF(lst);
+    return NULL;
+}
+
+/* list_of(chunk, registry, stream) -> lst */
+static PyObject *
+k_list_of(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 3)
+        return PyErr_Format(PyExc_TypeError, "list_of takes 3 args");
+    if (!PyObject_TypeCheck(args[2], &ChargeStream_Type))
+        return PyErr_Format(PyExc_TypeError,
+                            "list_of: stream must be a ChargeStream");
+    long height;
+    return resolve_list(args[0], args[1], (ChargeStream *)args[2], &height);
+}
+
+/* Would _transition(lst) act?  0 = no-op, 1 = make_long, 2 = make_short */
+static long
+transition_action(PyObject *lst, long K)
+{
+    PyObject *root = PyObject_GetAttr(lst, s_root);
+    if (root == NULL)
+        return -1;
+    long height = attr_long(root, s_height);
+    if (height == -1 && PyErr_Occurred()) {
+        Py_DECREF(root);
+        return -1;
+    }
+    if (height) {
+        Py_DECREF(root);
+        return 0;
+    }
+    PyObject *c = PyObject_GetAttr(root, s_item);
+    Py_DECREF(root);
+    if (c == NULL)
+        return -1;
+    long cnt = attr_long(c, s_count);
+    long ne = (cnt == -1 && PyErr_Occurred()) ? -1 : attr_long(c, s_n_edges);
+    if (ne == -1 && PyErr_Occurred()) {
+        Py_DECREF(c);
+        return -1;
+    }
+    PyObject *idobj = PyObject_GetAttr(c, s_id);
+    Py_DECREF(c);
+    if (idobj == NULL)
+        return -1;
+    int id_none = idobj == Py_None;
+    Py_DECREF(idobj);
+    long n_c = cnt + ne;
+    if (id_none)
+        return n_c >= K ? 1 : 0;
+    return n_c < K ? 2 : 0;
+}
+
+/* transition_probe(lst, K) -> 0 | 1 | 2 */
+static PyObject *
+k_transition_probe(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2)
+        return PyErr_Format(PyExc_TypeError, "transition_probe takes 2 args");
+    long K = PyLong_AsLong(args[1]);
+    if (K == -1 && PyErr_Occurred())
+        return NULL;
+    long act = transition_action(args[0], K);
+    if (act < 0)
+        return NULL;
+    return PyLong_FromLong(act);
+}
+
+/* fix_probe(chunk, registry, K, stream) -> lst | None
+ *
+ * One native pass over fix_chunk's read-only prefix.  None means the
+ * scalar body would have been a no-op past this point: either the chunk
+ * is dead (uncharged early return), or it resolved to lst (root_walk
+ * charged into the stream, cache stamped) and is provably settled --
+ * the leading _transition is a no-op, K <= n_c <= 3K, and not
+ * (n_c < K with a tall list), which also makes the trailing _transition
+ * a no-op.  Otherwise returns lst and the python wrapper replays the
+ * scalar fix_chunk body (transition / split / merge / re-fix). */
+static PyObject *
+k_fix_probe(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 4)
+        return PyErr_Format(PyExc_TypeError, "fix_probe takes 4 args");
+    if (!PyObject_TypeCheck(args[3], &ChargeStream_Type))
+        return PyErr_Format(PyExc_TypeError,
+                            "fix_probe: stream must be a ChargeStream");
+    PyObject *chunk = args[0];
+    long K = PyLong_AsLong(args[2]);
+    if (K == -1 && PyErr_Occurred())
+        return NULL;
+    PyObject *dead = PyObject_GetAttr(chunk, s_dead);
+    if (dead == NULL)
+        return NULL;
+    int is_dead = PyObject_IsTrue(dead);
+    Py_DECREF(dead);
+    if (is_dead < 0)
+        return NULL;
+    if (is_dead)
+        Py_RETURN_NONE;
+    long height;
+    PyObject *lst = resolve_list(chunk, args[1],
+                                 (ChargeStream *)args[3], &height);
+    if (lst == NULL)
+        return NULL;
+    long act = transition_action(lst, K);
+    if (act < 0) {
+        Py_DECREF(lst);
+        return NULL;
+    }
+    if (act)
+        return lst;
+    long cnt = attr_long(chunk, s_count);
+    long ne = (cnt == -1 && PyErr_Occurred()) ? -1
+        : attr_long(chunk, s_n_edges);
+    if (ne == -1 && PyErr_Occurred()) {
+        Py_DECREF(lst);
+        return NULL;
+    }
+    long n_c = cnt + ne;
+    if (n_c > 3 * K || (n_c < K && height))
+        return lst;
+    Py_DECREF(lst);
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------- sparse lane variants */
+
+/* clear_row_col_lanes(buf, Jcap, cid, lanes, w, e): write (w, e) at
+ * (cid, j) and (j, cid) for each lane j only */
+static PyObject *
+k_clear_row_col_lanes(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 6)
+        return PyErr_Format(PyExc_TypeError,
+                            "clear_row_col_lanes takes 6 args");
+    double *mat = keybuf(args[0], "clear_row_col_lanes");
+    if (mat == NULL)
+        return NULL;
+    Py_ssize_t Jcap = PyLong_AsSsize_t(args[1]);
+    Py_ssize_t cid = PyLong_AsSsize_t(args[2]);
+    double w = PyFloat_AsDouble(args[4]);
+    double e = PyFloat_AsDouble(args[5]);
+    if (PyErr_Occurred())
+        return NULL;
+    PyObject *fl = PySequence_Fast(args[3], "lanes not iterable");
+    if (fl == NULL)
+        return NULL;
+    Py_ssize_t nl = PySequence_Fast_GET_SIZE(fl);
+    PyObject **lanes = PySequence_Fast_ITEMS(fl);
+    for (Py_ssize_t t = 0; t < nl; t++) {
+        Py_ssize_t j = PyLong_AsSsize_t(lanes[t]);
+        if (j == -1 && PyErr_Occurred()) {
+            Py_DECREF(fl);
+            return NULL;
+        }
+        double *rc = mat + 2 * (cid * Jcap + j);
+        rc[0] = w;
+        rc[1] = e;
+        double *cc = mat + 2 * (j * Jcap + cid);
+        cc[0] = w;
+        cc[1] = e;
+    }
+    Py_DECREF(fl);
+    Py_RETURN_NONE;
+}
+
+/* mirror_column_lanes(buf, Jcap, cid, lanes): column (j, cid) <- row
+ * (cid, j) for each lane j only.  Exact when the untouched lanes already
+ * mirror the row, which the symmetric-write invariant guarantees. */
+static PyObject *
+k_mirror_column_lanes(PyObject *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 4)
+        return PyErr_Format(PyExc_TypeError,
+                            "mirror_column_lanes takes 4 args");
+    double *mat = keybuf(args[0], "mirror_column_lanes");
+    if (mat == NULL)
+        return NULL;
+    Py_ssize_t Jcap = PyLong_AsSsize_t(args[1]);
+    Py_ssize_t cid = PyLong_AsSsize_t(args[2]);
+    if (PyErr_Occurred())
+        return NULL;
+    PyObject *fl = PySequence_Fast(args[3], "lanes not iterable");
+    if (fl == NULL)
+        return NULL;
+    Py_ssize_t nl = PySequence_Fast_GET_SIZE(fl);
+    PyObject **lanes = PySequence_Fast_ITEMS(fl);
+    for (Py_ssize_t t = 0; t < nl; t++) {
+        Py_ssize_t j = PyLong_AsSsize_t(lanes[t]);
+        if (j == -1 && PyErr_Occurred()) {
+            Py_DECREF(fl);
+            return NULL;
+        }
+        double *src = mat + 2 * (cid * Jcap + j);
+        double *dst = mat + 2 * (j * Jcap + cid);
+        dst[0] = src[0];
+        dst[1] = src[1];
+    }
+    Py_DECREF(fl);
+    Py_RETURN_NONE;
+}
+
 /* -------------------------------------------------------------- module def */
 
 static PyMethodDef kernel_methods[] = {
@@ -1175,7 +2106,34 @@ static PyMethodDef kernel_methods[] = {
      METH_FASTCALL, "col_sweep_many(lists, j, buf, Jcap) -> node count"},
     {"rebuild_row_scan", (PyCFunction)(void (*)(void))k_rebuild_row_scan,
      METH_FASTCALL,
-     "rebuild_row_scan(head, tail, buf, Jcap, cid) -> (pairs, scanned)"},
+     "rebuild_row_scan(head, tail, buf, Jcap, cid[, prev_lanes])"
+     " -> (pairs, scanned)"},
+    {"clear_row_col_lanes",
+     (PyCFunction)(void (*)(void))k_clear_row_col_lanes,
+     METH_FASTCALL, "clear_row_col_lanes(buf, Jcap, cid, lanes, w, e)"},
+    {"mirror_column_lanes",
+     (PyCFunction)(void (*)(void))k_mirror_column_lanes,
+     METH_FASTCALL, "mirror_column_lanes(buf, Jcap, cid, lanes)"},
+    {"lct_init_node", (PyCFunction)(void (*)(void))k_lct_init_node,
+     METH_FASTCALL, "lct_init_node(bufs, idx, w, e)"},
+    {"lct_make_root", (PyCFunction)(void (*)(void))k_lct_make_root,
+     METH_FASTCALL, "lct_make_root(bufs, x) -> ops"},
+    {"lct_find_root", (PyCFunction)(void (*)(void))k_lct_find_root,
+     METH_FASTCALL, "lct_find_root(bufs, x) -> (root, ops)"},
+    {"lct_conn", (PyCFunction)(void (*)(void))k_lct_conn,
+     METH_FASTCALL, "lct_conn(bufs, x, y) -> (same, ops)"},
+    {"lct_link", (PyCFunction)(void (*)(void))k_lct_link,
+     METH_FASTCALL, "lct_link(bufs, x, y) -> ops"},
+    {"lct_cut", (PyCFunction)(void (*)(void))k_lct_cut,
+     METH_FASTCALL, "lct_cut(bufs, x, y) -> ops"},
+    {"lct_path_max", (PyCFunction)(void (*)(void))k_lct_path_max,
+     METH_FASTCALL, "lct_path_max(bufs, x, y) -> (mx_idx, ops)"},
+    {"list_of", (PyCFunction)(void (*)(void))k_list_of,
+     METH_FASTCALL, "list_of(chunk, registry, stream) -> lst"},
+    {"transition_probe", (PyCFunction)(void (*)(void))k_transition_probe,
+     METH_FASTCALL, "transition_probe(lst, K) -> 0|1|2"},
+    {"fix_probe", (PyCFunction)(void (*)(void))k_fix_probe,
+     METH_FASTCALL, "fix_probe(chunk, registry, K, stream) -> lst | None"},
     {"col_sweep_obj", (PyCFunction)(void (*)(void))k_col_sweep_obj,
      METH_FASTCALL, "col_sweep_obj(node, j, row_views)"},
     {"gamma_argmin", (PyCFunction)(void (*)(void))k_gamma_argmin,
@@ -1223,11 +2181,30 @@ PyInit__kernels(void)
     INTERN(s_sides, "sides");
     INTERN(s_far, "far");
     INTERN(s_key, "key");
+    INTERN(s_dead, "dead");
+    INTERN(s_count, "count");
+    INTERN(s_n_edges, "n_edges");
+    INTERN(s_parent, "parent");
+    INTERN(s_cache_ver, "cache_ver");
+    INTERN(s_cache_lst, "cache_lst");
+    INTERN(s_version, "version");
+    INTERN(s_by_root, "by_root");
+    INTERN(s_leaf, "leaf");
+    INTERN(s_root_walk, "root_walk");
 #undef INTERN
+    if (PyType_Ready(&ChargeStream_Type) < 0)
+        return NULL;
     PyObject *m = PyModule_Create(&kernels_module);
     if (m == NULL)
         return NULL;
-    if (PyModule_AddStringConstant(m, "__version__", "1") < 0) {
+    Py_INCREF(&ChargeStream_Type);
+    if (PyModule_AddObject(m, "ChargeStream",
+                           (PyObject *)&ChargeStream_Type) < 0) {
+        Py_DECREF(&ChargeStream_Type);
+        Py_DECREF(m);
+        return NULL;
+    }
+    if (PyModule_AddStringConstant(m, "__version__", "2") < 0) {
         Py_DECREF(m);
         return NULL;
     }

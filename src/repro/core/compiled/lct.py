@@ -1,0 +1,172 @@
+"""Compiled link-cut forest: flat index mirror driven by the C kernels.
+
+API twin of :class:`repro.structures.link_cut.LinkCutForest` with the
+splay/access inner loops in ``_kernels.c``.  Node *identity* stays in
+python -- every slot maps to the same :class:`LCTNode` object the scalar
+path would have built (``label``/``key`` untouched), so callers compare
+and dereference nodes exactly as before.  Only the rotation bookkeeping
+(parent/left/right/flip/mx) lives in the flat int64/float64 lanes.
+
+Key encoding: the vertex sentinel ``(-inf,)`` becomes ``(-inf, -inf)``
+and an edge key ``(w, eid)`` its float pair.  Since eids are ``>= 0 >
+-inf``, the double-pair lexicographic compare is exactly the scalar
+tuple compare, so ``mx`` winners (and therefore every replacement-edge
+choice) are bit-identical.
+
+The per-node slots are recycled through a free list; buffers grow by
+doubling via ``bytearray.extend`` (no outstanding memoryview exports --
+node initialization happens in the ``lct_init_node`` kernel precisely so
+no python-side view need ever be held across a resize).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ...structures.link_cut import LCTNode, _MIN_KEY
+from . import kernels as _kn
+
+__all__ = ["CompiledLinkCutForest"]
+
+_NINF = float("-inf")
+
+
+class CompiledLinkCutForest:
+    """A forest of LCT nodes with evert, link, cut, and path-max."""
+
+    __slots__ = ("ops", "nodes", "_free", "_cap", "_n", "_bufs")
+
+    def __init__(self) -> None:
+        self.ops = 0  # number of splay steps, a proxy for LCT work
+        self.nodes: List[Optional[LCTNode]] = []
+        self._free: List[int] = []
+        self._n = 0
+        self._cap = 64
+        cap = self._cap
+        # (par, lft, rgt, flp, kw, ke, mx) -- the kernel buffer contract
+        self._bufs = (bytearray(8 * cap), bytearray(8 * cap),
+                      bytearray(8 * cap), bytearray(cap),
+                      bytearray(8 * cap), bytearray(8 * cap),
+                      bytearray(8 * cap))
+
+    def _grow(self) -> None:
+        add = self._cap
+        for i, buf in enumerate(self._bufs):
+            buf.extend(bytes((1 if i == 3 else 8) * add))
+        self._cap *= 2
+
+    # -- node lifecycle ----------------------------------------------------
+
+    def make_node(self, key: tuple = _MIN_KEY, label: Any = None) -> LCTNode:
+        if self._free:
+            idx = self._free.pop()
+        else:
+            if self._n == self._cap:
+                self._grow()
+            idx = self._n
+            self._n += 1
+        node = LCTNode(key=key, label=label)
+        node.idx = idx
+        if idx == len(self.nodes):
+            self.nodes.append(node)
+        else:
+            self.nodes[idx] = node
+        if len(key) >= 2:
+            w, e = float(key[0]), float(key[1])
+        else:
+            w = e = _NINF
+        _kn.lct_init_node(self._bufs, idx, w, e)
+        return node
+
+    def discard(self, node: LCTNode) -> None:
+        """Recycle the slot of an already-isolated node."""
+        idx = node.idx
+        self.nodes[idx] = None
+        self._free.append(idx)
+
+    # -- public API ---------------------------------------------------------
+
+    def make_root(self, x: LCTNode) -> None:
+        self.ops += _kn.lct_make_root(self._bufs, x.idx)
+
+    def find_root(self, x: LCTNode) -> LCTNode:
+        root, ops = _kn.lct_find_root(self._bufs, x.idx)
+        self.ops += ops
+        found = self.nodes[root]
+        assert found is not None
+        return found
+
+    def connected(self, x: LCTNode, y: LCTNode) -> bool:
+        if x is y:
+            return True
+        same, ops = _kn.lct_conn(self._bufs, x.idx, y.idx)
+        self.ops += ops
+        return bool(same)
+
+    def link(self, x: LCTNode, y: LCTNode) -> None:
+        self.ops += _kn.lct_link(self._bufs, x.idx, y.idx)
+
+    def cut(self, x: LCTNode, y: LCTNode) -> None:
+        self.ops += _kn.lct_cut(self._bufs, x.idx, y.idx)
+
+    def path_max(self, x: LCTNode, y: LCTNode) -> LCTNode:
+        mx, ops = _kn.lct_path_max(self._bufs, x.idx, y.idx)
+        self.ops += ops
+        found = self.nodes[mx]
+        assert found is not None
+        return found
+
+    # -- edge-as-node convenience -------------------------------------------
+
+    def link_edge(self, enode: LCTNode, u: LCTNode, v: LCTNode) -> None:
+        self.link(enode, u)
+        self.link(v, enode)
+
+    def cut_edge(self, enode: LCTNode, u: LCTNode, v: LCTNode) -> None:
+        self.cut(enode, u)
+        self.cut(enode, v)
+
+    # -- audits --------------------------------------------------------------
+
+    def self_check(self, max_findings: int = 5) -> List[str]:
+        """Cheap structural audit of the flat mirror.
+
+        Checks child/parent symmetry, slot-liveness of every referenced
+        index, and that each live node's key lanes match its python key
+        encoding.  O(live nodes); used by resilience.checks.
+        """
+        out: List[str] = []
+        par = memoryview(self._bufs[0]).cast("q")
+        lft = memoryview(self._bufs[1]).cast("q")
+        rgt = memoryview(self._bufs[2]).cast("q")
+        kw = memoryview(self._bufs[4]).cast("d")
+        ke = memoryview(self._bufs[5]).cast("d")
+        mx = memoryview(self._bufs[6]).cast("q")
+        try:
+            for idx in range(self._n):
+                node = self.nodes[idx]
+                if node is None:
+                    continue
+                for child in (lft[idx], rgt[idx]):
+                    if child < 0:
+                        continue
+                    if self.nodes[child] is None:
+                        out.append(f"lct slot {idx}: dead child {child}")
+                    elif par[child] != idx:
+                        out.append(f"lct slot {idx}: child {child} has "
+                                   f"parent {par[child]}")
+                m = mx[idx]
+                if m < 0 or m >= self._n or self.nodes[m] is None:
+                    out.append(f"lct slot {idx}: dead mx {m}")
+                key = node.key
+                want_w, want_e = ((float(key[0]), float(key[1]))
+                                  if len(key) >= 2 else (_NINF, _NINF))
+                if kw[idx] != want_w or ke[idx] != want_e:
+                    out.append(f"lct slot {idx}: key lanes "
+                               f"({kw[idx]!r}, {ke[idx]!r}) != {key!r}")
+                if len(out) >= max_findings:
+                    break
+        finally:
+            for view in (par, lft, rgt, kw, ke, mx):
+                view.release()
+        return out

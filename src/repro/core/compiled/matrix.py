@@ -54,11 +54,19 @@ class CompiledMatrix:
     def reset(self) -> None:
         kernels.fill_keys(self.buf, 0, self.Jcap * self.Jcap, _INF, _INF)
 
-    def clear_row_col(self, cid: int) -> None:
-        kernels.clear_row_col(self.buf, self.Jcap, cid, _INF, _INF)
+    def clear_row_col(self, cid: int, lanes=None) -> None:
+        if lanes is None:
+            kernels.clear_row_col(self.buf, self.Jcap, cid, _INF, _INF)
+        elif lanes:
+            kernels.clear_row_col_lanes(self.buf, self.Jcap, cid,
+                                        list(lanes), _INF, _INF)
 
-    def mirror_column(self, cid: int) -> None:
-        kernels.mirror_column(self.buf, self.Jcap, cid)
+    def mirror_column(self, cid: int, lanes=None) -> None:
+        if lanes is None:
+            kernels.mirror_column(self.buf, self.Jcap, cid)
+        elif lanes:
+            kernels.mirror_column_lanes(self.buf, self.Jcap, cid,
+                                        list(lanes))
 
     def set_entry(self, i: int, j: int, key: tuple) -> None:
         kernels.set_entry(self.buf, self.Jcap, i, j, key[0], key[1])

@@ -118,6 +118,10 @@ class ParFabric(Fabric):
                                    with_bt=True, ops=ops, backend=backend)
         self.registry = ParListRegistry(machine, self.space)
         self.pull = self.registry.pull
+        # Same routed structural plumbing as the sequential fabric: the
+        # fix/transition/list_of paths carry no machine charges, so the
+        # PRAM depth/work identity is untouched.
+        self._bind_compiled_plumbing()
 
     def _charge_struct(self, label: str) -> None:
         J = self.space.Jcap

@@ -23,7 +23,7 @@ import math
 from typing import Iterator, Optional
 
 from ..analysis.counters import OpCounter
-from ..structures.link_cut import LCTNode, LinkCutForest
+from ..structures.link_cut import LinkCutForest
 from . import euler, mwr
 from .fabric import Fabric
 from .lsds import EulerList
@@ -108,9 +108,17 @@ class SparseDynamicMSF:
         # Bound once: the parallel subclass sets ``machine`` before calling
         # super().__init__; the per-materialization getattr is hoisted here.
         self._machine = getattr(self, "machine", None)
+        # Compiled tier: batch hot-path charges in a C-side accumulator,
+        # folded back into the counter once per public update (flush
+        # epilogues below).  Attached *before* the fabric is built so
+        # Fabric._bind_compiled_plumbing sees it.
+        if backend == "compiled":
+            from . import compiled as _compiled
+            if _compiled.HAVE_COMPILED and self.ops._stream is None:
+                self.ops.attach_stream(_compiled.kernels.ChargeStream())
         self.fabric = self._build_fabric(n_max, K, flavor, with_bt, self.ops,
                                          backend)
-        self.lct = LinkCutForest()
+        self.lct = self._new_lct()
         self.edges: dict[int, Edge] = {}
         self.tree_edges: set[Edge] = set()
         #: append-only log of tree-status flips ``(eid, is_tree_now)`` --
@@ -129,15 +137,27 @@ class SparseDynamicMSF:
             self.vertices = []
             for vid in range(n_max):
                 vx = Vertex(vid)
-                vx.lct = LCTNode(label=("v", vid))
+                vx.lct = self.lct.make_node(label=("v", vid))
                 self.fabric.new_singleton_list(vx)
                 self.vertices.append(vx)
+        self.ops.flush()
 
     def _build_fabric(self, n_max, K, flavor, with_bt, ops,
                       backend) -> Fabric:
         """Hook: the parallel engine substitutes kernel-backed components."""
         return Fabric(n_max, K, flavor=flavor, with_bt=with_bt, ops=ops,
                       backend=backend)
+
+    def _new_lct(self):
+        """Link-cut forest factory: the compiled tier swaps in the
+        flat-mirror twin with the splay loops in C (same API, same ops
+        accounting, same node identities)."""
+        if self.backend == "compiled":
+            from . import compiled as _compiled
+            if _compiled.HAVE_COMPILED:
+                from .compiled.lct import CompiledLinkCutForest
+                return CompiledLinkCutForest()
+        return LinkCutForest()
 
     def reset(self) -> None:
         """Restore the engine to its just-constructed state **in place**.
@@ -180,13 +200,14 @@ class SparseDynamicMSF:
             self.vertices = []
             for vid in range(self.n_max):
                 vx = Vertex(vid)
-                vx.lct = LCTNode(label=("v", vid))
+                vx.lct = self.lct.make_node(label=("v", vid))
                 self.fabric.new_singleton_list(vx)
                 self.vertices.append(vx)
+        self.ops.flush()
 
     def _teardown_structures(self) -> None:
         self.fabric.reset()
-        self.lct = LinkCutForest()
+        self.lct = self._new_lct()
         self.edges.clear()
         self.tree_edges.clear()
         self.change_log.clear()
@@ -213,11 +234,11 @@ class SparseDynamicMSF:
             if machine is not None:
                 with machine.paused():
                     vx = Vertex(vid)
-                    vx.lct = LCTNode(label=("v", vid))
+                    vx.lct = self.lct.make_node(label=("v", vid))
                     self.fabric.new_singleton_list(vx)
             else:
                 vx = Vertex(vid)
-                vx.lct = LCTNode(label=("v", vid))
+                vx.lct = self.lct.make_node(label=("v", vid))
                 self.fabric.new_singleton_list(vx)
         return vx
 
@@ -322,6 +343,8 @@ class SparseDynamicMSF:
         self._weight_remove(e.weight)
         self.change_log.append((e.eid, False))
         self.lct.cut_edge(e.lct, e.u.lct, e.v.lct)
+        self.lct.discard(e.lct)
+        e.lct = None
         self.ops.charge("lct", 1)
         lu, lv = euler.cut_tour(self.fabric, e)
         replacement = self._find_mwr(lu, lv)
@@ -348,7 +371,7 @@ class SparseDynamicMSF:
         self.tree_edges.add(e)
         self._weight_add(e.weight)
         self.change_log.append((e.eid, True))
-        e.lct = LCTNode(key=e.key, label=e)
+        e.lct = self.lct.make_node(key=e.key, label=e)
         self.lct.link_edge(e.lct, e.u.lct, e.v.lct)
         self.ops.charge("lct", 1)
         euler.link_tour(self.fabric, e)
@@ -360,6 +383,7 @@ class SparseDynamicMSF:
         self._weight_remove(f.weight)
         self.change_log.append((f.eid, False))
         self.lct.cut_edge(f.lct, f.u.lct, f.v.lct)
+        self.lct.discard(f.lct)
         f.lct = None
         self.ops.charge("lct", 1)
         euler.cut_tour(self.fabric, f)

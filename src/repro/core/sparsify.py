@@ -649,7 +649,7 @@ class SparsifiedMSF:
 
     @staticmethod
     def _node_ops(node) -> int:
-        return node.engine.core.ops.total if node.has_engine else 0
+        return node.engine.core.ops.grand_total() if node.has_engine else 0
 
     # ------------------------------------------------------------ queries
 
@@ -756,7 +756,7 @@ class SparsifiedMSF:
         A scheduling-order fingerprint: the batch executor must leave this
         identical across pool sizes (each engine sees the same op stream).
         """
-        return {key: node.engine.core.ops.total
+        return {key: node.engine.core.ops.grand_total()
                 for key, node in self.nodes.items()
                 if node.has_engine}
 

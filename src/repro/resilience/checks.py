@@ -241,6 +241,30 @@ def _audit_core(core, level: str) -> list[Finding]:
             for msg in compm.verify_against(space.C):
                 out.append(Finding("compiled", msg, level))
         _guard(out, "compiled", level, flat_mirror_agrees)
+    out.extend(_sparse_and_lct_findings(core, space, level))
+    return out
+
+
+def _sparse_and_lct_findings(core, space, level: str) -> list[Finding]:
+    """Audits specific to the mirror-bearing backends' acceleration state.
+
+    The live-lane sets (``ChunkSpace._live``) and the compiled link-cut
+    forest's flat slabs are *derived* structures: if either drifts from
+    the authoritative object state, sparse scans or path queries go
+    silently wrong, so the structural tier rechecks both.
+    """
+    out: list[Finding] = []
+    if getattr(space, "_live", None) is not None:
+        def lanes_agree() -> None:
+            for msg in space.verify_live_lanes():
+                out.append(Finding("sparse", msg, level))
+        _guard(out, "sparse", level, lanes_agree)
+    lct = getattr(core, "lct", None)
+    if lct is not None and hasattr(lct, "self_check"):
+        def lct_clean() -> None:
+            for msg in lct.self_check():
+                out.append(Finding("lct", msg, level))
+        _guard(out, "lct", level, lct_clean)
     return out
 
 
@@ -416,6 +440,7 @@ def check_core(core, level: str = "cheap") -> list[Finding]:
             for msg in compm.verify_against(space.C):
                 out.append(Finding("compiled", msg, level))
         _guard(out, "compiled", level, flat_mirror_agrees)
+    out.extend(_sparse_and_lct_findings(core, space, level))
     machine = getattr(core, "machine", None)
     if machine is not None:
         out.extend(check_machine(machine, level))

@@ -164,7 +164,7 @@ def _charged_work(impl) -> int:
     """Total elementary work charged to the backend's own counters."""
     if hasattr(impl, "ops_by_node"):
         return sum(impl.ops_by_node().values())
-    return impl.core.ops.total
+    return impl.core.ops.grand_total()
 
 
 def _recover_from_findings(front, findings) -> list[str]:

@@ -33,7 +33,8 @@ _MIN_KEY: tuple = (float("-inf"),)
 class LCTNode:
     """One vertex of the represented forest (a graph vertex or an edge)."""
 
-    __slots__ = ("parent", "left", "right", "flip", "key", "mx", "label")
+    __slots__ = ("parent", "left", "right", "flip", "key", "mx", "label",
+                 "idx")
 
     def __init__(self, key: tuple = _MIN_KEY, label: Any = None) -> None:
         self.parent: Optional[LCTNode] = None
@@ -43,6 +44,8 @@ class LCTNode:
         self.key = key
         self.mx: LCTNode = self  # node attaining max key in this splay subtree
         self.label = label
+        #: slot index in the compiled tier's flat mirror (unused here)
+        self.idx = -1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<LCTNode {self.label!r} key={self.key!r}>"
@@ -130,6 +133,17 @@ class LinkCutForest:
 
     def __init__(self) -> None:
         self.ops = 0  # number of splay steps, a proxy for LCT work
+
+    # -- node lifecycle ----------------------------------------------------
+    # The engines allocate nodes through the forest so the compiled tier's
+    # flat-mirror twin (core.compiled.lct) can slot-manage them; here the
+    # factory is a plain constructor call and discard is a no-op.
+
+    def make_node(self, key: tuple = _MIN_KEY, label: Any = None) -> LCTNode:
+        return LCTNode(key=key, label=label)
+
+    def discard(self, node: LCTNode) -> None:
+        pass
 
     # -- internals ---------------------------------------------------------
 

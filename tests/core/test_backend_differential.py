@@ -19,6 +19,7 @@ extension is stale or absent, the fixture builds it on the spot (the
 from __future__ import annotations
 
 import importlib
+import random
 import subprocess
 import sys
 from pathlib import Path
@@ -150,7 +151,7 @@ def test_seq_core_counters_and_mirror(backend: str) -> None:
                 handles[idx] = eng.insert_edge(u, v, w, eid=10_000 + idx)
             else:
                 eng.delete_edge(handles.pop(op[1]))
-        outs.append((dict(eng.ops.counts),
+        outs.append((eng.ops.breakdown(),
                      tuple(sorted(e.eid for e in eng.msf_edges())),
                      round(eng.msf_weight(), 9)))
         engines.append(eng)
@@ -185,6 +186,154 @@ def test_parallel_core_depth_work_identical(backend: str) -> None:
             round(eng.msf_weight(), 9),
         ))
     assert outs[0] == outs[1]
+
+
+# ------------------------------------- PR 9: structural-plumbing parity
+
+def test_charge_stream_exact_per_op(backend: str) -> None:
+    """Charge batching is measurement-neutral *op by op*: after every
+    single update the flushed grand total of the batched backend equals
+    the scalar per-call path's, not just at the end of the stream.  The
+    windowed read itself forces a drain, so this also exercises the
+    lazy-drain contract under interleaved reads."""
+    n = 96
+    for seed in (1, 7, 23):
+        ops = list(churn(n, 150, seed=seed, max_degree=3))
+        scal = SparseDynamicMSF(n, K=4, backend="scalar")
+        other = SparseDynamicMSF(n, K=4, backend=backend)
+        hs: dict[int, object] = {}
+        ho: dict[int, object] = {}
+        for idx, op in enumerate(ops):
+            if op[0] == "ins":
+                _t, u, v, w = op
+                hs[idx] = scal.insert_edge(u, v, w, eid=10_000 + idx)
+                ho[idx] = other.insert_edge(u, v, w, eid=10_000 + idx)
+            else:
+                scal.delete_edge(hs.pop(op[1]))
+                other.delete_edge(ho.pop(op[1]))
+            assert other.ops.grand_total() == scal.ops.grand_total(), \
+                (seed, idx, op)
+        assert other.ops.breakdown() == scal.ops.breakdown()
+
+
+def _connectivity_partition(eng, n: int) -> tuple:
+    """Canonical partition of the vertex set into trees."""
+    reps: list[int] = []
+    groups: list[list[int]] = []
+    for v in range(n):
+        for rep, grp in zip(reps, groups):
+            if eng.connected(rep, v):
+                grp.append(v)
+                break
+        else:
+            reps.append(v)
+            groups.append([v])
+    return tuple(tuple(g) for g in groups)
+
+
+@pytest.mark.parametrize("workload", ["churn", "adversarial"])
+def test_transition_and_splay_parity(backend: str, workload: str) -> None:
+    """The backend-routed fabric-transition walk and splay/access loops
+    must leave the engine a twin of the scalar walks: per-update charge
+    totals, connectivity partition, forests, weights and the facade
+    fingerprint all agree, and the structural self-check (which audits
+    the LCT mirror and live-lane index) stays clean."""
+    n = 80
+    if workload == "churn":
+        ops = list(churn(n, 160, seed=11, max_degree=5))
+    else:
+        ops = list(adversarial_cuts(n, 6, seed=2))
+    outs = []
+    for bk in ("scalar", backend):
+        eng = DynamicMSF(n, engine="sequential", sparsify=False, backend=bk)
+        core = eng._impl.core
+        handles: dict[int, object] = {}
+        trace = []
+        for idx, op in enumerate(ops):
+            if op[0] == "ins":
+                _t, u, v, w = op
+                handles[idx] = eng.insert_edge(u, v, w)
+            else:
+                eng.delete_edge(handles.pop(op[1]))
+            trace.append(core.ops.grand_total())
+        outs.append((trace,
+                     _connectivity_partition(eng, n),
+                     tuple(sorted(eng.msf_ids())),
+                     round(eng.msf_weight(), 9),
+                     core.ops.breakdown(),
+                     state_fingerprint(eng._impl)))
+        assert eng.self_check("structural") == []
+    assert outs[0] == outs[1]
+
+
+def test_sparse_lane_scans_match_full_width(backend: str) -> None:
+    """Lane-restricted mirror maintenance is indistinguishable from the
+    Theta(Jcap) full-width sweep whenever the lane set covers the row's
+    live entries -- exactly the invariant ``ChunkSpace._live``
+    maintains.  Two twin mirrors receive the same mutations, one routed
+    sparse and one full-width; both must stay clean against the same
+    authoritative object matrix."""
+    Jcap = 16
+    INF = float("inf")
+    INF_KEY = (INF, INF)
+    if backend == "columnar":
+        import numpy as np
+
+        from repro.core.columnar.matrix import ColumnarMatrix as Mat
+
+        # the columnar verifier consumes numpy-style object rows
+        C = np.empty((Jcap, Jcap), dtype=object)
+        for i in range(Jcap):
+            for j in range(Jcap):
+                C[i, j] = INF_KEY
+    else:
+        from repro.core.compiled.matrix import CompiledMatrix as Mat
+        C = [[INF_KEY] * Jcap for _ in range(Jcap)]
+    rng = random.Random(97)
+    full, sparse = Mat(Jcap), Mat(Jcap)
+    live: dict[int, set[int]] = {i: set() for i in range(Jcap)}
+    for _ in range(48):
+        i, j = rng.sample(range(Jcap), 2)
+        key = (rng.random(), float(rng.randrange(1 << 20)))
+        for m in (full, sparse):
+            m.set_entry(i, j, key)
+        C[i][j] = C[j][i] = key
+        live[i].add(j)
+        live[j].add(i)
+    assert full.verify_against(C) == []
+    assert sparse.verify_against(C) == []
+    # clear_row_col: lanes-restricted vs full sweep
+    cid = max(live, key=lambda r: len(live[r]))
+    assert live[cid], "population pass should hit the pivot row"
+    sparse.clear_row_col(cid, lanes=sorted(live[cid]))
+    full.clear_row_col(cid)
+    for j in live[cid]:
+        C[cid][j] = C[j][cid] = INF_KEY
+        live[j].discard(cid)
+    live[cid] = set()
+    assert full.verify_against(C) == []
+    assert sparse.verify_against(C) == []
+    # mirror_column: reload row cid sparsely, then sweep the column
+    if backend == "columnar":
+        row = np.empty(Jcap, dtype=object)
+        for j in range(Jcap):
+            row[j] = INF_KEY
+    else:
+        row = [INF_KEY] * Jcap
+    lanes = sorted(rng.sample([j for j in range(Jcap) if j != cid], 5))
+    for j in lanes:
+        row[j] = (rng.random(), float(rng.randrange(1 << 20)))
+    for m in (full, sparse):
+        m.load_row_object(cid, row)
+    sparse.mirror_column(cid, lanes=lanes)
+    full.mirror_column(cid)
+    for j in lanes:
+        C[cid][j] = C[j][cid] = row[j]
+    assert full.verify_against(C) == []
+    assert sparse.verify_against(C) == []
+    # an empty lane set must be a no-op, not a full-width wipe
+    sparse.clear_row_col(cid, lanes=[])
+    assert sparse.verify_against(C) == []
 
 
 # ----------------------------------------------- compiled-tier specifics

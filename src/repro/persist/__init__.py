@@ -1,0 +1,27 @@
+"""Durable persistence: write-ahead op log, snapshots, crash recovery.
+
+The persist layer gives the serving fronts (:class:`repro.serve.BatchedMSF`,
+:class:`repro.serve.ClusterMSF`) an opt-in ``durability="wal"`` mode:
+
+* every committed coalesced batch is appended transactionally to a
+  SQLite-WAL op log (:mod:`repro.persist.wal`) with per-record checksums
+  and a whole-prefix hash chain;
+* every ``snapshot_every`` batches the authoritative edge registry is
+  written as an atomic, checksummed snapshot keyed by its
+  ``state_fingerprint`` digest (:mod:`repro.persist.snapshot`);
+* after a crash, :func:`repro.persist.restore` rebuilds the front from
+  the newest valid snapshot plus a log-tail replay through the normal
+  apply path, bit-identical to a never-crashed twin.
+"""
+
+from .restore import restore, resume_point
+from .snapshot import (fingerprint_digest, latest_valid_snapshot,
+                       list_snapshots, load_snapshot, write_snapshot)
+from .wal import WAL_FILENAME, DurableSink, OpLog, WALRecord
+
+__all__ = [
+    "restore", "resume_point",
+    "fingerprint_digest", "latest_valid_snapshot", "list_snapshots",
+    "load_snapshot", "write_snapshot",
+    "WAL_FILENAME", "DurableSink", "OpLog", "WALRecord",
+]

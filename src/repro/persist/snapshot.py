@@ -1,0 +1,167 @@
+"""Checksummed, atomically-written engine snapshots.
+
+A snapshot is one JSON file (``snap-<seq>.json`` inside the durability
+directory) holding everything restore needs to rebuild a serving front
+without replaying the whole log:
+
+``schema``
+    format tag (``"repro-snapshot/v1"``).
+``seq`` / ``cursor`` / ``next_eid``
+    the front's epoch, source-stream resume position and edge-id counter
+    at snapshot time (same meanings as the WAL record fields).
+``config``
+    the front's construction parameters (kind, n, engine, ...), checked
+    against the log's meta on restore.
+``edges``
+    the authoritative registry as ``[eid, u, v, w]`` rows, ascending
+    eid -- by MSF uniqueness under the strict ``(weight, eid)`` order an
+    ascending-eid rebuild reproduces the forest exactly
+    (:func:`repro.resilience.recover._build_from_registry` is the same
+    idea applied to in-memory recovery).
+``fingerprint``
+    the SHA-256 digest of :func:`repro.resilience.checks
+    .state_fingerprint` at snapshot time.  Restore recomputes the digest
+    of the rebuilt front *before* replaying the log tail and refuses a
+    snapshot that does not reproduce it -- corruption that survives the
+    file checksum (or a buggy writer) cannot silently anchor recovery.
+``crc``
+    SHA-256 over the canonical body -- whole-file integrity.
+
+Writes are crash-safe: serialize to ``<name>.tmp``, flush + fsync, then
+``os.replace`` into place -- a crash at any point leaves either the old
+set of snapshots or the new one, never a half-written visible file.  The
+``snapshot.write`` fault site truncates the temp file's bytes before the
+rename, modelling exactly the torn write the checksum must catch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from typing import Optional
+
+from ..resilience import faults as _faults
+from ..resilience.errors import WALCorruptionError
+
+__all__ = ["SNAPSHOT_SCHEMA", "fingerprint_digest", "snapshot_path",
+           "write_snapshot", "load_snapshot", "list_snapshots",
+           "latest_valid_snapshot"]
+
+SNAPSHOT_SCHEMA = "repro-snapshot/v1"
+
+_SNAP_RE = re.compile(r"^snap-(\d+)\.json$")
+
+
+def fingerprint_digest(fingerprint: tuple) -> str:
+    """Stable SHA-256 digest of a ``state_fingerprint`` tuple."""
+    return hashlib.sha256(repr(fingerprint).encode()).hexdigest()
+
+
+def snapshot_path(directory: str, seq: int) -> str:
+    return os.path.join(str(directory), f"snap-{seq:012d}.json")
+
+
+def _body_digest(state: dict) -> str:
+    body = {k: v for k, v in state.items() if k != "crc"}
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def write_snapshot(directory: str, state: dict) -> str:
+    """Atomically write one snapshot; returns its final path.
+
+    ``state`` must carry ``seq``, ``cursor``, ``next_eid``, ``config``,
+    ``edges`` and ``fingerprint``; ``schema`` and ``crc`` are filled in
+    here.
+    """
+    state = dict(state)
+    state["schema"] = SNAPSHOT_SCHEMA
+    state["crc"] = _body_digest(state)
+    data = json.dumps(state, sort_keys=True,
+                      separators=(",", ":")).encode()
+    if _faults.armed:   # torn write: crash mid-serialization
+        rec = _faults.fire("snapshot.write", data=data,
+                           seq=state.get("seq"))
+        if rec is not None and "data" in rec:
+            data = rec["data"]
+    final = snapshot_path(directory, int(state["seq"]))
+    tmp = final + ".tmp"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, final)
+    return final
+
+
+def _seq_of(path: str) -> Optional[int]:
+    m = _SNAP_RE.match(os.path.basename(path))
+    return int(m.group(1)) if m else None
+
+
+def load_snapshot(path: str) -> dict:
+    """Load and validate one snapshot file.
+
+    Raises :class:`WALCorruptionError` (with ``seq`` parsed from the
+    file name and ``path`` set) on a truncated, undecodable or
+    checksum-mismatched file -- a damaged snapshot must never anchor a
+    replay.
+    """
+    seq = _seq_of(path)
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except OSError as exc:
+        raise WALCorruptionError(
+            f"snapshot unreadable: {exc}", seq=seq, path=path) from exc
+    try:
+        state = json.loads(raw.decode())
+    except Exception as exc:
+        raise WALCorruptionError(
+            f"snapshot truncated or undecodable: {exc!r}", seq=seq,
+            path=path) from exc
+    if not isinstance(state, dict) or state.get("schema") != SNAPSHOT_SCHEMA:
+        found = (state.get("schema") if isinstance(state, dict)
+                 else type(state).__name__)
+        raise WALCorruptionError(
+            f"snapshot schema mismatch: {found!r}", seq=seq, path=path)
+    if state.get("crc") != _body_digest(state):
+        raise WALCorruptionError(
+            "snapshot checksum mismatch (torn or corrupt)", seq=seq,
+            path=path)
+    return state
+
+
+def list_snapshots(directory: str) -> list[str]:
+    """Snapshot file paths in ``directory``, ascending seq."""
+    try:
+        names = os.listdir(str(directory))
+    except OSError:
+        return []
+    out = [(int(m.group(1)), os.path.join(str(directory), name))
+           for name in names
+           for m in [_SNAP_RE.match(name)] if m]
+    return [path for _seq, path in sorted(out)]
+
+
+def latest_valid_snapshot(directory: str) -> tuple[
+        Optional[str], Optional[dict], list[dict]]:
+    """Newest snapshot that passes validation, plus a skip report.
+
+    Walks newest to oldest; every invalid candidate is *recorded* (seq,
+    path, error) -- skipping damage is allowed here because an older
+    valid snapshot plus a longer log replay reaches the same state, but
+    it must never be silent.
+    """
+    skipped: list[dict] = []
+    for path in reversed(list_snapshots(directory)):
+        try:
+            state = load_snapshot(path)
+        except WALCorruptionError as exc:
+            skipped.append({"seq": exc.seq, "path": exc.path,
+                            "error": str(exc)})
+            continue
+        return path, state, skipped
+    return None, None, skipped

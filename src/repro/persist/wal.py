@@ -1,0 +1,401 @@
+"""SQLite-WAL durable op log -- the write-ahead half of the persist layer.
+
+One database file (``wal.db`` inside a durability directory) records
+every *committed* coalesced batch of a serving front, transactionally,
+at its commit seq -- the same SQLite-WAL idiom as the cluster's
+:class:`~repro.cluster.store.CoordinationStore` (``journal_mode=WAL``,
+``synchronous=NORMAL``, busy timeout, one connection per process).
+
+Each record is the batch's **effectively applied** canonical op stream
+(rejected ops excluded), so replaying the log through the normal
+``apply_batch`` path reproduces the exact committed state:
+
+``seq``
+    the front's epoch after the batch committed (contiguous from 1).
+``cursor``
+    the application-supplied source-stream resume position -- drivers
+    set :attr:`DurableSink.cursor` before submitting each op, so the
+    record of an auto-flushed batch names the last source op it covers.
+    ``-1`` means "no cursor supplied".
+``next_eid``
+    the front's edge-id counter *after* the batch.  Stored explicitly
+    because in-batch annihilated inserts consume eids that never appear
+    in any record; restoring the counter from the last record keeps
+    post-recovery eid assignment bit-identical to a never-crashed twin.
+``ops``
+    canonical JSON of the applied op stream (deletes first ascending
+    eid, then inserts ascending eid -- :mod:`repro.serve.batch`).
+``crc``
+    SHA-256 over ``seq|cursor|next_eid|ops`` -- per-record integrity.
+``chain``
+    SHA-256 over ``prev_chain|crc`` -- a hash chain anchoring every
+    record to its whole prefix, so reordering or resurrecting old
+    records is as detectable as corrupting one.
+
+Torn-tail semantics (the "never silently replay" contract): the default
+read path (:meth:`OpLog.records`, :meth:`OpLog.verify`) raises / reports
+a structured :class:`~repro.resilience.errors.WALCorruptionError` on
+*any* invalid record.  Only the explicit :meth:`OpLog.recover_tail` --
+the first step of the restore driver -- will drop a record, and only
+when it is the **final** one (a crash artifact mid-append); the drop is
+logged in the returned report, never silent.  An invalid record with
+valid successors is unrecoverable damage and always raises.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+import sqlite3
+from dataclasses import dataclass
+from typing import Optional
+
+from ..resilience import faults as _faults
+from ..resilience.errors import WALCorruptionError
+
+__all__ = ["WALRecord", "OpLog", "DurableSink", "GENESIS_CHAIN",
+           "WAL_FILENAME"]
+
+WAL_FILENAME = "wal.db"
+
+#: chain anchor for seq 1 (no predecessor)
+GENESIS_CHAIN = hashlib.sha256(b"repro-oplog-genesis").hexdigest()
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS oplog (
+    seq      INTEGER PRIMARY KEY,
+    cursor   INTEGER NOT NULL,
+    next_eid INTEGER NOT NULL,
+    ops      TEXT    NOT NULL,
+    crc      TEXT    NOT NULL,
+    chain    TEXT    NOT NULL
+);
+"""
+
+
+def _encode_ops(ops) -> str:
+    """Canonical JSON of one applied op stream (tuples -> lists)."""
+    return json.dumps([list(op) for op in ops], separators=(",", ":"))
+
+
+def _decode_ops(payload: str) -> list[tuple]:
+    return [tuple(op) for op in json.loads(payload)]
+
+
+def _crc(seq: int, cursor: int, next_eid: int, payload: str) -> str:
+    h = hashlib.sha256()
+    h.update(f"{seq}|{cursor}|{next_eid}|".encode())
+    h.update(payload.encode())
+    return h.hexdigest()
+
+
+def _chain(prev_chain: str, crc: str) -> str:
+    return hashlib.sha256(f"{prev_chain}|{crc}".encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One validated log record, ops decoded back to canonical tuples."""
+
+    seq: int
+    cursor: int
+    next_eid: int
+    ops: tuple[tuple, ...]
+
+
+class OpLog:
+    """One process's connection to a durable op-log database."""
+
+    def __init__(self, path: str, *, timeout: float = 5.0) -> None:
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path, timeout=timeout)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(f"PRAGMA busy_timeout={int(timeout * 1000)}")
+        self._conn.executescript(_SCHEMA)
+        self._conn.commit()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "OpLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def journal_mode(self) -> str:
+        return self._conn.execute("PRAGMA journal_mode").fetchone()[0]
+
+    # ----------------------------------------------------------------- meta
+
+    def set_meta(self, key: str, value) -> None:
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                (key, json.dumps(value)))
+
+    def get_meta(self, key: str, default=None):
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return default if row is None else json.loads(row[0])
+
+    # ---------------------------------------------------------------- write
+
+    def append(self, seq: int, ops, *, cursor: int = -1,
+               next_eid: int = 0) -> str:
+        """Append one committed batch transactionally; returns its chain.
+
+        ``seq`` must extend the log contiguously.  A *gap ahead* (the
+        caller's seq is past the log's tail) means the log lost
+        already-acknowledged records -- a detected durability failure,
+        raised as a structured :class:`WALCorruptionError`.  A seq at or
+        below the tail is a caller bug and raises ``ValueError``.
+        """
+        last = self._last_row()
+        if last is not None:
+            want, prev_chain = last[0] + 1, last[5]
+        else:
+            want = self.get_meta("base_seq", 0) + 1
+            prev_chain = GENESIS_CHAIN
+        if seq > want:
+            raise WALCorruptionError(
+                f"log lost its tail: front commits at seq {seq} but the "
+                f"log's next expected seq is {want}", seq=seq,
+                path=self.path)
+        if seq < want:
+            raise ValueError(
+                f"append at seq {seq} does not extend the log (next "
+                f"expected seq is {want})")
+        payload = _encode_ops(ops)
+        crc = _crc(seq, cursor, next_eid, payload)
+        if _faults.armed:   # torn/partial record: crash died mid-append
+            rec = _faults.fire("wal.append", payload=payload, seq=seq)
+            if rec is not None and "payload" in rec:
+                payload = rec["payload"]   # crc now mismatches: torn
+        chain = _chain(prev_chain, crc)
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO oplog (seq, cursor, next_eid, ops, crc, chain)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (seq, cursor, next_eid, payload, crc, chain))
+        if _faults.armed:   # lost tail: the fsync'd commit never hit disk
+            _faults.fire("wal.fsync", log=self, seq=seq)
+        return chain
+
+    def _drop_record(self, seq: int) -> None:
+        """Remove one record (the ``wal.fsync`` lost-tail corruptor and
+        the explicit torn-tail truncation both land here)."""
+        with self._conn:
+            self._conn.execute("DELETE FROM oplog WHERE seq = ?", (seq,))
+
+    def prune_through(self, seq: int) -> int:
+        """Drop records at or below ``seq`` (covered by a snapshot);
+        returns how many were removed.  Optional -- the default policy
+        keeps the full log for time-travel replay.  Records the prune
+        point as ``base_seq`` meta so appends keep extending contiguously
+        and restore knows the retained tail starts at ``base_seq + 1``.
+        """
+        with self._conn:
+            cur = self._conn.execute(
+                "DELETE FROM oplog WHERE seq <= ?", (seq,))
+        base = max(self.get_meta("base_seq", 0), seq)
+        self.set_meta("base_seq", base)
+        return cur.rowcount
+
+    def base_seq(self) -> int:
+        """Seq through which the log has been pruned (0 = full log)."""
+        return self.get_meta("base_seq", 0)
+
+    # ----------------------------------------------------------------- read
+
+    def last_seq(self) -> int:
+        row = self._conn.execute("SELECT MAX(seq) FROM oplog").fetchone()
+        return row[0] or 0
+
+    def first_seq(self) -> int:
+        row = self._conn.execute("SELECT MIN(seq) FROM oplog").fetchone()
+        return row[0] or 0
+
+    def _last_row(self) -> Optional[tuple]:
+        return self._conn.execute(
+            "SELECT seq, cursor, next_eid, ops, crc, chain FROM oplog "
+            "ORDER BY seq DESC LIMIT 1").fetchone()
+
+    def _rows(self, start_seq: int = 0) -> list[tuple]:
+        return self._conn.execute(
+            "SELECT seq, cursor, next_eid, ops, crc, chain FROM oplog "
+            "WHERE seq >= ? ORDER BY seq", (start_seq,)).fetchall()
+
+    def _row_problem(self, row: tuple, prev_chain: Optional[str],
+                     prev_seq: Optional[int]) -> Optional[str]:
+        seq, cursor, next_eid, payload, crc, chain = row
+        if prev_seq is not None and seq != prev_seq + 1:
+            return (f"sequence gap: record {seq} follows {prev_seq}")
+        if _crc(seq, cursor, next_eid, payload) != crc:
+            return f"record {seq}: checksum mismatch (torn or corrupt)"
+        if prev_chain is not None and _chain(prev_chain, crc) != chain:
+            return f"record {seq}: hash chain broken"
+        return None
+
+    def records(self, start_seq: int = 1) -> list[WALRecord]:
+        """Validated records from ``start_seq`` on, ascending.
+
+        Raises :class:`WALCorruptionError` on any checksum mismatch,
+        chain break or sequence gap -- the default read path never
+        silently replays past damage (use :meth:`recover_tail` first to
+        classify a torn final record).
+        """
+        rows = self._rows(start_seq)
+        out: list[WALRecord] = []
+        prev_chain: Optional[str] = None
+        prev_seq: Optional[int] = None
+        if rows and rows[0][0] == 1:
+            prev_chain = GENESIS_CHAIN
+        for row in rows:
+            problem = self._row_problem(row, prev_chain, prev_seq)
+            if problem is not None:
+                raise WALCorruptionError(
+                    problem, seq=row[0], path=self.path)
+            seq, cursor, next_eid, payload, crc, chain = row
+            try:
+                ops = tuple(_decode_ops(payload))
+            except Exception as exc:
+                raise WALCorruptionError(
+                    f"record {seq}: undecodable ops payload ({exc!r})",
+                    seq=seq, path=self.path) from exc
+            out.append(WALRecord(seq, cursor, next_eid, ops))
+            prev_chain, prev_seq = chain, seq
+        return out
+
+    def verify(self) -> list[str]:
+        """Full-log integrity scan; returns problems instead of raising
+        (the :mod:`repro.resilience.checks` detection surface)."""
+        problems: list[str] = []
+        base = self.base_seq()
+        prev_chain: Optional[str] = GENESIS_CHAIN
+        prev_seq: Optional[int] = None
+        for row in self._rows():
+            if prev_seq is None:
+                if row[0] != base + 1:
+                    problems.append(
+                        f"retained tail starts at {row[0]}, expected "
+                        f"{base + 1} (base_seq={base})")
+                if row[0] != 1:
+                    prev_chain = None   # pruned prefix: chain unanchored
+            problem = self._row_problem(row, prev_chain, prev_seq)
+            if problem is not None:
+                problems.append(problem)
+                prev_chain = None   # damage breaks the chain downstream
+            else:
+                prev_chain = row[5]
+            prev_seq = row[0]
+        return problems
+
+    def recover_tail(self) -> dict:
+        """Classify crash artifacts before replay; returns a report.
+
+        A checksum-invalid **final** record is the signature of a crash
+        mid-append: it is dropped (explicitly, and reported as
+        ``dropped_torn``).  Any earlier invalid record has valid
+        successors -- that is real corruption, not a crash artifact --
+        and raises :class:`WALCorruptionError`.
+        """
+        rows = self._rows()
+        dropped: list[int] = []
+        if rows:
+            last = rows[-1]
+            seq, cursor, next_eid, payload, crc, chain = last
+            if _crc(seq, cursor, next_eid, payload) != crc:
+                self._drop_record(seq)
+                dropped.append(seq)
+                rows = rows[:-1]
+        base = self.base_seq()
+        prev_chain: Optional[str] = GENESIS_CHAIN
+        prev_seq: Optional[int] = None
+        for row in rows:
+            if prev_seq is None:
+                if row[0] != base + 1:
+                    raise WALCorruptionError(
+                        f"retained tail starts at {row[0]}, expected "
+                        f"{base + 1} (base_seq={base})", seq=row[0],
+                        path=self.path)
+                if row[0] != 1:
+                    prev_chain = None
+            problem = self._row_problem(row, prev_chain, prev_seq)
+            if problem is not None:
+                raise WALCorruptionError(problem, seq=row[0],
+                                         path=self.path)
+            prev_chain, prev_seq = row[5], row[0]
+        return {"dropped_torn": dropped, "last_seq": self.last_seq(),
+                "first_seq": self.first_seq(), "base_seq": base}
+
+
+class DurableSink:
+    """The serving fronts' write-side handle on a durability directory.
+
+    Owns the :class:`OpLog`, the snapshot cadence, and the crash-test
+    hooks.  Constructed by ``BatchedMSF``/``ClusterMSF`` when
+    ``durability="wal"``; the restore driver re-attaches one in
+    *suspended* mode while it replays (replayed batches must not be
+    re-appended).
+    """
+
+    def __init__(self, directory: str, *, config: dict,
+                 snapshot_every: int = 64, resume: bool = False) -> None:
+        if snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {snapshot_every}")
+        self.directory = str(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.snapshot_every = snapshot_every
+        self.log = OpLog(os.path.join(self.directory, WAL_FILENAME))
+        self.cursor = -1       # driver-set source-stream resume position
+        self.suspended = False
+        #: crash-test hooks: SIGKILL the process immediately before /
+        #: after the nth append call (1-based); None disables
+        self.kill_at_append: Optional[int] = None
+        self.kill_after_append: Optional[int] = None
+        self._append_calls = 0
+        stored = self.log.get_meta("config")
+        if stored is None:
+            self.log.set_meta("config", config)
+            stored = config
+        elif not resume and stored != config:
+            raise WALCorruptionError(
+                f"durability directory already holds a log for a "
+                f"different configuration: {stored!r} != {config!r}",
+                path=self.log.path)
+        #: the configuration of record -- on resume this is the log's
+        #: stored meta, not the (possibly operationally-overridden)
+        #: constructor view, so snapshots stay consistent across restores
+        self.config = stored
+
+    # ---------------------------------------------------------------- write
+
+    def commit(self, seq: int, ops, next_eid: int) -> None:
+        """Append one committed batch (no-op while suspended)."""
+        if self.suspended:
+            return
+        self._append_calls += 1
+        if self.kill_at_append == self._append_calls:
+            os.kill(os.getpid(), signal.SIGKILL)
+        self.log.append(seq, ops, cursor=self.cursor, next_eid=next_eid)
+        if self.kill_after_append == self._append_calls:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def snapshot_due(self, seq: int) -> bool:
+        return not self.suspended and seq % self.snapshot_every == 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        self.log.close()

@@ -32,7 +32,7 @@ from typing import Iterable, Optional
 __all__ = [
     "Finding", "check_engine", "check_tree", "check_reducer",
     "check_machine", "check_pool", "check_batched", "check_cluster",
-    "check_core", "state_fingerprint",
+    "check_core", "check_durability", "state_fingerprint",
 ]
 
 _LEVELS = ("cheap", "structural", "full")
@@ -477,7 +477,61 @@ def check_batched(front, level: str = "cheap") -> list[Finding]:
 
     _guard(out, "serve", "cheap", registries)
     out.extend(check_engine(front._impl, level))
+    out.extend(check_durability(front, level))
     return out
+
+
+def check_durability(front, level: str = "cheap") -> list[Finding]:
+    """Checks for a front's attached durable sink (empty when off).
+
+    Cheap: the log's tail seq must equal the front's epoch (a lost
+    acknowledged record shows up here before the next append trips on
+    it).  Structural and up: the full checksum + hash-chain scan of the
+    log (:meth:`~repro.persist.wal.OpLog.verify`) and file validation of
+    every snapshot -- a torn WAL record or truncated snapshot becomes a
+    ``durability`` finding, never a silent replay hazard.
+    """
+    rank = _rank(level)
+    sink = getattr(front, "_durable", None)
+    if sink is None:
+        return []
+    out: list[Finding] = []
+
+    def seq_sync() -> None:
+        last = sink.log.last_seq()
+        anchored = max(last, sink.log.base_seq())
+        if not sink.suspended and anchored != front._epoch:
+            out.append(Finding(
+                "durability", f"durable log tail at seq {anchored}, "
+                f"front epoch is {front._epoch}", "cheap"))
+
+    _guard(out, "durability", "cheap", seq_sync)
+    if rank < 1:
+        return out
+
+    def log_scan() -> None:
+        for msg in sink.log.verify():
+            out.append(Finding("durability", msg, level))
+
+    def snapshots_valid() -> None:
+        from ..persist.snapshot import load_snapshot
+        from ..resilience.errors import WALCorruptionError
+        for path in _snapshot_paths(sink.directory):
+            try:
+                load_snapshot(path)
+            except WALCorruptionError as exc:
+                out.append(Finding(
+                    "durability", f"invalid snapshot {path}: {exc}",
+                    level))
+
+    _guard(out, "durability", level, log_scan)
+    _guard(out, "durability", level, snapshots_valid)
+    return out
+
+
+def _snapshot_paths(directory: str) -> list[str]:
+    from ..persist.snapshot import list_snapshots
+    return list_snapshots(directory)
 
 
 def check_cluster(front, level: str = "cheap") -> list[Finding]:
@@ -594,6 +648,7 @@ def check_cluster(front, level: str = "cheap") -> list[Finding]:
 
         _guard(out, "cluster", level, forest)
         _guard(out, "cluster", level, workers)
+    out.extend(check_durability(front, level))
     return out
 
 

@@ -24,6 +24,15 @@ catch one base class and still discriminate:
     ``backend="compiled"`` needs the native extension built).
     Subclasses ``ImportError`` so generic dependency-guard call sites
     keep working unchanged.
+``WALCorruptionError``
+    a durable-log or snapshot record failed validation (checksum
+    mismatch, broken hash chain, sequence gap, truncated file).  Carries
+    the offending record's :attr:`seq` and the artifact's :attr:`path` --
+    recovery must never silently replay past one of these.
+``SnapshotStaleError``
+    a snapshot exists but cannot anchor recovery (the retained log tail
+    starts after the snapshot's seq, or the recorded configuration does
+    not match the requested one).  Also carries :attr:`seq`/:attr:`path`.
 """
 
 from __future__ import annotations
@@ -34,6 +43,8 @@ __all__ = [
     "UnknownEdgeError",
     "QuarantineExhausted",
     "BackendUnavailable",
+    "WALCorruptionError",
+    "SnapshotStaleError",
 ]
 
 
@@ -98,3 +109,40 @@ class BackendUnavailable(ReproError, ImportError):
         self.backend = backend
         self.requirement = requirement
         self.extra = extra
+
+
+class WALCorruptionError(ReproError):
+    """A durable-log or snapshot record failed its integrity validation.
+
+    Parameters
+    ----------
+    message:
+        human-readable summary of what failed to validate.
+    seq:
+        batch sequence number of the offending record, when attributable
+        (``None`` for file-level damage with no parseable seq).
+    path:
+        filesystem path of the damaged artifact (the WAL database or the
+        snapshot file).
+    """
+
+    def __init__(self, message: str, *, seq=None, path=None):
+        super().__init__(message)
+        self.seq = seq
+        self.path = str(path) if path is not None else None
+
+
+class SnapshotStaleError(ReproError):
+    """A snapshot cannot anchor recovery against the retained log.
+
+    Raised when the durable log's retained tail starts *after* the
+    snapshot's seq (the gap makes replay impossible) or when the
+    snapshot's recorded configuration disagrees with the requested one.
+    Carries the same ``seq``/``path`` attributes as
+    :class:`WALCorruptionError`.
+    """
+
+    def __init__(self, message: str, *, seq=None, path=None):
+        super().__init__(message)
+        self.seq = seq
+        self.path = str(path) if path is not None else None

@@ -19,6 +19,9 @@ site                      corrupts
 ``serve.batch``           a coalesced batch op stream (drop / duplicate one)
 ``sparsify.weight``       the sparsification tree's incremental MSF weight
 ``cluster.worker``        a sharded-cluster worker process (SIGKILL mid-batch)
+``wal.append``            a durable-log record (torn/partial payload)
+``wal.fsync``             the durable log's acknowledged tail (lost record)
+``snapshot.write``        a snapshot file (truncated before the rename)
 ========================  ====================================================
 
 Zero-cost discipline
@@ -256,6 +259,58 @@ def _corrupt_compiled_kernel(param: int, ctx: dict) -> Optional[dict]:
     return {"detail": f"compiled mirror C[{i},{j}] weight += {delta}"}
 
 
+def _tear_wal_record(param: int, ctx: dict) -> Optional[dict]:
+    """Truncate a WAL record's ops payload mid-write (torn record).
+
+    Value-returning like ``serve.batch``: the append proceeds with the
+    truncated payload but the checksum computed over the *original*
+    bytes, exactly the on-disk shape of a crash mid-append.  Detected by
+    the structural-tier log scan and classified at restore time
+    (dropped-and-reported when final, ``WALCorruptionError`` otherwise).
+    """
+    payload = ctx.get("payload")
+    if not payload:
+        return None
+    cut = param % len(payload)
+    return {"detail": f"WAL record seq={ctx.get('seq')} payload torn at "
+                      f"byte {cut}/{len(payload)}",
+            "payload": payload[:cut]}
+
+
+def _lose_wal_tail(param: int, ctx: dict) -> Optional[dict]:
+    """Drop the just-committed WAL record (power-cut lost tail).
+
+    ``synchronous=NORMAL`` trades the power-loss window for speed; this
+    corruptor models that window by deleting the record the caller just
+    had acknowledged.  The front's next append lands past the log's
+    tail and raises a structured ``WALCorruptionError`` -- a lost
+    durable write must never pass silently.
+    """
+    log = ctx.get("log")
+    seq = ctx.get("seq")
+    if log is None or seq is None:
+        return None
+    log._drop_record(seq)
+    return {"detail": f"WAL record seq={seq} lost after acknowledged "
+                      f"commit"}
+
+
+def _truncate_snapshot(param: int, ctx: dict) -> Optional[dict]:
+    """Truncate a snapshot file's bytes before the atomic rename.
+
+    Models a crash (or full disk) mid-serialization: the visible file is
+    complete-looking but short.  The file checksum catches it; restore
+    skips-and-reports the candidate and anchors on an older snapshot.
+    """
+    data = ctx.get("data")
+    if not data:
+        return None
+    cut = param % len(data)
+    return {"detail": f"snapshot seq={ctx.get('seq')} truncated at byte "
+                      f"{cut}/{len(data)}",
+            "data": data[:cut]}
+
+
 def _kill_cluster_worker(param: int, ctx: dict) -> Optional[dict]:
     """SIGKILL one live worker of a sharded serving cluster.
 
@@ -304,6 +359,15 @@ SITES: dict[str, tuple[str, Callable[[int, dict], Optional[dict]]]] = {
     "cluster.worker": (
         "SIGKILL one live worker process of a sharded serving cluster",
         _kill_cluster_worker),
+    "wal.append": (
+        "tear one durable-log record's payload mid-append",
+        _tear_wal_record),
+    "wal.fsync": (
+        "lose the just-acknowledged durable-log tail record",
+        _lose_wal_tail),
+    "snapshot.write": (
+        "truncate one snapshot file's bytes before the atomic rename",
+        _truncate_snapshot),
 }
 
 
@@ -388,10 +452,17 @@ class FaultPlan:
             "detail": detail,
         }
         self.log.append(entry)
-        if rec is not None and "ops" in rec:
-            entry["replaced_ops"] = True
-            return {"ops": rec["ops"], "entry": entry}
-        return {"entry": entry} if rec is not None else None
+        if rec is None:
+            return None
+        # value-returning corruption (serve.batch ops, wal.append payload,
+        # snapshot.write data): pass every non-detail key back to the site
+        extra = {k: v for k, v in rec.items() if k != "detail"}
+        if extra:
+            entry["replaced"] = sorted(extra)
+            if "ops" in extra:
+                entry["replaced_ops"] = True
+            return {**extra, "entry": entry}
+        return {"entry": entry}
 
     # -- reporting ---------------------------------------------------------
 

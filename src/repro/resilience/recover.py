@@ -24,6 +24,12 @@ differentially verifies the result.  The ladder, in escalation order:
    mid-apply is re-run on a rebuilt backend with binary splitting; ops
    that fail in a singleton segment are *rejected* (reported to the
    caller) while every healthy op commits.
+5. **durable-artifact rebuild** (:func:`repair_wal`) -- a damaged
+   write-ahead log or snapshot set is replaced wholesale: a fresh
+   snapshot of the live front's authoritative registry anchors the
+   directory at the current epoch, the suspect log is pruned through
+   it, and invalid snapshot files are removed -- the same
+   never-trust-the-corrupted-copy discipline, applied on disk.
 
 Recovery work is charged through the normal counters -- a rebuilt
 engine re-pays its construction and insertion costs on its own machine
@@ -34,13 +40,12 @@ and op counter, so post-recovery measurements stay honest (DESIGN.md,
 from __future__ import annotations
 
 from collections import deque
-from typing import Optional
 
 from . import checks
 from .errors import QuarantineExhausted
 
 __all__ = ["recover_machine", "recover_pool", "rebuild_backend",
-           "recover_batch"]
+           "recover_batch", "repair_wal"]
 
 #: audit degrade ladder: each level maps to the next-more-verified one
 _DEGRADE = {"fast": "count", "count": "strict", "strict": "strict"}
@@ -144,6 +149,75 @@ def rebuild_backend(front, *, max_attempts: int = 3,
     raise QuarantineExhausted(
         f"backend rebuild still dirty after {attempts} attempts: "
         f"{[str(f) for f in last_findings[:3]]}", attempts=attempts)
+
+
+# ------------------------------------------------------------- durability
+
+def repair_wal(front) -> dict:
+    """Rebuild a front's durable artifacts from the authoritative state.
+
+    The quarantine-and-rebuild discipline applied to the *durable* side:
+    a log with torn records, a lost tail, or damaged snapshot files
+    cannot be trusted for replay, but the in-memory front still holds
+    the authoritative registry -- so recovery writes a fresh snapshot of
+    it at the current epoch, prunes the (suspect) log through that seq,
+    and removes every snapshot file that fails validation.  After this
+    the durable state verifies clean and a restore from it reproduces
+    the live front exactly; appends resume at ``epoch + 1``.
+
+    Raises :class:`QuarantineExhausted` if the rebuilt artifacts still
+    fail verification (damage that survives a rewrite is not a crash
+    artifact).
+    """
+    import os
+
+    from ..persist.snapshot import list_snapshots, load_snapshot
+    from .errors import WALCorruptionError
+
+    sink = front._durable
+    problems_before = sink.log.verify()
+    # the suspect log takes no appends during the repair: pending ops
+    # drain through the normal apply path (reads inside the fingerprint
+    # would otherwise trigger a flush that re-hits the damaged log), and
+    # the fresh snapshot then covers everything the prune discards
+    sink.suspended = True
+    try:
+        front.flush()
+        # bounded retry: under continued injection the rebuild itself can
+        # be hit (a torn fresh snapshot); a re-write from the same
+        # authoritative registry heals it unless the damage is persistent
+        attempts = 0
+        while True:
+            attempts += 1
+            snap_path = front._write_durable_snapshot()
+            try:
+                load_snapshot(snap_path)
+                break
+            except WALCorruptionError as exc:
+                if attempts >= 3:
+                    raise QuarantineExhausted(
+                        f"fresh snapshot still invalid after {attempts} "
+                        f"writes: {exc}", attempts=attempts) from exc
+        pruned = sink.log.prune_through(front._epoch)
+    finally:
+        sink.suspended = False
+    removed: list[str] = []
+    for path in list_snapshots(sink.directory):
+        if path == snap_path:
+            continue
+        try:
+            load_snapshot(path)
+        except WALCorruptionError:
+            os.remove(path)
+            removed.append(path)
+    still = sink.log.verify()
+    if still:
+        raise QuarantineExhausted(
+            f"durable log still dirty after rebuild: {still[:3]}",
+            attempts=attempts)
+    return {"problems": problems_before, "snapshot": snap_path,
+            "pruned_records": pruned, "removed_snapshots": removed,
+            "attempts": attempts}
 
 
 # ----------------------------------------------------------------- batch

@@ -25,16 +25,24 @@ path, so scheduling cannot perturb the comparison).
 
 from __future__ import annotations
 
+import json
+import os
 import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
 from typing import Optional
 
 from ..reference.oracle import KruskalOracle
 from ..serve.batched import BatchedMSF
 from . import checks, faults, recover
-from .errors import CorruptionError, QuarantineExhausted
+from .errors import CorruptionError, QuarantineExhausted, WALCorruptionError
 
-__all__ = ["SITES_BY_CONFIG", "generate_ops", "run_campaign",
-           "worker_mix_ops"]
+__all__ = ["SITES_BY_CONFIG", "DURABLE_SITES", "generate_ops",
+           "run_campaign", "run_crash_campaign", "worker_mix_ops",
+           "restart_heavy_ops"]
 
 #: injection sites reachable per engine configuration (scheduling a fault
 #: on an unreachable site would just report "unreached")
@@ -48,6 +56,9 @@ SITES_BY_CONFIG = {
     ("parallel", False): ["pram.cell", "pram.plan", "pram.fingerprint",
                           "tt.agg", "serve.batch"],
 }
+
+#: crash-shaped sites reachable only when the front runs durability="wal"
+DURABLE_SITES = ["wal.append", "wal.fsync", "snapshot.write"]
 
 
 # ---------------------------------------------------------------- stream
@@ -102,6 +113,35 @@ def worker_mix_ops(seed: int, n: int, n_ops: int, *, shards: int = 4,
     stream = worker_mix(n, n_ops, shards=shards,
                         cross_fraction=cross_fraction,
                         seed=seed ^ 0x5F5E1)
+    for idx, op in enumerate(stream):
+        if recycle_every and out and len(out) % recycle_every == 0:
+            out.append(("recycle",))
+        if op[0] == "ins":
+            out.append(op)
+            eid_of[idx] = next_eid
+            next_eid += 1
+        elif op[0] == "del":
+            out.append(("del", eid_of.pop(op[1])))
+        elif op[0] == "conn":
+            out.append(("q", op[1], op[2]))
+        else:  # ("weight",)
+            out.append(("w",))
+    return out
+
+
+def restart_heavy_ops(seed: int, n: int, n_ops: int, *, burst: int = 24,
+                      churn: int = 16, recycle_every: int = 25) -> list[tuple]:
+    """The durability-stressing workload (:func:`repro.workloads.
+    restart_heavy`) translated into the campaign op vocabulary with
+    predicted edge ids -- the same prediction contract as
+    :func:`worker_mix_ops`.  ``recycle_every=0`` disables the arena
+    recycles (the crash-restart child wants a pure serving stream)."""
+    from ..workloads import restart_heavy
+    out: list[tuple] = []
+    next_eid = 1
+    eid_of: dict[int, int] = {}   # workload op index -> predicted eid
+    stream = restart_heavy(n, n_ops, burst=burst, churn=churn,
+                           seed=seed ^ 0x5F5E1)
     for idx, op in enumerate(stream):
         if recycle_every and out and len(out) % recycle_every == 0:
             out.append(("recycle",))
@@ -179,7 +219,10 @@ def _recover_from_findings(front, findings) -> list[str]:
     if "pool" in components:
         recover.recover_pool(default_pool)
         rungs.append("pool-sweep")
-    if components - {"machine", "pool"}:
+    if "durability" in components:
+        recover.repair_wal(front)
+        rungs.append("wal-repair")
+    if components - {"machine", "pool", "durability"}:
         recover.rebuild_backend(front, level="cheap")
         rungs.append("backend-rebuild")
     return rungs
@@ -195,28 +238,47 @@ def run_campaign(seed: int, *, engine: str = "sequential",
                  horizon: Optional[int] = None,
                  workload: str = "default", shards: int = 4,
                  cross_fraction: float = 0.05,
-                 backend: str = "scalar") -> dict:
+                 backend: str = "scalar",
+                 durability: str = "off",
+                 durable_dir: Optional[str] = None,
+                 snapshot_every: int = 8) -> dict:
     """One seeded soak campaign; returns the JSON-able report.
 
     ``workload`` selects the op stream: ``"default"`` is the classic
     uniform churn/read mix of :func:`generate_ops`; ``"worker_mix"`` is
     the sharded serving profile (clustered vertex ranges, ``shards`` /
-    ``cross_fraction`` knobs) via :func:`worker_mix_ops`.  ``backend``
-    selects the engine kernels; ``"columnar"`` adds the mirror-tearing
+    ``cross_fraction`` knobs) via :func:`worker_mix_ops`;
+    ``"restart_heavy"`` is the bursty checkpoint-then-churn durability
+    profile via :func:`restart_heavy_ops`.  ``backend`` selects the
+    engine kernels; ``"columnar"`` adds the mirror-tearing
     ``columnar.col`` site to the default schedule (detected by the
     structural tier's array-vs-scalar cross-validation).
+
+    ``durability="wal"`` runs the front with the write-ahead log and
+    snapshots attached (under ``durable_dir``, or a private temporary
+    directory), adds the crash-shaped :data:`DURABLE_SITES` to the
+    default schedule, and extends the final verification with a
+    restore-from-disk whose fingerprint must match the never-faulted
+    twin bit-for-bit.
     """
+    if durability not in ("off", "wal"):
+        raise ValueError(f"durability must be 'off' or 'wal', "
+                         f"got {durability!r}")
     if sites is None:
         sites = list(SITES_BY_CONFIG[(engine, sparsify)])
         if backend == "columnar":
             sites.append("columnar.col")
         elif backend == "compiled":
             sites.append("compiled.kernel")
+        if durability == "wal":
+            sites.extend(DURABLE_SITES)
     else:
         sites = list(sites)
     if workload == "worker_mix":
         ops = worker_mix_ops(seed, n, n_ops, shards=shards,
                              cross_fraction=cross_fraction)
+    elif workload == "restart_heavy":
+        ops = restart_heavy_ops(seed, n, n_ops)
     elif workload == "default":
         ops = generate_ops(seed, n, n_ops)
     else:
@@ -226,8 +288,13 @@ def run_campaign(seed: int, *, engine: str = "sequential",
         horizon=horizon if horizon is not None else max(50, n_ops // 2),
         label=f"{engine}/{'sparse' if sparsify else 'flat'}/seed={seed}")
 
+    temp_dir = None
+    if durability == "wal" and durable_dir is None:
+        durable_dir = temp_dir = tempfile.mkdtemp(prefix="repro-soak-wal-")
     front = BatchedMSF(n, engine=engine, sparsify=sparsify,
-                       batch_size=batch_size, pool_size=1, backend=backend)
+                       batch_size=batch_size, pool_size=1, backend=backend,
+                       durability=durability, durable_dir=durable_dir,
+                       snapshot_every=snapshot_every)
     oracle = KruskalOracle()
     detections: list[dict] = []
     recovery_costs: list[int] = []
@@ -247,6 +314,8 @@ def run_campaign(seed: int, *, engine: str = "sequential",
         for i, op in enumerate(ops):
             if fast_tier:
                 _set_fast_audit(front._impl)
+            if durability == "wal":
+                front.durability.cursor = i    # source-stream resume point
             recoveries_before = front.stats["recoveries"]
             try:
                 if op[0] == "ins":
@@ -285,6 +354,20 @@ def run_campaign(seed: int, *, engine: str = "sequential",
                             wrong_answers += 1
                 else:  # recycle
                     _recycle(n, engine)
+            except WALCorruptionError as exc:
+                # structured durable-log failure (e.g. a lost tail caught
+                # by the next append's contiguity check): rung 5.  The
+                # engine apply succeeded -- only the durable append failed
+                # -- so op ``i`` committed in the front; finish its
+                # bookkeeping to keep the oracle and the eid prediction in
+                # lockstep.
+                recover.repair_wal(front)
+                if op[0] == "ins":
+                    oracle.insert(op[1], op[2], op[3], next_eid)
+                    next_eid += 1
+                elif op[0] == "del":
+                    oracle.delete(op[1])
+                note_recovery("exception", i, str(exc), ["wal-repair"])
             except CorruptionError as exc:
                 # flush-internal detection; recover_batch already ran
                 if getattr(exc, "rejected", None):
@@ -344,10 +427,39 @@ def run_campaign(seed: int, *, engine: str = "sequential",
     twin_match = (checks.state_fingerprint(front)
                   == checks.state_fingerprint(twin))
 
+    # durable tail: a restore from the on-disk artifacts must reproduce
+    # the twin bit-for-bit (the crash-recovery contract, checked even
+    # when no crash happened)
+    durable_report = None
+    restore_match = True
+    if durability == "wal":
+        from ..persist import restore
+        front.close()
+        try:
+            restored, r_report = restore(durable_dir, level="cheap")
+            try:
+                restore_match = (checks.state_fingerprint(restored)
+                                 == checks.state_fingerprint(twin))
+            finally:
+                restored.close()
+            durable_report = {
+                "wal": r_report["wal"],
+                "snapshot": r_report["snapshot"],
+                "snapshots_skipped": r_report["snapshots_skipped"],
+                "replayed_batches": r_report["replayed_batches"],
+                "findings": r_report["findings"],
+                "restore_fingerprint_match": restore_match,
+            }
+            restore_match = restore_match and not r_report["findings"]
+        finally:
+            if temp_dir is not None:
+                shutil.rmtree(temp_dir, ignore_errors=True)
+
     injected = plan.injected()
     n_detected = len(detections)
     masked = max(0, len(injected) - n_detected)
     ok = (not final_findings and msf_match and weight_match and twin_match
+          and restore_match
           and wrong_answers == 0 and unexpected_rejections == 0)
     return {
         "seed": seed,
@@ -377,6 +489,176 @@ def run_campaign(seed: int, *, engine: str = "sequential",
             "msf_match": msf_match,
             "weight_match": weight_match,
             "twin_fingerprint_match": twin_match,
+            **({"durable": durable_report}
+               if durable_report is not None else {}),
         },
         "ok": ok,
     }
+
+
+# --------------------------------------------------------- crash campaign
+
+def _crash_round_schedule(seed: int, n_ops: int, kills: int) -> list[dict]:
+    """The deterministic round plan: source-index SIGKILLs in the first
+    two-thirds of the stream, then the three commit-boundary rounds
+    (killed *before* an append, *after* one, and after a *torn* one),
+    then a final round that runs to completion."""
+    rng = random.Random(seed ^ 0xC0FFEE)
+    lo = max(1, n_ops // 6)
+    hi = max(lo + kills + 1, (2 * n_ops) // 3)
+    kill_ops = sorted(rng.sample(range(lo, hi), kills))
+    rounds: list[dict] = [{"kill_op": k} for k in kill_ops]
+    rounds += [
+        {"kill_append": 2, "kill_append_mode": "before"},
+        {"kill_append": 2, "kill_append_mode": "after"},
+        {"kill_append": 1, "kill_append_mode": "after", "tear_last": True},
+    ]
+    rounds.append({})        # final round: runs to completion
+    return rounds
+
+
+def _read_round_file(directory: str, name: str):
+    path = os.path.join(directory, name)
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def run_crash_campaign(seed: int, *, engine: str = "sequential",
+                       sparsify: bool = True, backend: str = "scalar",
+                       n: int = 40, n_ops: int = 240, batch_size: int = 12,
+                       snapshot_every: int = 4, kills: int = 3,
+                       burst: int = 24, churn: int = 16,
+                       keep_dir: Optional[str] = None,
+                       child_timeout: float = 600.0) -> dict:
+    """SIGKILL-restart soak: the end-to-end crash-recovery contract.
+
+    A subprocess (:mod:`repro.resilience.crash_child`) drives the
+    ``restart_heavy`` stream against a durable front and is SIGKILLed at
+    scheduled points -- at source-op indices, immediately *before* a WAL
+    append (batch applied in-engine, never logged), immediately *after*
+    one (the clean commit boundary), and after a *torn* append (the
+    fault-injected partial record a real crash leaves).  Each restart
+    restores from the durability directory and resumes the stream at the
+    logged cursor, asserting the eid-prediction contract op by op.  The
+    final round runs to completion; the parent then restores in-process,
+    re-applies the post-cursor tail, and gates on a Kruskal-oracle match
+    plus a bit-identical ``state_fingerprint`` against a never-crashed
+    twin.  Zero tolerance: every divergence is a campaign failure.
+    """
+    import repro
+    directory = keep_dir or tempfile.mkdtemp(prefix="repro-crash-")
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(
+        repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    ops = restart_heavy_ops(seed, n, n_ops, burst=burst, churn=churn,
+                            recycle_every=0)
+    base_cfg = {"dir": directory, "seed": seed, "n": n, "n_ops": n_ops,
+                "engine": engine, "sparsify": sparsify, "backend": backend,
+                "batch_size": batch_size, "snapshot_every": snapshot_every,
+                "burst": burst, "churn": churn}
+    rounds_out: list[dict] = []
+    sigkill = -int(signal.SIGKILL)
+    try:
+        for r, round_cfg in enumerate(_crash_round_schedule(seed, n_ops,
+                                                            kills)):
+            cfg = {**base_cfg, **round_cfg, "round": r}
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.resilience.crash_child",
+                 json.dumps(cfg)],
+                env=env, capture_output=True, text=True,
+                timeout=child_timeout)
+            expected_kill = bool(round_cfg)
+            completion = _read_round_file(directory, f"round-{r}.json")
+            entry = {
+                "round": r,
+                "config": round_cfg,
+                "returncode": proc.returncode,
+                "killed": proc.returncode == sigkill,
+                "restore": _read_round_file(directory,
+                                            f"round-{r}-restore.json"),
+                "completion": completion,
+            }
+            # a kill round may legitimately run out of stream before its
+            # kill point fires; that is reported, not an error -- but an
+            # exit that is neither SIGKILL nor clean completion is
+            entry["ok"] = (proc.returncode == sigkill
+                           or (proc.returncode == 0
+                               and completion is not None
+                               and (not expected_kill
+                                    or completion.get("completed"))))
+            if not entry["ok"]:
+                entry["stderr"] = proc.stderr[-2000:]
+            rounds_out.append(entry)
+
+        # ---- never-crashed twin + oracle -------------------------------
+        twin = BatchedMSF(n, engine=engine, sparsify=sparsify,
+                          batch_size=batch_size, pool_size=1,
+                          backend=backend, consistency="deferred")
+        oracle = KruskalOracle()
+        next_eid = 1
+        for op in ops:
+            if op[0] == "ins":
+                eid = twin.insert_edge(op[1], op[2], op[3])
+                assert eid == next_eid
+                oracle.insert(op[1], op[2], op[3], eid)
+                next_eid += 1
+            elif op[0] == "del":
+                twin.delete_edge(op[1])
+                oracle.delete(op[1])
+        twin.flush()
+        oracle_match = (twin.msf_ids() == oracle.msf_ids()
+                        and checks._weights_agree(twin.msf_weight(),
+                                                  oracle.msf_weight()))
+        twin_fp = checks.state_fingerprint(twin)
+
+        # ---- in-process restore + post-cursor tail re-apply ------------
+        from ..persist import restore, resume_point
+        restored, r_report = restore(directory, level="full",
+                                     snapshot_every=snapshot_every)
+        try:
+            sink = restored.durability
+            for i in range(resume_point(r_report), len(ops)):
+                sink.cursor = i
+                op = ops[i]
+                if op[0] == "ins":
+                    restored.insert_edge(op[1], op[2], op[3])
+                elif op[0] == "del":
+                    restored.delete_edge(op[1])
+            restored.flush()
+            restore_match = checks.state_fingerprint(restored) == twin_fp
+        finally:
+            restored.close()
+
+        from ..persist.snapshot import fingerprint_digest
+        twin_digest = fingerprint_digest(twin_fp)
+        final_completion = rounds_out[-1]["completion"] or {}
+        child_digest_match = final_completion.get("digest") == twin_digest
+        rounds_ok = all(e["ok"] for e in rounds_out)
+        kills_fired = sum(1 for e in rounds_out if e["killed"])
+        ok = (rounds_ok and oracle_match and restore_match
+              and child_digest_match and not r_report["findings"])
+        return {
+            "seed": seed,
+            "config": {**base_cfg,
+                       "dir": (directory if keep_dir else "<temp>")},
+            "rounds": rounds_out,
+            "kills_fired": kills_fired,
+            "final": {
+                "oracle_match": oracle_match,
+                "restore_fingerprint_match": restore_match,
+                "child_digest_match": child_digest_match,
+                "twin_digest": twin_digest,
+                "restore_findings": r_report["findings"],
+                "wal": r_report["wal"],
+                "snapshot": r_report["snapshot"],
+                "replayed_batches": r_report["replayed_batches"],
+            },
+            "ok": ok,
+        }
+    finally:
+        if keep_dir is None:
+            shutil.rmtree(directory, ignore_errors=True)

@@ -30,7 +30,6 @@ exhausted retry ladder surfaces, as
 
 from __future__ import annotations
 
-import itertools
 from typing import Iterator, Optional
 
 from ..cluster.coordinator import Coordinator
@@ -72,7 +71,11 @@ class ClusterMSF:
                  store_path: Optional[str] = None,
                  start_method: Optional[str] = None,
                  beat_interval: float = 0.1,
-                 stale_timeout: float = 5.0) -> None:
+                 stale_timeout: float = 5.0,
+                 durability: str = "off",
+                 durable_dir: Optional[str] = None,
+                 snapshot_every: int = 64,
+                 durable_resume: bool = False) -> None:
         # raised (not asserted): public entry-point validation must
         # survive `python -O`
         if consistency not in ("strong", "deferred"):
@@ -81,15 +84,23 @@ class ClusterMSF:
                 f"got {consistency!r}")
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if durability not in ("off", "wal"):
+            raise ValueError(
+                f"durability must be 'off' or 'wal', got {durability!r}")
+        if durability == "wal" and durable_dir is None:
+            raise ValueError("durability='wal' requires durable_dir")
         self.n = n
         self.batch_size = batch_size
         self.consistency = consistency
+        self._K = K
         self._coord = Coordinator(
             n, shards=pool_size, K=K, processes=processes,
             store_path=store_path, start_method=start_method,
             beat_interval=beat_interval, stale_timeout=stale_timeout)
         self.pool_size = self._coord.shard_map.k
-        self._next_eid = itertools.count(1)
+        # plain int (not itertools.count) so durability can record and
+        # restore the counter exactly (see BatchedMSF)
+        self._next_eid = 1
         self._pending: list[tuple] = []      # buffered ops, submission order
         self._pending_ins: set[int] = set()  # not-yet-cancelled batch inserts
         self._live: set[int] = set()         # edge ids applied and live
@@ -104,6 +115,19 @@ class ClusterMSF:
             "ops_cancelled": 0, "ops_deduped": 0, "snapshot_builds": 0,
             "queries": 0, "ops_rejected": 0, "recoveries": 0,
         }
+        self._durable = None
+        if durability == "wal":
+            from ..persist.wal import DurableSink
+            self._durable = DurableSink(
+                durable_dir, config=self._durable_config(),
+                snapshot_every=snapshot_every, resume=durable_resume)
+
+    def _durable_config(self) -> dict:
+        """Construction parameters recorded in the durable log's meta."""
+        return {"kind": "cluster", "n": self.n,
+                "pool_size": self.pool_size, "K": self._K,
+                "batch_size": self.batch_size,
+                "consistency": self.consistency}
 
     # ------------------------------------------------------------- updates
 
@@ -112,7 +136,8 @@ class ClusterMSF:
         if not (0 <= u < self.n and 0 <= v < self.n):
             raise ValueError(
                 f"endpoints ({u}, {v}) out of range 0..{self.n - 1}")
-        eid = next(self._next_eid)
+        eid = self._next_eid
+        self._next_eid += 1
         self._pending.append(("ins", eid, u, v, float(weight)))
         self._pending_ins.add(eid)
         self.stats["ops_submitted"] += 1
@@ -158,8 +183,82 @@ class ClusterMSF:
             self._live.update(rec[0] for rec in batch.inserts)
             self._epoch += 1         # invalidates the read snapshot
             self._snapshot = None
+            if self._durable is not None:
+                self._durable_commit(batch)
         self.stats["batches"] += 1
         return batch
+
+    # ---------------------------------------------------------- durability
+
+    @property
+    def durability(self):
+        """The attached :class:`~repro.persist.wal.DurableSink`
+        (``None`` when ``durability="off"``); same contract as
+        :attr:`BatchedMSF.durability`."""
+        return self._durable
+
+    def _durable_commit(self, batch: CoalescedBatch) -> None:
+        """Append the committed batch's canonical ops at the new seq.
+
+        The cluster commits whole batches (worker deaths are recovered
+        inside :meth:`Coordinator.apply_batch`), so the applied stream
+        is exactly ``batch.ops()``.
+        """
+        sink = self._durable
+        if sink.suspended:
+            return
+        sink.commit(self._epoch, batch.ops(), self._next_eid)
+        if sink.snapshot_due(self._epoch):
+            self._write_durable_snapshot()
+
+    def _write_durable_snapshot(self) -> str:
+        """Write one snapshot of the authoritative registry (observation
+        only -- the cluster keeps no facade-local op counters)."""
+        from ..persist.snapshot import fingerprint_digest, write_snapshot
+        from ..resilience.checks import state_fingerprint
+        sink = self._durable
+        state = {
+            "seq": self._epoch, "cursor": sink.cursor,
+            "next_eid": self._next_eid, "config": sink.config,
+            "edges": [[eid, u, v, w]
+                      for eid, (u, v, w) in sorted(self._edges.items())],
+            "fingerprint": fingerprint_digest(state_fingerprint(self)),
+        }
+        return write_snapshot(sink.directory, state)
+
+    def _restore_edges(self, edges) -> None:
+        """Seed the cluster from a snapshot's registry rows as one
+        ascending-eid batch through the normal apply path."""
+        if not edges:
+            return
+        batch = CoalescedBatch(
+            inserts=tuple(sorted((eid, u, v, w)
+                                 for eid, u, v, w in edges)),
+            deletes=(), cancelled=0, deduped=0)
+        self._coord.apply_batch(batch)
+        self._live.update(rec[0] for rec in batch.inserts)
+        self._snapshot = None
+
+    def _replay_committed(self, ops) -> None:
+        """Re-apply one WAL record's op stream (restore's log-tail
+        replay) through the coordinator's normal batch path."""
+        dels = tuple(sorted(op[1] for op in ops if op[0] == "del"))
+        ins = tuple(sorted(tuple(op[1:]) for op in ops
+                           if op[0] != "del"))
+        batch = CoalescedBatch(inserts=ins, deletes=dels,
+                               cancelled=0, deduped=0)
+        if len(batch):
+            self._coord.apply_batch(batch)
+            self._live.difference_update(batch.deletes)
+            self._live.update(rec[0] for rec in batch.inserts)
+        self._snapshot = None
+        self.stats["batches"] += 1
+        self.stats["ops_applied"] += len(batch)
+
+    def _resume_counters(self, *, seq: int, next_eid: int) -> None:
+        """Adopt a snapshot's / WAL record's epoch and eid counter."""
+        self._epoch = seq
+        self._next_eid = next_eid
 
     # ------------------------------------------------------------- queries
 
@@ -252,7 +351,10 @@ class ClusterMSF:
     # ------------------------------------------------------------ teardown
 
     def close(self) -> None:
-        """Stop the worker pool and close/remove the coordination store."""
+        """Stop the worker pool and close/remove the coordination store
+        (and the durable sink, when attached)."""
+        if self._durable is not None:
+            self._durable.close()
         self._coord.close()
 
     def __enter__(self) -> "ClusterMSF":

@@ -23,6 +23,7 @@ __all__ = [
     "adversarial_cuts",
     "query_mix",
     "worker_mix",
+    "restart_heavy",
     "OpStream",
     "drive",
 ]
@@ -220,6 +221,70 @@ def worker_mix(n: int, steps: int, *, shards: int = 4,
                 w = round(rng.uniform(0.0, 1000.0), 9)
             live[op_index] = (u, v)
             yield ("ins", u, v, w)
+        emitted += 1
+
+
+def restart_heavy(n: int, steps: int, *, burst: int = 24, churn: int = 16,
+                  seed: int = 0, p_delete: float = 0.55,
+                  max_live: Optional[int] = None,
+                  weights: str = "uniform") -> Iterator[Op]:
+    """Bursty insert phases punctuated by checkpoint-then-churn phases.
+
+    The durability-stressing profile: ``burst`` consecutive inserts fill
+    write batches fast (maximal WAL-append and snapshot-cadence
+    pressure), then a ``("weight",)`` checkpoint read marks the phase
+    boundary and a ``churn`` phase of deletes, connectivity probes and
+    occasional inserts exercises the replay path with mixed batches --
+    the traffic shape that makes crash points land on every kind of
+    commit (insert-only batches, delete-heavy batches, and the empty
+    coalesced batches annihilation produces).
+
+    Emits exactly the :func:`query_mix` op vocabulary (``ins``/``del``/
+    ``conn``/``weight``; deletions reference the op index of their
+    insert), so :class:`OpStream`/:func:`drive` and every differential
+    harness consume it unchanged.  Pure function of ``seed``.
+    """
+    if burst < 1 or churn < 1:
+        raise ValueError(f"need burst >= 1 and churn >= 1, "
+                         f"got burst={burst}, churn={churn}")
+    rng = random.Random(seed)
+    max_live = max_live if max_live is not None else int(2.5 * n)
+    live: dict[int, tuple[int, int]] = {}  # op index -> (u, v)
+
+    def weight() -> float:
+        if weights == "ties":
+            return float(rng.randint(0, 7))
+        return round(rng.uniform(0.0, 1000.0), 9)
+
+    emitted = 0
+    in_burst = True
+    budget = burst
+    while emitted < steps:
+        op_index = emitted
+        if budget == 0:            # phase boundary: checkpoint read
+            in_burst = not in_burst
+            budget = burst if in_burst else churn
+            yield ("weight",)
+            emitted += 1
+            continue
+        budget -= 1
+        if in_burst and len(live) < max_live:
+            u, v = rng.sample(range(n), 2)
+            live[op_index] = (u, v)
+            yield ("ins", u, v, weight())
+        else:
+            r = rng.random()
+            if live and r < p_delete:
+                ref = rng.choice(list(live))
+                live.pop(ref)
+                yield ("del", ref)
+            elif r < 0.85:
+                u, v = rng.sample(range(n), 2)
+                yield ("conn", u, v)
+            else:
+                u, v = rng.sample(range(n), 2)
+                live[op_index] = (u, v)
+                yield ("ins", u, v, weight())
         emitted += 1
 
 

@@ -1,0 +1,144 @@
+"""Crash-shaped fault sites: injection, detection, repair.
+
+Each durable site models one way a real crash damages the artifacts:
+``wal.append`` a torn (partially-written) record, ``wal.fsync`` a
+committed-then-lost tail, ``snapshot.write`` a truncated snapshot file.
+The contract under test: every one is *detected* -- as a structured
+:class:`WALCorruptionError` or a ``durability`` finding -- and the
+rung-5 repair (:func:`repro.resilience.recover.repair_wal`) restores a
+durable state that verifies clean and round-trips through restore.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.persist import restore
+from repro.persist.snapshot import list_snapshots, load_snapshot
+from repro.resilience import checks, faults, recover
+from repro.resilience.errors import WALCorruptionError
+from repro.serve.batched import BatchedMSF
+
+
+@pytest.fixture(autouse=True)
+def _disarmed():
+    yield
+    faults.disarm()
+
+
+def _front(tmp_path, snapshot_every=100):
+    return BatchedMSF(16, batch_size=4, pool_size=1, durability="wal",
+                      durable_dir=str(tmp_path),
+                      snapshot_every=snapshot_every)
+
+
+def _fill(front, k=8, start=0):
+    for i in range(start, start + k):
+        front.durability.cursor = i
+        front.insert_edge(i % front.n, (i * 3 + 1) % front.n, float(i + 1))
+    front.flush()
+
+
+def test_torn_append_detected_and_repaired(tmp_path):
+    front = _front(tmp_path)
+    faults.arm(faults.FaultPlan([faults.Fault("wal.append", nth=0,
+                                              param=7)]))
+    _fill(front)
+    faults.disarm()
+    # the torn record sits in the log: structural tier reports it
+    findings = checks.check_durability(front, "structural")
+    assert any("checksum" in str(f) for f in findings)
+    assert all(f.component == "durability" for f in findings)
+    # default read path refuses it outright
+    with pytest.raises(WALCorruptionError):
+        front.durability.log.records()
+    report = recover.repair_wal(front)
+    assert report["problems"]
+    assert front.durability.log.verify() == []
+    assert checks.check_durability(front, "structural") == []
+    fp = checks.state_fingerprint(front)
+    front.close()
+    restored, _ = restore(str(tmp_path))
+    assert checks.state_fingerprint(restored) == fp
+    restored.close()
+
+
+def test_lost_tail_raises_structured_on_next_append(tmp_path):
+    front = _front(tmp_path)
+    faults.arm(faults.FaultPlan([faults.Fault("wal.fsync", nth=0)]))
+    _fill(front, k=4)     # one batch: its record is committed, then lost
+    faults.disarm()
+    # the cheap tier already sees the desync, before any new append
+    findings = checks.check_durability(front, "cheap")
+    assert any("tail" in str(f) or "epoch" in str(f) for f in findings)
+    # the next append trips the contiguity gate with the structured error
+    with pytest.raises(WALCorruptionError) as ei:
+        _fill(front, k=4, start=4)
+    assert ei.value.seq is not None
+    assert ei.value.path == front.durability.log.path
+    recover.repair_wal(front)
+    assert checks.check_durability(front, "structural") == []
+    fp = checks.state_fingerprint(front)
+    front.close()
+    restored, _ = restore(str(tmp_path))
+    assert checks.state_fingerprint(restored) == fp
+    restored.close()
+
+
+def test_truncated_snapshot_detected_and_removed(tmp_path):
+    front = _front(tmp_path, snapshot_every=2)
+    faults.arm(faults.FaultPlan([faults.Fault("snapshot.write", nth=0,
+                                              param=9)]))
+    _fill(front)
+    faults.disarm()
+    snaps = list_snapshots(str(tmp_path))
+    assert snaps, "cadence should have produced a snapshot"
+    assert any(_invalid(p) for p in snaps)
+    findings = checks.check_durability(front, "structural")
+    assert any("snapshot" in str(f) for f in findings)
+    report = recover.repair_wal(front)
+    # every surviving snapshot file validates; the torn one is gone
+    for path in list_snapshots(str(tmp_path)):
+        load_snapshot(path)
+    assert checks.check_durability(front, "structural") == []
+    fp = checks.state_fingerprint(front)
+    front.close()
+    restored, rep = restore(str(tmp_path))
+    assert rep["snapshots_skipped"] == []
+    assert checks.state_fingerprint(restored) == fp
+    restored.close()
+
+
+def _invalid(path) -> bool:
+    try:
+        load_snapshot(path)
+        return False
+    except WALCorruptionError:
+        return True
+
+
+def test_self_check_full_includes_durability(tmp_path):
+    """The durability tier rides the fronts' normal self_check."""
+    front = _front(tmp_path)
+    _fill(front)
+    assert front.self_check("full") == []
+    front.durability.log._drop_record(front.durability.log.last_seq())
+    findings = front.self_check("cheap")
+    assert any(f.component == "durability" for f in findings)
+    recover.repair_wal(front)
+    assert front.self_check("full") == []
+    front.close()
+
+
+def test_fault_report_records_replacement(tmp_path):
+    plan = faults.FaultPlan([faults.Fault("wal.append", nth=0, param=3)])
+    front = _front(tmp_path)
+    faults.arm(plan)
+    _fill(front)
+    faults.disarm()
+    entries = plan.injected()
+    assert len(entries) == 1
+    assert entries[0]["site"] == "wal.append"
+    assert entries[0]["replaced"] == ["payload"]
+    recover.repair_wal(front)
+    front.close()

@@ -1,0 +1,79 @@
+"""Unit tests for checksummed atomic snapshots."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.persist.snapshot import (SNAPSHOT_SCHEMA, latest_valid_snapshot,
+                                    list_snapshots, load_snapshot,
+                                    snapshot_path, write_snapshot)
+from repro.resilience.errors import WALCorruptionError
+
+
+def _state(seq, **extra):
+    return {"seq": seq, "cursor": seq * 3, "next_eid": seq + 1,
+            "config": {"kind": "batched", "n": 8},
+            "edges": [[1, 0, 1, 2.5]], "fingerprint": "f" * 64, **extra}
+
+
+def test_write_load_round_trip(tmp_path):
+    path = write_snapshot(str(tmp_path), _state(7))
+    assert path == snapshot_path(str(tmp_path), 7)
+    state = load_snapshot(path)
+    assert state["schema"] == SNAPSHOT_SCHEMA
+    assert state["seq"] == 7
+    assert state["edges"] == [[1, 0, 1, 2.5]]
+    # atomic write leaves no temp residue
+    assert not any(name.endswith(".tmp") for name in os.listdir(tmp_path))
+
+
+def test_truncated_snapshot_is_structured_corruption(tmp_path):
+    path = write_snapshot(str(tmp_path), _state(3))
+    data = open(path, "rb").read()
+    with open(path, "wb") as fh:
+        fh.write(data[:len(data) // 2])
+    with pytest.raises(WALCorruptionError) as ei:
+        load_snapshot(path)
+    assert ei.value.seq == 3
+    assert ei.value.path == path
+
+
+def test_bitflip_fails_checksum(tmp_path):
+    path = write_snapshot(str(tmp_path), _state(3))
+    state = json.loads(open(path, "rb").read())
+    state["next_eid"] += 1          # valid JSON, silently altered body
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(state, fh)
+    with pytest.raises(WALCorruptionError, match="checksum"):
+        load_snapshot(path)
+
+
+def test_schema_mismatch_refused(tmp_path):
+    path = snapshot_path(str(tmp_path), 1)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"schema": "someone-else/v9"}, fh)
+    with pytest.raises(WALCorruptionError, match="schema"):
+        load_snapshot(path)
+
+
+def test_latest_valid_skips_damage_with_report(tmp_path):
+    for seq in (2, 4, 6):
+        write_snapshot(str(tmp_path), _state(seq))
+    # newest one torn: restore must anchor at 4 and report the skip
+    newest = snapshot_path(str(tmp_path), 6)
+    with open(newest, "wb") as fh:
+        fh.write(b"{oops")
+    path, state, skipped = latest_valid_snapshot(str(tmp_path))
+    assert path == snapshot_path(str(tmp_path), 4)
+    assert state["seq"] == 4
+    assert [s["seq"] for s in skipped] == [6]
+    assert list_snapshots(str(tmp_path)) == [
+        snapshot_path(str(tmp_path), s) for s in (2, 4, 6)]
+
+
+def test_empty_directory(tmp_path):
+    assert latest_valid_snapshot(str(tmp_path)) == (None, None, [])
+    assert list_snapshots(str(tmp_path / "missing")) == []

@@ -1,0 +1,132 @@
+"""Unit tests for the SQLite-WAL-backed durable op log."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.persist.wal import GENESIS_CHAIN, OpLog
+from repro.resilience.errors import WALCorruptionError
+
+OPS1 = [("ins", 1, 0, 1, 2.5)]
+OPS2 = [("del", 1), ("ins", 2, 1, 2, 0.75)]
+
+
+def _log(tmp_path):
+    return OpLog(os.path.join(str(tmp_path), "wal.db"))
+
+
+def test_append_and_read_round_trip(tmp_path):
+    with _log(tmp_path) as log:
+        log.append(1, OPS1, cursor=0, next_eid=2)
+        log.append(2, OPS2, cursor=5, next_eid=3)
+        recs = log.records()
+    assert [(r.seq, r.cursor, r.next_eid) for r in recs] == [(1, 0, 2),
+                                                             (2, 5, 3)]
+    # ops come back as tuples, bit-identical including float weights
+    assert recs[0].ops == (("ins", 1, 0, 1, 2.5),)
+    assert recs[1].ops == (("del", 1), ("ins", 2, 1, 2, 0.75))
+
+
+def test_reopen_preserves_records_and_meta(tmp_path):
+    path = os.path.join(str(tmp_path), "wal.db")
+    with OpLog(path) as log:
+        log.append(1, OPS1, next_eid=2)
+        log.set_meta("config", {"kind": "batched", "n": 8})
+    with OpLog(path) as log:
+        assert log.last_seq() == 1
+        assert log.get_meta("config") == {"kind": "batched", "n": 8}
+        log.append(2, OPS2, next_eid=3)
+        assert [r.seq for r in log.records()] == [1, 2]
+
+
+def test_append_gap_ahead_is_structured_corruption(tmp_path):
+    """A seq past the tail means acknowledged records vanished -- the
+    lost-tail crash shape -- and must raise the structured error."""
+    with _log(tmp_path) as log:
+        log.append(1, OPS1, next_eid=2)
+        with pytest.raises(WALCorruptionError) as ei:
+            log.append(3, OPS2, next_eid=3)
+        assert ei.value.seq == 3
+        assert ei.value.path == log.path
+        # caller-bug direction stays a plain ValueError
+        with pytest.raises(ValueError):
+            log.append(1, OPS2, next_eid=3)
+
+
+def test_verify_clean_and_chain_anchor(tmp_path):
+    with _log(tmp_path) as log:
+        assert log.verify() == []
+        chain = GENESIS_CHAIN
+        for seq, ops in ((1, OPS1), (2, OPS2)):
+            chain = log.append(seq, ops, next_eid=seq + 1)
+        assert log.verify() == []
+        assert log._last_row()[5] == chain
+
+
+def test_torn_final_record_dropped_by_recover_tail(tmp_path):
+    with _log(tmp_path) as log:
+        log.append(1, OPS1, next_eid=2)
+        log.append(2, OPS2, next_eid=3)
+        with log._conn:
+            log._conn.execute(
+                "UPDATE oplog SET ops = ? WHERE seq = 2", ("[[\"del\"",))
+        # default read path refuses the damage outright
+        with pytest.raises(WALCorruptionError) as ei:
+            log.records()
+        assert ei.value.seq == 2
+        report = log.recover_tail()
+        assert report["dropped_torn"] == [2]
+        assert log.last_seq() == 1
+        assert log.verify() == []
+        # the log accepts a fresh record at the vacated seq
+        log.append(2, OPS2, next_eid=3)
+        assert [r.seq for r in log.records()] == [1, 2]
+
+
+def test_torn_mid_record_never_silently_replays(tmp_path):
+    """Damage with valid successors is corruption, not a crash artifact:
+    both the reader and recover_tail must refuse it."""
+    with _log(tmp_path) as log:
+        for seq in (1, 2, 3):
+            log.append(seq, OPS1 if seq == 1 else OPS2, next_eid=seq + 1)
+        with log._conn:
+            log._conn.execute(
+                "UPDATE oplog SET ops = ? WHERE seq = 2", ("{broken",))
+        with pytest.raises(WALCorruptionError) as ei:
+            log.records()
+        assert ei.value.seq == 2
+        with pytest.raises(WALCorruptionError):
+            log.recover_tail()
+        assert any("record 2" in p for p in log.verify())
+
+
+def test_missing_seq_detected(tmp_path):
+    with _log(tmp_path) as log:
+        for seq in (1, 2, 3):
+            log.append(seq, OPS2, next_eid=seq)
+        with log._conn:
+            log._conn.execute("DELETE FROM oplog WHERE seq = 2")
+        with pytest.raises(WALCorruptionError):
+            log.records()
+        assert log.verify() != []
+
+
+def test_prune_sets_base_and_keeps_contiguity(tmp_path):
+    with _log(tmp_path) as log:
+        for seq in (1, 2, 3, 4):
+            log.append(seq, OPS2, next_eid=seq)
+        assert log.prune_through(2) == 2
+        assert log.base_seq() == 2
+        assert log.first_seq() == 3
+        assert log.verify() == []
+        assert [r.seq for r in log.records(start_seq=3)] == [3, 4]
+        log.append(5, OPS1, next_eid=9)
+        # pruning everything leaves an empty log that resumes at base+1
+        log.prune_through(5)
+        assert log.last_seq() == 0
+        assert log.base_seq() == 5
+        log.append(6, OPS1, next_eid=10)
+        assert [r.seq for r in log.records(start_seq=6)] == [6]
+        assert log.verify() == []
